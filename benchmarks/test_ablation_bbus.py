@@ -1,0 +1,43 @@
+"""Ablation: EIB data-line capacity (B_BUS) in the Figure 8 model.
+
+The paper never states B_BUS and its figure shows no bus-capacity kink,
+implying a non-binding value.  This bench sweeps binding capacities and
+shows where the kink would appear -- justifying the non-binding default
+recorded in DESIGN.md.
+"""
+
+import numpy as np
+
+from repro.core.performance import PerformanceModel
+
+B_BUS_VALUES = (5.0, 10.0, 20.0, None)  # Gbps; None = non-binding default
+LOAD = 0.5
+N = 6
+
+
+def run_bbus_sweep():
+    out = {}
+    for b_bus in B_BUS_VALUES:
+        model = PerformanceModel(n=N, b_bus=b_bus)
+        out[b_bus] = [model.degradation_percent(x, LOAD) for x in range(1, N)]
+    return out
+
+
+def test_ablation_bus_capacity(benchmark):
+    results = benchmark(run_bbus_sweep)
+
+    unbound = results[None]
+    # A 20 Gbps bus is already non-binding for this load (same series).
+    np.testing.assert_allclose(results[20.0], unbound)
+    # A 5 Gbps bus caps X_faulty = 1 at required 5 Gbps -> exactly 100%,
+    # but binds from the aggregate side as faults accumulate.
+    assert results[5.0][0] == 100.0
+    assert results[5.0][2] < unbound[2]
+
+    print(f"\n=== Ablation: B_BUS impact on Figure 8 (N={N}, L={LOAD:.0%}) ===")
+    print(f"{'X_faulty':>9}" + "".join(
+        f"{('B=' + str(b) + 'G') if b else 'unbound':>12}" for b in B_BUS_VALUES
+    ))
+    for x in range(1, N):
+        row = "".join(f"{results[b][x - 1]:>11.1f}%" for b in B_BUS_VALUES)
+        print(f"{x:>9}{row}")

@@ -1,0 +1,54 @@
+"""Ablation: sensitivity of the results to the assumed failure rates.
+
+The paper takes its rates from one Cisco OC-48 datasheet.  This bench
+prints (a) the elasticity tornado of steady-state unavailability over
+the four atomic rates and (b) how the Figure 7 nines move when all rates
+are scaled jointly -- the robustness check a reviewer would ask for.
+"""
+
+from repro.core import (
+    DRAConfig,
+    FailureRates,
+    RepairPolicy,
+    dra_availability,
+    unavailability_elasticities,
+)
+
+CFG = DRAConfig(n=9, m=4)
+SCALES = (0.1, 0.5, 1.0, 2.0, 10.0)
+
+
+def run_ablation():
+    tornado = unavailability_elasticities(CFG)
+    nines_by_scale = {}
+    for scale in SCALES:
+        rates = FailureRates().scaled(scale)
+        nines_by_scale[scale] = (
+            dra_availability(CFG, RepairPolicy.three_hours(), rates).nines,
+            dra_availability(CFG, RepairPolicy.half_day(), rates).nines,
+        )
+    return tornado, nines_by_scale
+
+
+def test_rate_sensitivity_ablation(benchmark):
+    tornado, nines_by_scale = benchmark(run_ablation)
+
+    by_field = {r.field: r.elasticity for r in tornado}
+    # The paper's qualitative finding in rate form.
+    assert by_field["lam_lpi"] > by_field["lam_lpd"]
+    # Two-failure structure: elasticities sum to ~2.
+    assert abs(sum(by_field.values()) - 2.0) < 0.05
+    # Scaling all rates by k scales two-failure unavailability by ~k^2:
+    # each 10x of rates costs about two nines.
+    assert nines_by_scale[1.0][0] - nines_by_scale[10.0][0] == 2
+
+    print("\n=== Elasticity tornado: d(log U) / d(log lambda), DRA(9, 4), mu=1/3 ===")
+    for r in tornado:
+        bar = "#" * int(round(abs(r.elasticity) * 40))
+        print(f"  {r.field:>8} {r.elasticity:+6.3f} {bar}")
+
+    print("\n=== Figure 7 nines under joint rate scaling ===")
+    print(f"{'rate scale':>11} {'nines mu=1/3':>13} {'nines mu=1/12':>14}")
+    for scale in SCALES:
+        fast, slow = nines_by_scale[scale]
+        print(f"{scale:>11.1f} {fast:>13} {slow:>14}")

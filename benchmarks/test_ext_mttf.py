@@ -1,0 +1,34 @@
+"""Extension bench: MTTF table over the paper's configuration families.
+
+Compresses Figure 6 to scalars: mean time to LC failure for BDR and each
+DRA (N, M), with the improvement factor.  Shows the same diminishing
+returns the paper reads off the curves.
+"""
+
+from repro.core import DRAConfig, bdr_mttf, dra_mttf, mttf_improvement
+from repro.analysis.sweep import FIG6_CONFIGS
+
+
+def run_table():
+    rows = [("BDR", bdr_mttf().hours, 1.0)]
+    for n, m in FIG6_CONFIGS:
+        cfg = DRAConfig(n=n, m=m)
+        res = dra_mttf(cfg)
+        rows.append((res.label, res.hours, mttf_improvement(cfg)))
+    return rows
+
+
+def test_mttf_table(benchmark):
+    rows = benchmark(run_table)
+
+    by_label = {label: hours for label, hours, _ in rows}
+    assert abs(by_label["BDR"] - 50_000.0) < 1e-6
+    # Diminishing returns in N at M=2.
+    gain_34 = by_label["DRA(N=4,M=2)"] - by_label["DRA(N=3,M=2)"]
+    gain_89 = by_label["DRA(N=9,M=2)"] - by_label["DRA(N=8,M=2)"]
+    assert gain_34 > gain_89 > 0.0
+
+    print("\n=== MTTF of one linecard (hours; derived from the Fig. 5 chains) ===")
+    print(f"{'config':>14} {'MTTF (h)':>12} {'years':>8} {'vs BDR':>8}")
+    for label, hours, ratio in rows:
+        print(f"{label:>14} {hours:>12.0f} {hours / 8766:>8.1f} {ratio:>7.2f}x")

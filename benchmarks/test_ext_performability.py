@@ -1,0 +1,54 @@
+"""Extension bench: performability and heterogeneous-load degradation.
+
+Two syntheses the paper's figures stop short of:
+
+* **performability** -- the Figure 8 bandwidth reward weighted by the
+  Figure 7 fault-state probabilities, i.e. the expected delivered
+  fraction over the router's whole life;
+* **heterogeneous loads** -- Figure 8 with a realistic load skew, where
+  the worst single fault turns out to be a *cool* card (the binding
+  quantity is the surviving headroom pool, not the faulty card's demand).
+"""
+
+import numpy as np
+
+from repro.core.hetero import HeterogeneousPerformanceModel
+from repro.core.parameters import RepairPolicy
+from repro.core.performability import PerformabilityModel
+from repro.core.performance import PerformanceModel
+
+SKEWED_LOADS = (0.15, 0.30, 0.70, 0.50, 0.15, 0.30)
+
+
+def run_study():
+    perf = PerformabilityModel(
+        PerformanceModel(n=6), RepairPolicy.half_day()
+    )
+    steady = {load: perf.steady_state(load) for load in (0.15, 0.50, 0.70)}
+    hetero = HeterogeneousPerformanceModel(SKEWED_LOADS)
+    singles = [hetero.degradation([lc]).aggregate_percent for lc in range(6)]
+    return steady, singles
+
+
+def test_performability_and_hetero(benchmark):
+    steady, singles = benchmark(run_study)
+
+    for res in steady.values():
+        assert res.expected_degradation_percent > 99.0
+        assert res.state_probabilities[0] > 0.99
+    # Worst single fault under skew: a 15%-loaded card, not the 70% one.
+    worst = int(np.argmin(singles))
+    assert SKEWED_LOADS[worst] == min(SKEWED_LOADS)
+
+    print("\n=== Performability: expected % of required bandwidth delivered ===")
+    print(f"{'load':>6} {'E[%]':>10} {'P(any fault)':>13}")
+    for load, res in steady.items():
+        print(
+            f"{load:>6.0%} {res.expected_degradation_percent:>10.5f} "
+            f"{res.any_fault_probability:>13.2e}"
+        )
+
+    print("\n=== Heterogeneous loads: single-fault service % (N=6) ===")
+    print(f"{'faulty LC':>10} {'its load':>9} {'service %':>10}")
+    for lc, pct in enumerate(singles):
+        print(f"{lc:>10} {SKEWED_LOADS[lc]:>9.0%} {pct:>9.1f}%")

@@ -1,0 +1,43 @@
+"""Figure 6 regeneration: LC reliability under BDR and DRA.
+
+Paper series: BDR plus DRA with {M=2, N=3..9} and {N=9, M=4..8} over
+0..100,000 hours.  The bench times the full sweep (26 chains solved on a
+51-point grid) and prints the table at the paper's landmark hours.
+
+Expected shape (asserted): BDR < 0.5 at 40k h; DRA(9, >=4) > 0.95 at
+40k h; every DRA curve above BDR.
+"""
+
+import numpy as np
+
+from repro.analysis import format_reliability_table, reliability_sweep
+from repro.analysis.sweep import FIG6_CONFIGS, FIG6_TIME_GRID
+
+LANDMARKS = [0.0, 20_000.0, 40_000.0, 60_000.0, 80_000.0, 100_000.0]
+
+
+def run_sweep():
+    return reliability_sweep(times=FIG6_TIME_GRID, configs=FIG6_CONFIGS)
+
+
+def test_fig6_reliability_sweep(benchmark):
+    records = benchmark(run_sweep)
+
+    by = {(r.label, r.x): r.value for r in records}
+    assert by[("BDR", 40_000.0)] < 0.5
+    for m in (4, 6, 8):
+        assert by[(f"DRA(N=9,M={m})", 40_000.0)] > 0.95
+    for label in {r.label for r in records} - {"BDR"}:
+        for t in LANDMARKS[1:]:
+            assert by[(label, t)] > by[("BDR", t)]
+
+    print("\n=== Figure 6: LC reliability R(t) ===")
+    print(
+        format_reliability_table(
+            [r for r in records if r.label in (
+                "BDR", "DRA(N=3,M=2)", "DRA(N=6,M=2)", "DRA(N=9,M=2)",
+                "DRA(N=9,M=4)", "DRA(N=9,M=8)",
+            )],
+            time_points=LANDMARKS,
+        )
+    )

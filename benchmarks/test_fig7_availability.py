@@ -1,0 +1,33 @@
+"""Figure 7 regeneration: steady-state LC availability in nines notation.
+
+Paper values (asserted): BDR 9^4 / 9^3 (mu = 1/3 / 1/12); DRA(3, 2)
+9^8 / 9^7; saturation at 9^9 / 9^8 for all M >= 4.
+"""
+
+from repro.analysis import availability_sweep, format_availability_table
+from repro.analysis.sweep import FIG7_CONFIGS
+
+
+def run_sweep():
+    return availability_sweep(configs=FIG7_CONFIGS)
+
+
+def test_fig7_availability_sweep(benchmark):
+    records = benchmark(run_sweep)
+
+    def nines(label, mu):
+        for r in records:
+            if r.label == label and abs(r.x - mu) < 1e-12:
+                return r.get("nines")
+        raise KeyError((label, mu))
+
+    assert nines("BDR", 1 / 3) == 4
+    assert nines("BDR", 1 / 12) == 3
+    assert nines("DRA(N=3,M=2)", 1 / 3) == 8
+    assert nines("DRA(N=3,M=2)", 1 / 12) == 7
+    for m in (4, 6, 8):
+        assert nines(f"DRA(N=9,M={m})", 1 / 3) == 9
+        assert nines(f"DRA(N=9,M={m})", 1 / 12) == 8
+
+    print("\n=== Figure 7: steady-state availability ===")
+    print(format_availability_table(records))

@@ -1,0 +1,35 @@
+"""Figure 8 regeneration: bandwidth available to faulty LCs (N = 6).
+
+Paper shape (asserted): 100% of required bandwidth at L = 15% for every
+X_faulty <= 5; monotone degradation with load and fault count; < 10% at
+the worst case (X_faulty = 5, L = 70%).
+"""
+
+import numpy as np
+
+from repro.analysis import format_performance_table, performance_sweep
+from repro.analysis.sweep import FIG8_LOADS
+
+
+def run_sweep():
+    return performance_sweep(loads=FIG8_LOADS, n=6)
+
+
+def test_fig8_performance_degradation(benchmark):
+    records = benchmark(run_sweep)
+
+    by = {(r.get("load"), r.x): r.value for r in records}
+    for x in range(1, 6):
+        assert by[(0.15, float(x))] == 100.0
+    assert by[(0.70, 5.0)] < 10.0
+    # Monotone in X_faulty for each load.
+    for load in FIG8_LOADS:
+        series = [by[(load, float(x))] for x in range(1, 6)]
+        assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))
+    # Monotone in load for each X_faulty.
+    for x in range(1, 6):
+        col = [by[(load, float(x))] for load in FIG8_LOADS]
+        assert all(b <= a + 1e-9 for a, b in zip(col, col[1:]))
+
+    print("\n=== Figure 8: % of required bandwidth available to faulty LCs (N=6) ===")
+    print(format_performance_table(records))

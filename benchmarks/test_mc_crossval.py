@@ -1,0 +1,32 @@
+"""Monte Carlo cross-validation bench (beyond the paper).
+
+Times the structure-function estimator and prints Markov-vs-MC curves --
+the reproduction's independent check that the Figure 5(b) chain structure
+is right.
+"""
+
+import numpy as np
+
+from repro.core import DRAConfig, dra_reliability
+from repro.montecarlo import structure_function_reliability
+
+TIMES = np.array([10_000.0, 40_000.0, 100_000.0])
+N_SAMPLES = 100_000
+
+
+def run_mc(cfg, seed=0):
+    return structure_function_reliability(
+        cfg, TIMES, N_SAMPLES, np.random.default_rng(seed)
+    )
+
+
+def test_structure_function_crossval(benchmark):
+    cfg = DRAConfig(n=6, m=3, variant="extended")
+    mc = benchmark(run_mc, cfg)
+    exact = dra_reliability(cfg, TIMES).reliability
+    assert mc.within(exact, z=5.0)
+
+    print("\n=== Monte Carlo vs Markov (DRA N=6, M=3, extended variant) ===")
+    print(f"{'t (hours)':>12} {'Markov':>10} {'MC':>10} {'MC stderr':>10}")
+    for t, e, m, s in zip(TIMES, exact, mc.reliability, mc.std_error):
+        print(f"{t:>12.0f} {e:>10.5f} {m:>10.5f} {s:>10.5f}")

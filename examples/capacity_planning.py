@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Capacity planning with the DRA models: a what-if study.
+
+An operator question the paper's models can answer directly: *given a
+target availability SLA and a repair turnaround, how many linecards (and
+how many per protocol) does a DRA router need?*  This example sweeps
+(N, M) for both repair policies, finds the cheapest configuration meeting
+each nines target, and shows the marginal value of faster repair.
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+from repro.core import DRAConfig, RepairPolicy, bdr_availability, dra_availability
+
+
+def cheapest_config(target_nines: int, repair: RepairPolicy) -> DRAConfig | None:
+    """Smallest-N (then smallest-M) configuration meeting the target."""
+    for n in range(3, 13):
+        for m in range(2, n + 1):
+            cfg = DRAConfig(n=n, m=m)
+            if dra_availability(cfg, repair).nines >= target_nines:
+                return cfg
+    return None
+
+
+def main() -> None:
+    policies = [
+        ("3-hour repair (mu=1/3)", RepairPolicy.three_hours()),
+        ("half-day repair (mu=1/12)", RepairPolicy.half_day()),
+    ]
+
+    print("Baseline (BDR, no linecard coverage):")
+    for label, rp in policies:
+        res = bdr_availability(rp)
+        print(
+            f"  {label:<28} {res.notation:>5}  "
+            f"(~{res.downtime_minutes_per_year:.1f} min downtime/yr)"
+        )
+
+    print("\nCheapest DRA configuration per availability target:")
+    print(f"{'target':>8} {'3-hour repair':>16} {'half-day repair':>17}")
+    for target in (5, 6, 7, 8, 9):
+        row = []
+        for _, rp in policies:
+            cfg = cheapest_config(target, rp)
+            row.append(f"N={cfg.n},M={cfg.m}" if cfg else "unreachable")
+        print(f"{'9^' + str(target):>8} {row[0]:>16} {row[1]:>17}")
+
+    print("\nDowntime of the paper's flagship configuration (N=9, M=4):")
+    for label, rp in policies:
+        res = dra_availability(DRAConfig(n=9, m=4), rp)
+        print(
+            f"  {label:<28} {res.notation:>5}  "
+            f"(~{res.downtime_minutes_per_year * 60:.2f} s downtime/yr)"
+        )
+
+    print(
+        "\nReading: a single covering linecard already buys four orders of"
+        "\nmagnitude over BDR; beyond M=4 the EIB itself (not the covering"
+        "\npool) limits availability, which is why the paper reports"
+        "\nsaturation at 9^9 / 9^8."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Fault-injection showdown: a DRA router versus a BDR router.
+
+Runs the *executable* router model (the substrate the paper only
+describes) through an identical fault sequence on both architectures:
+
+1. warm up with the paper's uniform workload,
+2. fail LC0's SRU (BDR loses the whole linecard; DRA detours over the
+   EIB through a covering LC),
+3. additionally fail LC3's PDLU,
+4. repair everything and confirm traffic returns to the fabric path.
+
+Prints a timeline of delivery ratios plus the DRA coverage diagnostics
+(streams established, packets detoured, remote lookups).
+
+Run:
+    python examples/fault_injection_sim.py
+"""
+
+from repro.router import ComponentKind, Router, RouterConfig, RouterMode
+from repro.traffic import wire_uniform_load
+
+LOAD = 0.3
+N_LC = 6
+
+PHASES = [
+    ("healthy warmup", 0.002, None),
+    ("LC0 SRU failed", 0.006, ("fail", 0, ComponentKind.SRU)),
+    ("LC3 PDLU also failed", 0.010, ("fail", 3, ComponentKind.PDLU)),
+    ("all repaired", 0.014, ("repair", None, None)),
+]
+
+
+def apply_event(router: Router, event) -> None:
+    action, lc, kind = event
+    if action == "fail":
+        if router.mode is RouterMode.BDR and kind is ComponentKind.PDLU:
+            kind = ComponentKind.SRU  # BDR cards fuse PD logic into PI units
+        router.inject_fault(lc, kind)
+    else:
+        for lc_id, card in router.linecards.items():
+            for unit in card.units():
+                if not unit.healthy:
+                    router.repair_fault(lc_id, unit.kind)
+
+
+def run(mode: RouterMode) -> None:
+    router = Router(RouterConfig(n_linecards=N_LC, mode=mode, seed=42))
+    wire_uniform_load(router, LOAD)
+    print(f"\n--- {mode.value.upper()} router, N={N_LC}, uniform load {LOAD:.0%} ---")
+    prev_offered = prev_delivered = 0
+    for label, until, event in PHASES:
+        if event is not None:
+            apply_event(router, event)
+        router.run(until=until)
+        offered = router.stats.offered - prev_offered
+        delivered = router.stats.delivered - prev_delivered
+        prev_offered, prev_delivered = router.stats.offered, router.stats.delivered
+        ratio = delivered / offered if offered else 1.0
+        print(f"  {label:<24} delivery ratio {ratio:7.2%}")
+    print("  totals:")
+    for line in router.stats.summary().splitlines():
+        print(f"    {line}")
+
+
+def main() -> None:
+    run(RouterMode.DRA)
+    run(RouterMode.BDR)
+    print(
+        "\nThe DRA router keeps near-100% delivery through both faults by"
+        "\nchanneling traffic over the EIB; the BDR router silently drops"
+        "\neverything to or from a linecard with any failed component."
+    )
+
+
+if __name__ == "__main__":
+    main()

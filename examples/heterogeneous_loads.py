@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Beyond Figure 8: degradation under skewed high loads.
+
+The paper's performance analysis assumes one uniform load at every
+linecard.  This example studies a busy router with a realistic mix --
+two hot cards, two warm, two cool -- three ways:
+
+1. the heterogeneous analytic model (which single fault hurts most?),
+2. performability (expected delivered fraction over the router's life), and
+3. the executable router under a hotspot traffic matrix with a fault on
+   a hot card, cross-checking the analytic expectation.
+
+Run:
+    python examples/heterogeneous_loads.py
+"""
+
+import numpy as np
+
+from repro.core.hetero import HeterogeneousPerformanceModel
+from repro.core.parameters import RepairPolicy
+from repro.core.performability import PerformabilityModel
+from repro.core.performance import PerformanceModel
+from repro.router import ComponentKind, Router, RouterConfig
+from repro.traffic import TrafficMatrix
+from repro.traffic.generators import PoissonSource
+
+#: Analytic study: a small, hot chassis where the headroom pool binds.
+HOT_LOADS = (0.90, 0.90, 0.70, 0.70)
+#: DES study: a larger mix (the DES covers each fault with ONE LC, the
+#: analysis pools headroom across all of them -- its stated lower bound).
+LOADS = (0.70, 0.70, 0.45, 0.45, 0.35, 0.35)
+
+
+def analytic_study() -> None:
+    model = HeterogeneousPerformanceModel(HOT_LOADS)
+    print("Analytic single-fault outcomes (hot chassis, loads:",
+          ", ".join(f"{l:.0%}" for l in HOT_LOADS), "):")
+    print(f"{'faulty LC':>10} {'load':>6} {'required':>9} {'delivered':>10} {'service':>8}")
+    for lc in range(len(HOT_LOADS)):
+        d = model.degradation([lc])
+        print(
+            f"{lc:>10} {HOT_LOADS[lc]:>6.0%} {d.required[0]:>8.1f}G "
+            f"{d.delivered[0]:>9.1f}G {d.aggregate_percent:>7.1f}%"
+        )
+    worst_lc, worst_pct = model.worst_single_fault()
+    print(f"  worst single fault: LC{worst_lc} ({HOT_LOADS[worst_lc]:.0%} load) "
+          f"at {worst_pct:.1f}% of required -- losing a *cooler* card is"
+          "\n  worse than losing the hottest one: the binding quantity is the"
+          "\n  headroom of the survivors, not the faulty card's own demand.\n")
+
+    print("Double faults on the two hot cards vs two cool cards:")
+    hot = model.degradation([0, 1])
+    cool = model.degradation([2, 3])
+    print(f"  hot pair : {hot.aggregate_percent:6.1f}% of required")
+    print(f"  cool pair: {cool.aggregate_percent:6.1f}% of required\n")
+
+
+def performability_study() -> None:
+    perf = PerformabilityModel(PerformanceModel(n=6), RepairPolicy.half_day())
+    res = perf.steady_state(0.65)  # the mean of the skewed loads
+    print("Performability at the mean load (65%, mu=1/12):")
+    print(f"  P(any LC down)            {res.any_fault_probability:.2e}")
+    shortfall = 100.0 - res.expected_degradation_percent
+    print(f"  expected delivery shortfall {shortfall:.2e}% of required\n")
+
+
+def des_study() -> None:
+    router = Router(RouterConfig(n_linecards=6, seed=31))
+    matrix = TrafficMatrix(_skewed_demands())
+    for lc in range(6):
+        router.set_offered_load(lc, matrix.offered_at(lc))
+    for i, flow in enumerate(matrix.flows(500)):
+        PoissonSource(router, flow, router.rng.stream(f"t{i}")).start()
+    router.run(until=0.001)
+    router.inject_fault(0, ComponentKind.SRU)  # a hot card fails
+    router.run(until=0.005)
+    print("Executable router, hot card (70% load) SRU fault:")
+    print(f"  delivery ratio      {router.stats.delivery_ratio:.2%}")
+    print(f"  covered deliveries  {router.stats.covered_deliveries}")
+    util = router.linecards[1].sru.utilization(router.engine.now)
+    print(f"  surviving hot card SRU utilization {util:.0%}")
+    print(
+        "  note: the DES covers each fault with ONE LC (a 7 Gbps stream"
+        "\n  needs one card with 7 Gbps of headroom), while the Section 5.3"
+        "\n  analysis pools headroom across all survivors -- the paper calls"
+        "\n  its own figure a lower bound; at this load skew the single-"
+        "\n  coverer constraint is what actually binds."
+    )
+
+
+def _skewed_demands() -> np.ndarray:
+    n = len(LOADS)
+    d = np.zeros((n, n))
+    for src, load in enumerate(LOADS):
+        total = load * 10e9
+        for dst in range(n):
+            if dst != src:
+                d[src, dst] = total / (n - 1)
+    return d
+
+
+def main() -> None:
+    analytic_study()
+    performability_study()
+    des_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""DRA applied to a large metro switch (the paper's closing remark).
+
+"The DRA design can also be applied to large-scale metro switches, which
+have a router-like LC-based architecture."  This example works that idea
+through end to end for a 16-slot metro chassis terminating four L2
+protocols (4 linecards each):
+
+1. dependability of one linecard (M = 4, N = 16) against the paper's
+   router configurations,
+2. economics against 1:1 sparing (which needs four spare LCs here -- one
+   per protocol -- so DRA's advantage widens),
+3. behavioural check on the executable router with the 4-protocol mix
+   and a PDLU fault, confirming protocol-constrained coverage, and
+4. graceful degradation (Figure 8 style) at metro load levels.
+
+Run:
+    python examples/metro_switch.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    DRAConfig,
+    RepairPolicy,
+    compare_designs,
+    dra_availability,
+    dra_reliability,
+    mttf_improvement,
+)
+from repro.core.performance import PerformanceModel
+from repro.router import ComponentKind, Router, RouterConfig
+from repro.router.packets import Protocol
+from repro.traffic import wire_uniform_load
+
+N_SLOTS = 16
+PROTOCOLS = (
+    Protocol.ETHERNET,
+    Protocol.SONET_POS,
+    Protocol.ATM,
+    Protocol.FRAME_RELAY,
+)
+
+
+def main() -> None:
+    cfg = DRAConfig(n=N_SLOTS, m=N_SLOTS // len(PROTOCOLS))
+    repair = RepairPolicy.half_day()
+
+    print(f"Metro switch: {N_SLOTS} slots, {len(PROTOCOLS)} protocols "
+          f"({cfg.m} linecards each), repairs within half a day\n")
+
+    # 1. Dependability.
+    t = np.array([40_000.0, 100_000.0])
+    rel = dra_reliability(cfg, t)
+    avail = dra_availability(cfg, repair)
+    print("Linecard dependability:")
+    print(f"  R(40,000 h) = {rel.reliability[0]:.4f}, "
+          f"R(100,000 h) = {rel.reliability[1]:.4f}")
+    print(f"  steady-state availability {avail.notation} "
+          f"(~{avail.downtime_minutes_per_year * 60:.2f} s downtime/yr)")
+    print(f"  MTTF improvement over an unprotected card: "
+          f"{mttf_improvement(cfg):.2f}x\n")
+
+    # 2. Economics.
+    print("Cost vs availability (LC cost = 1.0):")
+    for d in compare_designs(N_SLOTS, len(PROTOCOLS), repair):
+        print(f"  {d.label:<24} cost {d.cost:6.2f}   A = {d.availability:.12f}")
+    print()
+
+    # 3. Executable check with the protocol mix.
+    router = Router(
+        RouterConfig(
+            n_linecards=N_SLOTS,
+            protocols=PROTOCOLS,
+            eib_data_bps=40e9,
+            seed=11,
+        )
+    )
+    wire_uniform_load(router, 0.25)
+    router.run(until=0.0005)
+    victim = 1  # a SONET card
+    router.inject_fault(victim, ComponentKind.PDLU)
+    router.run(until=0.002)
+    stream = router.protocol.stream(("ingress", victim, ComponentKind.PDLU))
+    coverer = stream.covering_lc if stream else None
+    print("Executable-model check (PDLU fault on a SONET card):")
+    print(f"  delivery ratio {router.stats.delivery_ratio:.2%}, "
+          f"covered deliveries {router.stats.covered_deliveries}")
+    if coverer is not None:
+        print(f"  covering LC = {coverer} "
+              f"({router.linecards[coverer].protocol.value}) -- protocol match "
+              f"{'OK' if router.linecards[coverer].protocol is PROTOCOLS[1] else 'VIOLATION'}")
+    print()
+
+    # 4. Graceful degradation at metro loads.
+    model = PerformanceModel(n=N_SLOTS)
+    print("Bandwidth available to faulty LCs (% of required):")
+    print(f"{'X_faulty':>9} {'L=25%':>8} {'L=50%':>8} {'L=70%':>8}")
+    for x in (1, 2, 4, 8, 12, 15):
+        print(
+            f"{x:>9} {model.degradation_percent(x, 0.25):>7.1f}% "
+            f"{model.degradation_percent(x, 0.50):>7.1f}% "
+            f"{model.degradation_percent(x, 0.70):>7.1f}%"
+        )
+    print(
+        "\nReading: at metro scale the bigger covering pool keeps full"
+        "\nservice deeper into multi-failure scenarios than the N=6 router"
+        "\nof Figure 8, while 1:1 sparing costs four extra linecards."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's three headline results in ~40 lines.
+
+Builds the DRA and BDR dependability models with the paper's failure
+rates and prints (1) the Figure 6 reliability comparison, (2) the
+Figure 7 availability nines, and (3) a Figure 8 degradation row.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    DRAConfig,
+    RepairPolicy,
+    bdr_availability,
+    bdr_reliability,
+    dra_availability,
+    dra_reliability,
+)
+from repro.core.performance import PerformanceModel
+
+
+def main() -> None:
+    # --- Reliability (Figure 6) ------------------------------------------
+    hours = np.array([10_000.0, 40_000.0, 100_000.0])
+    bdr = bdr_reliability(hours)
+    dra_small = dra_reliability(DRAConfig(n=3, m=2), hours)  # one covering LC
+    dra_big = dra_reliability(DRAConfig(n=9, m=4), hours)
+
+    print("LC reliability R(t):")
+    print(f"{'t (hours)':>12} {'BDR':>8} {'DRA 3/2':>9} {'DRA 9/4':>9}")
+    for k, t in enumerate(hours):
+        print(
+            f"{t:>12.0f} {bdr.reliability[k]:>8.4f} "
+            f"{dra_small.reliability[k]:>9.4f} {dra_big.reliability[k]:>9.4f}"
+        )
+
+    # --- Availability (Figure 7) ------------------------------------------
+    print("\nSteady-state availability (paper notation):")
+    for rp, label in ((RepairPolicy.three_hours(), "mu=1/3"),
+                      (RepairPolicy.half_day(), "mu=1/12")):
+        row = [
+            f"BDR {bdr_availability(rp).notation}",
+            f"DRA(3,2) {dra_availability(DRAConfig(n=3, m=2), rp).notation}",
+            f"DRA(9,4) {dra_availability(DRAConfig(n=9, m=4), rp).notation}",
+        ]
+        print(f"  {label:>8}: " + "   ".join(row))
+
+    # --- Performance under faults (Figure 8) -------------------------------
+    model = PerformanceModel(n=6)
+    print("\nBandwidth available to faulty LCs (N=6, % of required):")
+    print(f"{'X_faulty':>9} {'L=15%':>8} {'L=50%':>8} {'L=70%':>8}")
+    for x in range(1, 6):
+        print(
+            f"{x:>9} {model.degradation_percent(x, 0.15):>7.1f}% "
+            f"{model.degradation_percent(x, 0.50):>7.1f}% "
+            f"{model.degradation_percent(x, 0.70):>7.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Verifying nine nines by simulation: rare-event Monte Carlo.
+
+The paper's Figure 7 reports availabilities like 9^9 -- an unavailability
+of under 1e-9.  A naive simulation would need on the order of 1e11
+failure/repair cycles to *observe* a single LC outage at that level; this
+example first demonstrates that futility, then applies balanced failure
+biasing (importance sampling over regenerative cycles) to verify the
+exact stationary results in seconds.
+
+Run:
+    python examples/rare_event_validation.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import DRAConfig, RepairPolicy, dra_availability
+from repro.core.availability import build_dra_availability_chain
+from repro.core.states import AllHealthy, Failed
+from repro.montecarlo import (
+    sample_trajectory,
+    unavailability_importance_sampling,
+)
+
+
+def naive_attempt(chain, horizon_hours: float, rng) -> float:
+    """Plain trajectory sampling: count downtime (it will find none)."""
+    traj = sample_trajectory(chain, horizon_hours, rng)
+    failed = chain.index_of(Failed)
+    entry = traj.times
+    exit_ = np.append(traj.times[1:], horizon_hours)
+    return float(
+        sum(t1 - t0 for s, t0, t1 in zip(traj.states, entry, exit_) if s == failed)
+    )
+
+
+def main() -> None:
+    cfg = DRAConfig(n=9, m=4)
+    repair = RepairPolicy.three_hours()
+    chain = build_dra_availability_chain(cfg, repair)
+    exact_u = 1.0 - dra_availability(cfg, repair).availability
+    print(f"Configuration: DRA N={cfg.n}, M={cfg.m}, mu=1/3")
+    print(f"Exact unavailability (stationary solve): {exact_u:.3e}\n")
+
+    rng = np.random.default_rng(0)
+    horizon = 1_000_000.0  # over a century of simulated operation
+    t0 = time.time()
+    downtime = naive_attempt(chain, horizon, rng)
+    print(
+        f"Naive simulation of {horizon:.0f} hours "
+        f"({horizon / 8766:.0f} years): observed downtime = {downtime:.1f} h "
+        f"({time.time() - t0:.1f}s)"
+    )
+    print(
+        "  -> expected downtime at 1e-9 unavailability is ~0.001 h per"
+        " century;\n     the naive estimator returns 0 almost surely."
+        " It cannot check Figure 7.\n"
+    )
+
+    t0 = time.time()
+    res = unavailability_importance_sampling(
+        chain, Failed, n_cycles=40_000, rng=np.random.default_rng(1)
+    )
+    elapsed = time.time() - t0
+    print("Balanced failure biasing over 40,000 regenerative cycles:")
+    print(f"  estimate      {res.unavailability:.3e}  (exact {exact_u:.3e})")
+    print(f"  std error     {res.std_error:.1e}")
+    print(f"  rare-state hit rate under biasing: {res.hit_fraction:.1%}")
+    print(f"  wall time     {elapsed:.1f}s")
+    print(f"  consistent with exact at 5 sigma: {res.consistent_with(exact_u)}")
+
+    print("\nAcross the paper's quoted configurations:")
+    print(f"{'config':>14} {'mu':>6} {'exact':>11} {'IS estimate':>12} {'rel err':>8}")
+    for (n, m), rp, label in [
+        ((3, 2), RepairPolicy.three_hours(), "1/3"),
+        ((3, 2), RepairPolicy.half_day(), "1/12"),
+        ((9, 4), RepairPolicy.half_day(), "1/12"),
+    ]:
+        c = DRAConfig(n=n, m=m)
+        ch = build_dra_availability_chain(c, rp)
+        exact = 1.0 - dra_availability(c, rp).availability
+        est = unavailability_importance_sampling(
+            ch, Failed, 30_000, np.random.default_rng(2)
+        )
+        rel = abs(est.unavailability - exact) / exact
+        print(
+            f"{f'N={n},M={m}':>14} {label:>6} {exact:>11.3e} "
+            f"{est.unavailability:>12.3e} {rel:>7.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

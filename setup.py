@@ -1,0 +1,5 @@
+"""Legacy shim: enables `pip install -e .` on environments whose setuptools
+predates PEP-660 editable wheels (the offline image ships no `wheel`)."""
+from setuptools import setup
+
+setup()

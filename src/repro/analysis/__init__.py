@@ -1,0 +1,28 @@
+"""Sweeps, paper-style tables and export helpers."""
+
+from repro.analysis.sweep import (
+    availability_sweep,
+    performance_sweep,
+    reliability_sweep,
+    SweepRecord,
+)
+from repro.analysis.tables import (
+    format_availability_table,
+    format_performance_table,
+    format_reliability_table,
+    format_series,
+)
+from repro.analysis.export import chain_to_networkx, records_to_csv
+
+__all__ = [
+    "SweepRecord",
+    "reliability_sweep",
+    "availability_sweep",
+    "performance_sweep",
+    "format_reliability_table",
+    "format_availability_table",
+    "format_performance_table",
+    "format_series",
+    "chain_to_networkx",
+    "records_to_csv",
+]

@@ -1,0 +1,86 @@
+"""Fixed-width table formatting for the paper's figures.
+
+These printers turn sweep records into the rows/series the paper plots,
+so a bench run visually reproduces each figure in the terminal.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.analysis.sweep import SweepRecord
+
+__all__ = [
+    "format_series",
+    "format_reliability_table",
+    "format_availability_table",
+    "format_performance_table",
+]
+
+
+def _group(records: Sequence[SweepRecord]) -> dict[str, list[SweepRecord]]:
+    grouped: dict[str, list[SweepRecord]] = defaultdict(list)
+    for rec in records:
+        grouped[rec.label].append(rec)
+    return grouped
+
+
+def format_series(
+    records: Sequence[SweepRecord],
+    *,
+    x_name: str = "x",
+    value_format: str = "{:.4f}",
+    x_format: str = "{:g}",
+) -> str:
+    """Generic series table: one row per x, one column per label."""
+    grouped = _group(records)
+    labels = list(grouped)
+    xs = sorted({rec.x for rec in records})
+    by_label_x = {
+        (rec.label, rec.x): rec.value for rec in records
+    }
+    width = max(12, max(len(lb) for lb in labels) + 2)
+    header = f"{x_name:>12}" + "".join(f"{lb:>{width}}" for lb in labels)
+    lines = [header]
+    for x in xs:
+        cells = []
+        for lb in labels:
+            v = by_label_x.get((lb, x))
+            cells.append(
+                f"{value_format.format(v):>{width}}" if v is not None else " " * width
+            )
+        lines.append(f"{x_format.format(x):>12}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_reliability_table(
+    records: Sequence[SweepRecord], *, time_points: Sequence[float] | None = None
+) -> str:
+    """Figure 6 as a table: R(t) per configuration at selected hours."""
+    if time_points is not None:
+        keep = set(float(t) for t in time_points)
+        records = [r for r in records if r.x in keep]
+    return format_series(records, x_name="t (hours)", x_format="{:.0f}")
+
+
+def format_availability_table(records: Sequence[SweepRecord]) -> str:
+    """Figure 7 as a table: availability and nines per (config, mu)."""
+    lines = [f"{'config':>16} {'mu':>8} {'availability':>18} {'paper notation':>16}"]
+    for rec in records:
+        mu = rec.x
+        mu_str = "1/3" if abs(mu - 1 / 3) < 1e-12 else (
+            "1/12" if abs(mu - 1 / 12) < 1e-12 else f"{mu:.4f}"
+        )
+        lines.append(
+            f"{rec.label:>16} {mu_str:>8} {rec.value:>18.12f} "
+            f"{str(rec.get('notation', '')):>16}"
+        )
+    return "\n".join(lines)
+
+
+def format_performance_table(records: Sequence[SweepRecord]) -> str:
+    """Figure 8 as a table: % required bandwidth vs X_faulty per load."""
+    return format_series(
+        records, x_name="X_faulty", value_format="{:8.1f}%", x_format="{:.0f}"
+    )

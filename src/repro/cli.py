@@ -1,0 +1,229 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage::
+
+    python -m repro fig6 [--points t1,t2,...] [--csv out.csv]
+    python -m repro fig7 [--configs 3:2,9:4] [--csv out.csv]
+    python -m repro fig8 [--n 6] [--loads 0.15,0.7] [--b-bus 20]
+    python -m repro mttf [--configs 3:2,9:4]
+    python -m repro cost [--n 8] [--protocols 2]
+    python -m repro importance [--n 9] [--m 4]
+    python -m repro validate [--cycles 30000] [--seed 0]
+    python -m repro report
+
+``validate`` runs the rare-event importance-sampling check against the
+exact Figure 7 values and exits nonzero on disagreement -- usable as a
+CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import (
+    availability_sweep,
+    format_availability_table,
+    format_performance_table,
+    format_reliability_table,
+    performance_sweep,
+    records_to_csv,
+    reliability_sweep,
+)
+from repro.analysis.sweep import FIG6_CONFIGS
+from repro.core import (
+    DRAConfig,
+    RepairPolicy,
+    bdr_mttf,
+    compare_designs,
+    dra_availability,
+    dra_mttf,
+    unavailability_elasticities,
+)
+
+__all__ = ["main"]
+
+
+def _parse_configs(text: str) -> list[tuple[int, int]]:
+    """Parse 'N:M,N:M' pairs."""
+    out = []
+    for chunk in text.split(","):
+        n_str, m_str = chunk.split(":")
+        out.append((int(n_str), int(m_str)))
+    return out
+
+
+def _parse_floats(text: str) -> list[float]:
+    return [float(x) for x in text.split(",")]
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    points = (
+        _parse_floats(args.points)
+        if args.points
+        else [0.0, 20_000.0, 40_000.0, 60_000.0, 80_000.0, 100_000.0]
+    )
+    configs = _parse_configs(args.configs) if args.configs else FIG6_CONFIGS
+    recs = reliability_sweep(
+        times=np.asarray(points), configs=configs, variant=args.variant
+    )
+    if args.csv:
+        records_to_csv(recs, args.csv)
+        print(f"wrote {args.csv}")
+    print(format_reliability_table(recs, time_points=points))
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    configs = _parse_configs(args.configs) if args.configs else FIG6_CONFIGS
+    recs = availability_sweep(configs=configs, variant=args.variant)
+    if args.csv:
+        records_to_csv(recs, args.csv)
+        print(f"wrote {args.csv}")
+    print(format_availability_table(recs))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    loads = _parse_floats(args.loads) if args.loads else [0.15, 0.30, 0.50, 0.70]
+    recs = performance_sweep(loads=loads, n=args.n, b_bus=args.b_bus)
+    if args.csv:
+        records_to_csv(recs, args.csv)
+        print(f"wrote {args.csv}")
+    print(format_performance_table(recs))
+    return 0
+
+
+def _cmd_mttf(args: argparse.Namespace) -> int:
+    configs = _parse_configs(args.configs) if args.configs else [(3, 2), (9, 4)]
+    base = bdr_mttf()
+    print(f"{'config':>14} {'MTTF (h)':>12} {'vs BDR':>8}")
+    print(f"{'BDR':>14} {base.hours:>12.0f} {'1.00x':>8}")
+    for n, m in configs:
+        res = dra_mttf(DRAConfig(n=n, m=m))
+        print(f"{res.label:>14} {res.hours:>12.0f} {res.hours / base.hours:>7.2f}x")
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    for d in compare_designs(args.n, args.protocols):
+        print(f"{d.label:<24} cost {d.cost:6.2f}   A = {d.availability:.12f}")
+    return 0
+
+
+def _cmd_importance(args: argparse.Namespace) -> int:
+    for r in unavailability_elasticities(DRAConfig(n=args.n, m=args.m)):
+        print(f"{r.field:>8}  elasticity {r.elasticity:+6.3f}")
+    return 0
+
+
+def _cmd_claims(_args: argparse.Namespace) -> int:
+    from repro.analysis.claims import check_claims
+
+    results = check_claims()
+    width = max(len(r.claim.claim_id) for r in results)
+    for r in results:
+        mark = "PASS" if r.passed else "FAIL"
+        print(f"[{mark}] {r.claim.claim_id:<{width}}  {r.detail}")
+    failed = [r for r in results if not r.passed]
+    print(f"\n{len(results) - len(failed)}/{len(results)} claims hold")
+    return 1 if failed else 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.availability import build_dra_availability_chain
+    from repro.core.states import Failed
+    from repro.montecarlo import unavailability_importance_sampling
+
+    ok = True
+    for (n, m), repair, mu_label in [
+        ((3, 2), RepairPolicy.three_hours(), "1/3"),
+        ((3, 2), RepairPolicy.half_day(), "1/12"),
+    ]:
+        cfg = DRAConfig(n=n, m=m)
+        chain = build_dra_availability_chain(cfg, repair)
+        exact = 1.0 - dra_availability(cfg, repair).availability
+        res = unavailability_importance_sampling(
+            chain, Failed, args.cycles, np.random.default_rng(args.seed)
+        )
+        good = res.consistent_with(exact, z=6.0)
+        ok = ok and good
+        print(
+            f"DRA N={n} M={m} mu={mu_label}: exact {exact:.3e} "
+            f"IS {res.unavailability:.3e} +/- {res.std_error:.1e} "
+            f"{'OK' if good else 'MISMATCH'}"
+        )
+    return 0 if ok else 1
+
+
+def _cmd_report(_args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    print(generate_report())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate DRA (ICPP 2004) paper artifacts."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig6", help="Figure 6 reliability table")
+    p.add_argument("--points", help="comma-separated hours")
+    p.add_argument("--configs", help="N:M pairs, e.g. 3:2,9:4")
+    p.add_argument("--variant", default="paper",
+                   choices=["paper", "strict", "extended"],
+                   help="model-interpretation variant (see DESIGN.md)")
+    p.add_argument("--csv", help="also write records to CSV")
+    p.set_defaults(func=_cmd_fig6)
+
+    p = sub.add_parser("fig7", help="Figure 7 availability table")
+    p.add_argument("--configs", help="N:M pairs")
+    p.add_argument("--variant", default="paper",
+                   choices=["paper", "strict", "extended"],
+                   help="model-interpretation variant (see DESIGN.md)")
+    p.add_argument("--csv")
+    p.set_defaults(func=_cmd_fig7)
+
+    p = sub.add_parser("fig8", help="Figure 8 degradation table")
+    p.add_argument("--n", type=int, default=6)
+    p.add_argument("--loads", help="comma-separated loads in [0,1)")
+    p.add_argument("--b-bus", type=float, default=None, dest="b_bus")
+    p.add_argument("--csv")
+    p.set_defaults(func=_cmd_fig8)
+
+    p = sub.add_parser("mttf", help="MTTF table")
+    p.add_argument("--configs", help="N:M pairs")
+    p.set_defaults(func=_cmd_mttf)
+
+    p = sub.add_parser("cost", help="cost-effectiveness comparison")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--protocols", type=int, default=2)
+    p.set_defaults(func=_cmd_cost)
+
+    p = sub.add_parser("importance", help="rate-elasticity tornado")
+    p.add_argument("--n", type=int, default=9)
+    p.add_argument("--m", type=int, default=4)
+    p.set_defaults(func=_cmd_importance)
+
+    p = sub.add_parser("claims", help="check every quoted paper claim")
+    p.set_defaults(func=_cmd_claims)
+
+    p = sub.add_parser("validate", help="rare-event MC check of Figure 7")
+    p.add_argument("--cycles", type=int, default=30_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("report", help="full Markdown evaluation report")
+    p.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

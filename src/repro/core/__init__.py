@@ -1,0 +1,100 @@
+"""The paper's primary contribution: DRA dependability models.
+
+This subpackage implements Section 5 of the paper exactly:
+
+* :mod:`~repro.core.parameters` -- the component failure rates of Section 5
+  and the (N, M) router configuration.
+* :mod:`~repro.core.states` -- the typed state space of the Figure 5(b)
+  Markov model.
+* :mod:`~repro.core.reliability` -- BDR (Fig. 5a) and DRA (Fig. 5b)
+  reliability chains and ``R(t)`` evaluation (reproduces Figure 6).
+* :mod:`~repro.core.availability` -- repair-augmented chains and
+  steady-state availability (reproduces Figure 7).
+* :mod:`~repro.core.performance` -- the Section 5.3 bandwidth-degradation
+  model (reproduces Figure 8).
+* :mod:`~repro.core.nines` -- the paper's "9^x" availability notation.
+"""
+
+from repro.core.parameters import FailureRates, DRAConfig, RepairPolicy
+from repro.core.states import (
+    AllHealthy,
+    InterZoneState,
+    UAPIState,
+    UAPDState,
+    BusDown,
+    Failed,
+)
+from repro.core.reliability import (
+    build_bdr_reliability_chain,
+    build_dra_reliability_chain,
+    bdr_reliability,
+    dra_reliability,
+    ReliabilityResult,
+)
+from repro.core.availability import (
+    build_bdr_availability_chain,
+    build_dra_availability_chain,
+    bdr_availability,
+    dra_availability,
+    AvailabilityResult,
+)
+from repro.core.performance import (
+    PerformanceModel,
+    bandwidth_to_faulty,
+    degradation_series,
+)
+from repro.core.nines import count_nines, nines_notation, from_nines
+from repro.core.mttf import MTTFResult, bdr_mttf, dra_mttf, mttf_improvement
+from repro.core.importance import (
+    RateImportance,
+    reliability_rate_sensitivity,
+    unavailability_elasticities,
+)
+from repro.core.cost import CostModel, CostedDesign, compare_designs
+from repro.core.hetero import HeterogeneousPerformanceModel, HeteroDegradation
+from repro.core.performability import PerformabilityModel, PerformabilityResult
+from repro.core.interval import bdr_interval_availability, dra_interval_availability
+
+__all__ = [
+    "FailureRates",
+    "DRAConfig",
+    "RepairPolicy",
+    "AllHealthy",
+    "InterZoneState",
+    "UAPIState",
+    "UAPDState",
+    "BusDown",
+    "Failed",
+    "build_bdr_reliability_chain",
+    "build_dra_reliability_chain",
+    "bdr_reliability",
+    "dra_reliability",
+    "ReliabilityResult",
+    "build_bdr_availability_chain",
+    "build_dra_availability_chain",
+    "bdr_availability",
+    "dra_availability",
+    "AvailabilityResult",
+    "PerformanceModel",
+    "bandwidth_to_faulty",
+    "degradation_series",
+    "count_nines",
+    "nines_notation",
+    "from_nines",
+    "MTTFResult",
+    "bdr_mttf",
+    "dra_mttf",
+    "mttf_improvement",
+    "RateImportance",
+    "unavailability_elasticities",
+    "reliability_rate_sensitivity",
+    "CostModel",
+    "CostedDesign",
+    "compare_designs",
+    "HeterogeneousPerformanceModel",
+    "HeteroDegradation",
+    "PerformabilityModel",
+    "PerformabilityResult",
+    "bdr_interval_availability",
+    "dra_interval_availability",
+]

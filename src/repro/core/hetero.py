@@ -1,0 +1,130 @@
+"""Heterogeneous-load generalization of the Section 5.3 model.
+
+The paper assumes one uniform load ``L`` at every LC.  Real routers run
+mixed utilizations, and the paper's own B_prom machinery (Section 4)
+already defines how unequal coverage demands share the EIB -- so the
+generalization is fully determined by the paper's rules:
+
+* each healthy LC ``i`` offers headroom ``psi_i = c_i (1 - L_i)``;
+* each faulty LC ``j`` requires ``L_j c_j``;
+* aggregate offered headroom is a shared pool (any healthy LC can cover
+  any coverable fault at the analysis level, M = N as in Figure 8), and
+  requirements scale back proportionally when the pool or the EIB binds
+  -- exactly the ``B_prom`` rule applied to requirements.
+
+With equal loads this reduces to the paper's model (a property test pins
+that).  The module answers questions Figure 8 cannot: *which* faulty LC
+suffers, and how skew (a few hot cards) changes the degradation story.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.performance import promised_bandwidth
+
+__all__ = ["HeterogeneousPerformanceModel", "HeteroDegradation"]
+
+
+@dataclass(frozen=True)
+class HeteroDegradation:
+    """Outcome of one heterogeneous coverage scenario."""
+
+    #: per-faulty-LC delivered bandwidth (Gbps), ordered like ``faulty``
+    delivered: np.ndarray
+    #: per-faulty-LC required bandwidth (Gbps)
+    required: np.ndarray
+    faulty: tuple[int, ...]
+
+    @property
+    def percent(self) -> np.ndarray:
+        """Per-faulty-LC percentage of required bandwidth."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pct = np.where(self.required > 0, 100.0 * self.delivered / self.required, 100.0)
+        return pct
+
+    @property
+    def aggregate_percent(self) -> float:
+        """Total delivered over total required (the router-level view)."""
+        total_req = float(self.required.sum())
+        if total_req == 0.0:
+            return 100.0
+        return 100.0 * float(self.delivered.sum()) / total_req
+
+
+class HeterogeneousPerformanceModel:
+    """Per-LC loads and capacities; Figure 8 generalized."""
+
+    def __init__(
+        self,
+        loads: Sequence[float],
+        capacities: Sequence[float] | float = 10.0,
+        *,
+        b_bus: float | None = None,
+    ) -> None:
+        self.loads = np.asarray(loads, dtype=np.float64)
+        n = self.loads.size
+        if n < 2:
+            raise ValueError("need at least two linecards")
+        if np.any((self.loads < 0.0) | (self.loads >= 1.0)):
+            raise ValueError("loads must lie in [0, 1)")
+        if np.isscalar(capacities):
+            self.capacities = np.full(n, float(capacities))
+        else:
+            self.capacities = np.asarray(capacities, dtype=np.float64)
+            if self.capacities.shape != (n,):
+                raise ValueError("capacities must match loads in length")
+        if np.any(self.capacities <= 0.0):
+            raise ValueError("capacities must be positive")
+        self.b_bus = float(self.capacities.sum()) if b_bus is None else float(b_bus)
+        if self.b_bus <= 0.0:
+            raise ValueError("b_bus must be positive")
+
+    @property
+    def n(self) -> int:
+        """Number of linecards."""
+        return self.loads.size
+
+    def degradation(self, faulty: Iterable[int]) -> HeteroDegradation:
+        """Coverage outcome when the LCs in ``faulty`` are down.
+
+        Requirements scale back proportionally (the B_prom rule) against
+        two shared constraints: the aggregate healthy headroom and the
+        EIB capacity.
+        """
+        faulty = tuple(sorted(set(faulty)))
+        if any(not 0 <= f < self.n for f in faulty):
+            raise ValueError(f"faulty indices out of range: {faulty}")
+        if len(faulty) >= self.n:
+            raise ValueError("at least one LC must stay healthy to cover")
+        required = self.loads[list(faulty)] * self.capacities[list(faulty)]
+        healthy = [i for i in range(self.n) if i not in faulty]
+        pool = float(
+            ((1.0 - self.loads[healthy]) * self.capacities[healthy]).sum()
+        )
+        # Two successive proportional scale-backs commute into one with
+        # the binding constraint: B_prom against min(pool, b_bus).
+        delivered = promised_bandwidth(required, min(pool, self.b_bus))
+        return HeteroDegradation(
+            delivered=delivered, required=required, faulty=faulty
+        )
+
+    def worst_single_fault(self) -> tuple[int, float]:
+        """The faulty LC with the lowest service percentage over all
+        single-fault scenarios, with that percentage."""
+        worst_lc, worst_pct = -1, float("inf")
+        for lc in range(self.n):
+            pct = self.degradation([lc]).aggregate_percent
+            if pct < worst_pct:
+                worst_lc, worst_pct = lc, pct
+        return worst_lc, worst_pct
+
+    @classmethod
+    def uniform(
+        cls, n: int, load: float, c_lc: float = 10.0, b_bus: float | None = None
+    ) -> "HeterogeneousPerformanceModel":
+        """The paper's uniform case (equivalence is property-tested)."""
+        return cls([load] * n, c_lc, b_bus=b_bus)

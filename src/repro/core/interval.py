@@ -1,0 +1,54 @@
+"""Interval (mission) availability of a linecard.
+
+The paper reports only steady-state availability; an operator signing an
+SLA over a finite window cares about **interval availability** -- the
+expected fraction of ``[0, t]`` the LC is serviceable -- and a mission
+planner cares about **mission reliability** over a deployment window.
+Both drop out of the repairable chains via the Markov reward machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.availability import (
+    build_bdr_availability_chain,
+    build_dra_availability_chain,
+)
+from repro.core.parameters import DRAConfig, FailureRates, RepairPolicy
+from repro.core.reliability import BDR_WORKING
+from repro.core.states import AllHealthy, Failed
+from repro.markov import interval_availability as _interval_availability
+
+__all__ = ["bdr_interval_availability", "dra_interval_availability"]
+
+
+def bdr_interval_availability(
+    times: np.ndarray,
+    repair: RepairPolicy | None = None,
+    rates: FailureRates | None = None,
+) -> np.ndarray:
+    """Expected uptime fraction of a BDR linecard over ``[0, t]``.
+
+    Starts at 1.0 (launched healthy) and decays toward the steady-state
+    availability.
+    """
+    chain = build_bdr_availability_chain(repair, rates)
+    operational = [s for s in chain.states if s != Failed]
+    return _interval_availability(
+        chain, operational, times, chain.initial_distribution(BDR_WORKING)
+    )
+
+
+def dra_interval_availability(
+    config: DRAConfig,
+    times: np.ndarray,
+    repair: RepairPolicy | None = None,
+    rates: FailureRates | None = None,
+) -> np.ndarray:
+    """Expected uptime fraction of a DRA linecard over ``[0, t]``."""
+    chain = build_dra_availability_chain(config, repair, rates)
+    operational = [s for s in chain.states if s != Failed]
+    return _interval_availability(
+        chain, operational, times, chain.initial_distribution(AllHealthy)
+    )

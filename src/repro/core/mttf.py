@@ -1,0 +1,56 @@
+"""Mean time to failure of a linecard under BDR and DRA.
+
+The paper plots full R(t) curves; MTTF compresses each curve to a scalar
+(the area under it), which makes the DRA-vs-BDR comparison and the
+diminishing returns over (M, N) easy to tabulate.  Computed exactly as
+the mean absorption time of the Figure 5 chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import DRAConfig, FailureRates
+from repro.core.reliability import (
+    BDR_WORKING,
+    build_bdr_reliability_chain,
+    build_dra_reliability_chain,
+)
+from repro.core.states import AllHealthy
+from repro.markov import mean_time_to_absorption
+
+__all__ = ["MTTFResult", "bdr_mttf", "dra_mttf", "mttf_improvement"]
+
+
+@dataclass(frozen=True)
+class MTTFResult:
+    """Mean time to LC failure, in hours."""
+
+    hours: float
+    label: str
+
+    @property
+    def years(self) -> float:
+        """MTTF in (8766-hour) years."""
+        return self.hours / 8766.0
+
+
+def bdr_mttf(rates: FailureRates | None = None) -> MTTFResult:
+    """BDR linecard MTTF (analytically ``1 / lam_lc``)."""
+    chain = build_bdr_reliability_chain(rates)
+    hours = mean_time_to_absorption(chain, BDR_WORKING)
+    return MTTFResult(hours=hours, label="BDR")
+
+
+def dra_mttf(config: DRAConfig, rates: FailureRates | None = None) -> MTTFResult:
+    """DRA linecard MTTF for ``config``."""
+    chain = build_dra_reliability_chain(config, rates)
+    hours = mean_time_to_absorption(chain, AllHealthy)
+    return MTTFResult(hours=hours, label=f"DRA(N={config.n},M={config.m})")
+
+
+def mttf_improvement(
+    config: DRAConfig, rates: FailureRates | None = None
+) -> float:
+    """DRA-over-BDR MTTF ratio for ``config`` (dimensionless, > 1)."""
+    return dra_mttf(config, rates).hours / bdr_mttf(rates).hours

@@ -1,0 +1,73 @@
+"""The paper's "9^x" availability notation.
+
+Figure 7 reports availabilities as ``9^x``, meaning *x consecutive 9s after
+the decimal point* (e.g. ``9^4`` covers 0.9999 up to but not including
+0.99995... -- any value whose decimal expansion starts with exactly four
+nines).  ``count_nines`` maps an availability to x; ``from_nines`` gives
+the smallest availability with x nines (for building comparison rows).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["count_nines", "nines_notation", "from_nines"]
+
+
+def count_nines(availability: float) -> int:
+    """Number of consecutive leading '9' digits after the decimal point.
+
+    Counted on the shortest round-trip decimal representation of the
+    value -- literally the paper's "x consecutive 9s after the decimal
+    point" -- which avoids the boundary artifacts a ``log10`` of the
+    float residual would introduce (``1 - 0.99999999`` is not exactly
+    ``1e-8`` in binary).  ``A == 1.0`` maps to the double-precision cap
+    of 16 nines.
+
+    Examples
+    --------
+    >>> count_nines(0.99994)
+    4
+    >>> count_nines(0.9999999974)
+    8
+    >>> count_nines(0.95)
+    1
+    >>> count_nines(0.5)
+    0
+    """
+    if not 0.0 <= availability <= 1.0:
+        raise ValueError(f"availability must lie in [0, 1], got {availability}")
+    if availability == 1.0:
+        return 16  # double precision cannot resolve more than ~16 nines
+    text = repr(float(availability))
+    if "e" in text or "E" in text:
+        # Tiny availabilities render in scientific notation; they have no
+        # leading nines.  (Values this low never occur in the models, but
+        # the function stays total.)
+        return max(0, int(math.floor(-math.log10(1.0 - availability))))
+    digits = text.split(".", 1)[1] if "." in text else ""
+    count = 0
+    for ch in digits:
+        if ch != "9":
+            break
+        count += 1
+    return count
+
+
+def nines_notation(availability: float) -> str:
+    """Format availability as the paper prints it: ``9^x``.
+
+    Values with no leading nine are printed as plain decimals so degraded
+    systems remain readable in the Figure 7 tables.
+    """
+    x = count_nines(availability)
+    if x == 0:
+        return f"{availability:.4f}"
+    return f"9^{x}"
+
+
+def from_nines(x: int) -> float:
+    """Smallest availability exhibiting ``x`` consecutive nines (``1 - 10^-x``)."""
+    if x < 0:
+        raise ValueError(f"nines count must be nonnegative, got {x}")
+    return 1.0 - 10.0 ** (-x)

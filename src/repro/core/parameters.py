@@ -1,0 +1,192 @@
+"""Model parameters: failure rates, router configuration, repair policy.
+
+The failure-rate defaults are exactly the constants of Section 5 of the
+paper (all exponential, in failures per hour):
+
+==============  =========  ==========================================
+Symbol          Value      Meaning
+==============  =========  ==========================================
+``lam_lc``      2.0e-5     whole linecard (Cisco 7000 OC-48 class)
+``lam_lpd``     6.0e-6     LCUA's PDLU (protocol-dependent logic)
+``lam_lpi``     1.4e-5     LCUA's protocol-independent units (SRU+LFE)
+``lam_bc``      1.0e-6     a single bus controller
+``lam_bus``     1.0e-6     the EIB passive lines
+``lam_pd``      7.0e-6     covering LC_inter PDLU *plus* its bus controller
+``lam_pi``      1.5e-5     covering LC_inter PI units *plus* its bus controller
+==============  =========  ==========================================
+
+Section 5's consistency identities hold for the defaults and are enforced
+by :meth:`FailureRates.validate`:
+
+* ``lam_lc == lam_lpd + lam_lpi``
+* ``lam_pd == lam_lpd + lam_bc``
+* ``lam_pi == lam_lpi + lam_bc``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["FailureRates", "DRAConfig", "RepairPolicy"]
+
+
+@dataclass(frozen=True)
+class FailureRates:
+    """Exponential component failure rates (per hour), Section 5 defaults."""
+
+    lam_lc: float = 2.0e-5
+    lam_lpd: float = 6.0e-6
+    lam_lpi: float = 1.4e-5
+    lam_bc: float = 1.0e-6
+    lam_bus: float = 1.0e-6
+    lam_pd: float = 7.0e-6
+    lam_pi: float = 1.5e-5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "lam_lc",
+            "lam_lpd",
+            "lam_lpi",
+            "lam_bc",
+            "lam_bus",
+            "lam_pd",
+            "lam_pi",
+        ):
+            value = getattr(self, name)
+            if not (value > 0.0 and math.isfinite(value)):
+                raise ValueError(f"{name} must be a positive finite rate, got {value}")
+
+    def validate(self, *, rtol: float = 1e-9) -> None:
+        """Enforce the paper's rate-composition identities.
+
+        Raises ``ValueError`` if the split/combined rates are inconsistent.
+        Custom rate sets that intentionally break the identities (for
+        sensitivity studies) should simply skip this call.
+        """
+        checks = {
+            "lam_lc = lam_lpd + lam_lpi": (self.lam_lc, self.lam_lpd + self.lam_lpi),
+            "lam_pd = lam_lpd + lam_bc": (self.lam_pd, self.lam_lpd + self.lam_bc),
+            "lam_pi = lam_lpi + lam_bc": (self.lam_pi, self.lam_lpi + self.lam_bc),
+        }
+        for label, (lhs, rhs) in checks.items():
+            if not math.isclose(lhs, rhs, rel_tol=rtol):
+                raise ValueError(f"inconsistent rates: {label} ({lhs} vs {rhs})")
+
+    @property
+    def lam_t_prime(self) -> float:
+        """Rate of entering state T': EIB failure or LCUA bus-controller failure."""
+        return self.lam_bus + self.lam_bc
+
+    def scaled(self, factor: float) -> "FailureRates":
+        """All rates multiplied by ``factor`` (for sensitivity sweeps)."""
+        if factor <= 0.0:
+            raise ValueError("scale factor must be positive")
+        return FailureRates(
+            lam_lc=self.lam_lc * factor,
+            lam_lpd=self.lam_lpd * factor,
+            lam_lpi=self.lam_lpi * factor,
+            lam_bc=self.lam_bc * factor,
+            lam_bus=self.lam_bus * factor,
+            lam_pd=self.lam_pd * factor,
+            lam_pi=self.lam_pi * factor,
+        )
+
+
+@dataclass(frozen=True)
+class DRAConfig:
+    """Router configuration for the Markov models of Section 5.
+
+    Parameters
+    ----------
+    n:
+        Total number of linecards ``N``.  The model reserves one LC as the
+        LC under analysis (LCUA) and one as the fault-free LC_out, leaving
+        ``N - 2`` covering LC_inter PI-unit groups.  Requires ``N >= 3``.
+    m:
+        Number of LCs (including LCUA) implementing LCUA's protocol ``M``,
+        i.e. ``M - 1`` covering PDLUs.  Requires ``2 <= M <= N``.
+    variant:
+        Model-interpretation variant (see DESIGN.md, decisions 2 and 3):
+
+        ``"paper"`` (default) is the reading that reproduces every quoted
+        Figure 7 value: the Zone-LC_inter grid is truncated at
+        ``i = N - 3``, ``j = M - 2`` with no outgoing covering-unit
+        transition at the boundary, and -- following Section 5.1's "all
+        states (except F) move to State T'" literally -- even Zone-LCUA
+        states divert to ``T'`` when the EIB or LCUA's bus controller
+        fails.
+
+        ``"strict"`` keeps the truncated grid but sends Zone-LCUA states
+        to ``F`` on an EIB/bus-controller failure (coverage traffic has
+        nowhere to flow once the bus is gone).
+
+        ``"extended"`` is ``strict`` plus the exhausted-pool states the
+        paper omits, so ``F`` is also reachable through covering units
+        dying before LCUA does.  Physically the most faithful; slightly
+        pessimistic relative to ``paper`` (quantified by the ablation
+        bench).
+    """
+
+    n: int
+    m: int
+    variant: str = "paper"
+
+    VARIANTS = ("paper", "strict", "extended")
+
+    def __post_init__(self) -> None:
+        if self.n < 3:
+            raise ValueError(f"N must be >= 3 (need at least one LC_inter), got {self.n}")
+        if not (2 <= self.m <= self.n):
+            raise ValueError(f"M must satisfy 2 <= M <= N, got M={self.m}, N={self.n}")
+        if self.variant not in self.VARIANTS:
+            raise ValueError(
+                f"variant must be one of {self.VARIANTS}, got {self.variant!r}"
+            )
+
+    @property
+    def n_inter_pi(self) -> int:
+        """Number of covering LC_inter PI-unit groups (``N - 2``)."""
+        return self.n - 2
+
+    @property
+    def n_inter_pd(self) -> int:
+        """Number of covering LC_inter PDLUs (``M - 1``)."""
+        return self.m - 1
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """Repair process of Section 5.2.
+
+    A repair returns the system from *any* degraded state directly to the
+    all-healthy state with mean time ``1/mu`` hours, irrespective of how
+    many units have failed.  The paper evaluates ``mu = 1/3`` (three-hour
+    turnaround) and ``mu = 1/12`` (half a day).
+
+    ``stages`` controls the repair-time distribution: 1 (default) is the
+    exponential repair the paper's chains use; ``k > 1`` makes the repair
+    Erlang-k with the same mean (variance ``1/(k mu^2)``), approaching the
+    *fixed* repair duration the paper's prose actually describes as
+    ``k`` grows.  The Erlang ablation bench quantifies the gap between
+    the prose and the model.
+    """
+
+    mu: float = 1.0 / 3.0
+    stages: int = 1
+
+    def __post_init__(self) -> None:
+        if not (self.mu > 0.0 and math.isfinite(self.mu)):
+            raise ValueError(f"repair rate mu must be positive and finite, got {self.mu}")
+        if self.stages < 1:
+            raise ValueError(f"repair stages must be >= 1, got {self.stages}")
+
+    @classmethod
+    def three_hours(cls) -> "RepairPolicy":
+        """The paper's fast repair: mu = 1/3."""
+        return cls(mu=1.0 / 3.0)
+
+    @classmethod
+    def half_day(cls) -> "RepairPolicy":
+        """The paper's slow repair: mu = 1/12."""
+        return cls(mu=1.0 / 12.0)

@@ -1,0 +1,178 @@
+"""Performance-degradation model of Section 5.3 (reproduces Figure 8).
+
+With ``X_faulty`` failed linecards out of ``N`` (LC_out assumed fault-free
+and every non-faulty LC able to cover, i.e. the paper's M = N lower bound),
+each healthy LC offers its headroom
+
+    ``psi = c_lc - L * c_lc``
+
+to the faulty ones.  The bandwidth a faulty LC actually receives is capped
+by three quantities:
+
+1. what it needs (``L * c_lc`` -- it cannot use more than its load),
+2. an equal share of the aggregate headroom
+   (``X_nonfaulty * psi / X_faulty``), and
+3. an equal share of the EIB capacity (``B_BUS / X_faulty``), since the sum
+   of coverage bandwidth cannot exceed the bus.
+
+Figure 8 plots ``100 * B_faulty / (L * c_lc)`` against ``X_faulty`` for
+``N = 6`` and loads 15%..70%.  The paper does not state a numeric
+``B_BUS`` and its figure shows no bus-capacity kink, so the default here is
+non-binding (``N * c_lc``); the ablation bench sweeps binding values.
+
+This module also hosts :func:`promised_bandwidth` -- the ``B_prom``
+scale-back rule of Section 4 -- which the executable router model
+(:mod:`repro.router.bandwidth`) reuses so the simulator and the analysis
+share one formula.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PerformanceModel",
+    "bandwidth_to_faulty",
+    "degradation_series",
+    "promised_bandwidth",
+]
+
+
+def promised_bandwidth(
+    requests: Sequence[float] | np.ndarray, bus_capacity: float
+) -> np.ndarray:
+    """Section 4's ``B_prom`` allocation over the EIB data lines.
+
+    If the total requested bandwidth fits the bus, every LC gets what it
+    asked for; otherwise all requests are scaled back proportionally:
+    ``B_prom = (B_LC / B_LCT) * B_BUS``.
+
+    Parameters
+    ----------
+    requests:
+        Per-LC requested bandwidths ``B_LC`` (nonnegative).
+    bus_capacity:
+        ``B_BUS``, the data-line capacity (positive).
+
+    Returns
+    -------
+    numpy.ndarray
+        Per-LC promised bandwidths, same order as ``requests``.
+    """
+    req = np.asarray(requests, dtype=np.float64)
+    if req.size and req.min() < 0.0:
+        raise ValueError("bandwidth requests must be nonnegative")
+    if bus_capacity <= 0.0:
+        raise ValueError(f"bus capacity must be positive, got {bus_capacity}")
+    total = req.sum()
+    if total <= bus_capacity:
+        return req.copy()
+    return req * (bus_capacity / total)
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Router-level parameters of the Section 5.3 analysis.
+
+    Parameters
+    ----------
+    n:
+        Number of linecards ``N`` (the paper's Figure 8 uses 6).
+    c_lc:
+        Per-LC capacity in Gbps (paper: 10).
+    b_bus:
+        EIB data-line capacity in Gbps; ``None`` means the non-binding
+        default ``n * c_lc``.
+    """
+
+    n: int
+    c_lc: float = 10.0
+    b_bus: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"N must be >= 2, got {self.n}")
+        if self.c_lc <= 0.0:
+            raise ValueError(f"c_lc must be positive, got {self.c_lc}")
+        if self.b_bus is not None and self.b_bus <= 0.0:
+            raise ValueError(f"b_bus must be positive, got {self.b_bus}")
+
+    @property
+    def bus_capacity(self) -> float:
+        """Effective ``B_BUS`` (the non-binding default when unset)."""
+        return self.n * self.c_lc if self.b_bus is None else self.b_bus
+
+    def headroom(self, load: float) -> float:
+        """``psi``: spare bandwidth one healthy LC offers at ``load``."""
+        _check_load(load)
+        return self.c_lc * (1.0 - load)
+
+    def required(self, load: float) -> float:
+        """Bandwidth a faulty LC needs to carry its own traffic."""
+        _check_load(load)
+        return self.c_lc * load
+
+    def bandwidth_to_faulty(self, x_faulty: int, load: float) -> float:
+        """``B_faulty``: Gbps available to each faulty LC (see module docs)."""
+        _check_load(load)
+        if not 0 <= x_faulty <= self.n - 1:
+            raise ValueError(
+                f"x_faulty must lie in [0, N-1] = [0, {self.n - 1}], got {x_faulty}"
+            )
+        required = self.required(load)
+        if x_faulty == 0:
+            return required
+        x_nonfaulty = self.n - x_faulty
+        offered_share = x_nonfaulty * self.headroom(load) / x_faulty
+        bus_share = self.bus_capacity / x_faulty
+        return min(required, offered_share, bus_share)
+
+    def degradation_percent(self, x_faulty: int, load: float) -> float:
+        """Figure 8's y-axis: ``100 * B_faulty / required``."""
+        required = self.required(load)
+        if required == 0.0:
+            return 100.0
+        return 100.0 * self.bandwidth_to_faulty(x_faulty, load) / required
+
+
+def bandwidth_to_faulty(
+    x_faulty: int,
+    load: float,
+    *,
+    n: int,
+    c_lc: float = 10.0,
+    b_bus: float | None = None,
+) -> float:
+    """Functional wrapper over :meth:`PerformanceModel.bandwidth_to_faulty`."""
+    return PerformanceModel(n=n, c_lc=c_lc, b_bus=b_bus).bandwidth_to_faulty(
+        x_faulty, load
+    )
+
+
+def degradation_series(
+    loads: Iterable[float],
+    *,
+    n: int = 6,
+    c_lc: float = 10.0,
+    b_bus: float | None = None,
+) -> Mapping[float, np.ndarray]:
+    """Figure 8 data: for each load, the percentage series over
+    ``X_faulty = 1 .. N-1``.
+
+    Returns a dict mapping load -> array of length ``N-1``.
+    """
+    model = PerformanceModel(n=n, c_lc=c_lc, b_bus=b_bus)
+    out: dict[float, np.ndarray] = {}
+    for load in loads:
+        out[float(load)] = np.array(
+            [model.degradation_percent(x, load) for x in range(1, n)]
+        )
+    return out
+
+
+def _check_load(load: float) -> None:
+    if not 0.0 <= load < 1.0:
+        raise ValueError(f"load must lie in [0, 1), got {load}")

@@ -1,0 +1,118 @@
+"""Typed state space of the Figure 5(b) Markov model.
+
+Index conventions (DESIGN.md decision 1; the paper's own text swaps its
+indices between definitions, so we fix one):
+
+* ``i`` counts failed covering **PI-unit groups** among the ``N - 2``
+  LC_inters (an LC_inter whose PI units *or* bus controller failed can no
+  longer cover a PI fault -- the combined rate ``lam_pi`` accounts for
+  both).
+* ``j`` counts failed covering **PDLUs** among the ``M - 1`` same-protocol
+  LCs (again combined with that LC's bus controller via ``lam_pd``).
+
+States:
+
+* :class:`InterZoneState` ``(i, j)`` -- Zone-LC_inter: LCUA healthy, some
+  covering resources already lost.  ``(0, 0)`` is the all-healthy state
+  :data:`AllHealthy`.
+* :class:`UAPIState` ``i`` -- Zone-LCUA after LCUA's PI units failed;
+  ``i`` covering PI groups also down, coverage continues via the rest.
+* :class:`UAPDState` ``j`` -- Zone-LCUA after LCUA's PDLU failed; ``j``
+  covering PDLUs also down.
+* :data:`BusDown` (the paper's ``T'``) -- only the EIB or LCUA's own bus
+  controller has failed; LCUA still forwards via the switching fabric.
+* :data:`Failed` (the paper's ``F``) -- packet transfer through LCUA has
+  stopped; the unique absorbing state of the reliability chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "InterZoneState",
+    "UAPIState",
+    "UAPDState",
+    "BusDown",
+    "Failed",
+    "AllHealthy",
+    "is_operational",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class InterZoneState:
+    """Zone-LC_inter state: LCUA healthy; ``i`` covering PI groups and
+    ``j`` covering PDLUs have failed."""
+
+    i: int
+    j: int
+
+    def __post_init__(self) -> None:
+        if self.i < 0 or self.j < 0:
+            raise ValueError(f"state indices must be nonnegative, got ({self.i}, {self.j})")
+
+    def __str__(self) -> str:
+        return f"({self.i},{self.j})"
+
+
+@dataclass(frozen=True, slots=True)
+class UAPIState:
+    """Zone-LCUA state after an LCUA PI-unit failure; ``i`` covering PI
+    groups have also failed."""
+
+    i: int
+
+    def __post_init__(self) -> None:
+        if self.i < 0:
+            raise ValueError(f"state index must be nonnegative, got {self.i}")
+
+    def __str__(self) -> str:
+        return f"{self.i}_PI"
+
+
+@dataclass(frozen=True, slots=True)
+class UAPDState:
+    """Zone-LCUA state after an LCUA PDLU failure; ``j`` covering PDLUs
+    have also failed."""
+
+    j: int
+
+    def __post_init__(self) -> None:
+        if self.j < 0:
+            raise ValueError(f"state index must be nonnegative, got {self.j}")
+
+    def __str__(self) -> str:
+        return f"{self.j}_PD"
+
+
+@dataclass(frozen=True, slots=True)
+class _BusDown:
+    """Singleton marker for the paper's T' state."""
+
+    def __str__(self) -> str:
+        return "T'"
+
+
+@dataclass(frozen=True, slots=True)
+class _Failed:
+    """Singleton marker for the paper's F state."""
+
+    def __str__(self) -> str:
+        return "F"
+
+
+#: The paper's ``T'`` state (EIB or LCUA bus controller down, LCUA healthy).
+BusDown = _BusDown()
+
+#: The paper's absorbing ``F`` state.
+Failed = _Failed()
+
+#: Alias for the no-failure state ``(0, 0)``.
+AllHealthy = InterZoneState(0, 0)
+
+
+def is_operational(state: object) -> bool:
+    """True for every state except ``F`` (the paper's definition of an
+    operational LC: packets still flow to and from LCUA's ports)."""
+    return state != Failed

@@ -1,0 +1,123 @@
+"""Incremental CTMC construction.
+
+The dependability chains of :mod:`repro.core` are generated programmatically
+from (N, M) configurations; this builder accumulates transitions in a plain
+dict-of-dicts, merges parallel edges by summing rates, and emits a validated
+:class:`~repro.markov.ctmc.CTMC` with a CSR generator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.ctmc import CTMC
+
+__all__ = ["CTMCBuilder"]
+
+
+class CTMCBuilder:
+    """Accumulates states and transition rates, then builds a CTMC.
+
+    States are registered in first-seen order (explicitly via
+    :meth:`add_state` or implicitly via :meth:`add_transition`), which
+    fixes their dense indices in the built chain.
+
+    Examples
+    --------
+    >>> b = CTMCBuilder()
+    >>> b.add_transition("up", "down", 0.1)
+    >>> b.add_transition("down", "up", 2.0)
+    >>> chain = b.build()
+    >>> chain.n_states
+    2
+    """
+
+    def __init__(self) -> None:
+        self._order: list[Hashable] = []
+        self._seen: set[Hashable] = set()
+        self._rates: dict[Hashable, dict[Hashable, float]] = {}
+
+    def add_state(self, state: Hashable) -> None:
+        """Register ``state`` (idempotent)."""
+        if state not in self._seen:
+            self._seen.add(state)
+            self._order.append(state)
+            self._rates.setdefault(state, {})
+
+    def add_states(self, states: Iterable[Hashable]) -> None:
+        """Register several states in iteration order."""
+        for s in states:
+            self.add_state(s)
+
+    def add_transition(self, src: Hashable, dst: Hashable, rate: float) -> None:
+        """Add a transition ``src -> dst`` at ``rate`` (rates accumulate).
+
+        Zero-rate transitions are dropped; negative rates and self-loops
+        are rejected (the diagonal is derived, never specified).
+        """
+        rate = float(rate)
+        if rate < 0.0:
+            raise ValueError(f"negative rate {rate} for {src!r} -> {dst!r}")
+        if src == dst:
+            raise ValueError(f"self-loop on {src!r}: CTMC diagonals are derived")
+        self.add_state(src)
+        self.add_state(dst)
+        if rate == 0.0:
+            return
+        row = self._rates[src]
+        row[dst] = row.get(dst, 0.0) + rate
+
+    @property
+    def n_states(self) -> int:
+        """Number of registered states so far."""
+        return len(self._order)
+
+    @property
+    def n_transitions(self) -> int:
+        """Number of distinct (src, dst) pairs with positive rate."""
+        return sum(len(row) for row in self._rates.values())
+
+    def transitions(self) -> list[tuple[Hashable, Hashable, float]]:
+        """All accumulated transitions as (src, dst, rate) triples."""
+        return [
+            (src, dst, rate)
+            for src, row in self._rates.items()
+            for dst, rate in row.items()
+        ]
+
+    def build(self, *, validate: bool = True) -> CTMC:
+        """Emit the CTMC.  The builder remains usable afterwards."""
+        index = {s: i for i, s in enumerate(self._order)}
+        n = len(self._order)
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        diag = np.zeros(n)
+        for src, row in self._rates.items():
+            i = index[src]
+            for dst, rate in row.items():
+                rows.append(i)
+                cols.append(index[dst])
+                vals.append(rate)
+                diag[i] -= rate
+        Q = sp.coo_matrix((vals, (rows, cols)), shape=(n, n), dtype=np.float64)
+        Q = (Q + sp.diags(diag)).tocsr()
+        return CTMC(self._order, Q, validate=validate)
+
+    def to_networkx(self) -> Any:
+        """Export accumulated transitions as a ``networkx.DiGraph``.
+
+        Edge attribute ``rate`` holds the transition rate.  Imported lazily
+        so the builder itself has no hard networkx dependency at import time.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self._order)
+        for src, dst, rate in self.transitions():
+            g.add_edge(src, dst, rate=rate)
+        return g

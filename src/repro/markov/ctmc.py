@@ -1,0 +1,237 @@
+"""Immutable continuous-time Markov chain with a sparse generator.
+
+A CTMC is defined by a finite state space ``S`` and a generator matrix
+``Q`` where ``Q[i, j]`` (``i != j``) is the transition rate from state
+``i`` to state ``j`` and ``Q[i, i] = -sum_j Q[i, j]``.  The transient
+distribution obeys the Kolmogorov forward equation ``dpi/dt = pi @ Q``
+with solution ``pi(t) = pi(0) @ expm(Q t)``.
+
+States can be arbitrary hashable objects (the dependability models in
+:mod:`repro.core` use small frozen dataclasses); the chain maintains a
+bidirectional mapping between states and dense integer indices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["CTMC", "CTMCValidationError"]
+
+#: Tolerance used when validating that generator rows sum to zero.  The
+#: dependability chains have rates spanning ~1e-6 .. 1e0 (failure vs repair
+#: rates), so an absolute tolerance scaled by the largest magnitude is used.
+_ROWSUM_RTOL = 1e-9
+
+
+class CTMCValidationError(ValueError):
+    """Raised when a matrix fails the CTMC generator well-formedness checks."""
+
+
+class CTMC:
+    """A finite-state continuous-time Markov chain.
+
+    Parameters
+    ----------
+    states:
+        Sequence of hashable state labels.  Order defines the dense index
+        of each state.
+    generator:
+        ``(n, n)`` matrix (dense or scipy sparse) with nonnegative
+        off-diagonal entries and zero row sums.
+    validate:
+        If true (default), check generator well-formedness at construction.
+
+    Notes
+    -----
+    The generator is stored in CSR format.  The object is immutable: all
+    mutating construction goes through :class:`repro.markov.builder.CTMCBuilder`.
+    """
+
+    __slots__ = ("_states", "_index", "_Q")
+
+    def __init__(
+        self,
+        states: Sequence[Hashable],
+        generator: Any,
+        *,
+        validate: bool = True,
+    ) -> None:
+        states = tuple(states)
+        if len(set(states)) != len(states):
+            raise CTMCValidationError("duplicate states in state sequence")
+        Q = sp.csr_matrix(generator, dtype=np.float64)
+        if Q.shape != (len(states), len(states)):
+            raise CTMCValidationError(
+                f"generator shape {Q.shape} does not match {len(states)} states"
+            )
+        if validate:
+            _validate_generator(Q)
+        self._states = states
+        self._index = {s: i for i, s in enumerate(states)}
+        self._Q = Q
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Number of states in the chain."""
+        return len(self._states)
+
+    @property
+    def states(self) -> tuple[Hashable, ...]:
+        """State labels in index order."""
+        return self._states
+
+    @property
+    def generator(self) -> sp.csr_matrix:
+        """The generator matrix ``Q`` in CSR format (do not mutate)."""
+        return self._Q
+
+    def index_of(self, state: Hashable) -> int:
+        """Dense index of ``state``; raises ``KeyError`` if unknown."""
+        return self._index[state]
+
+    def __contains__(self, state: Hashable) -> bool:
+        return state in self._index
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CTMC(n_states={self.n_states}, nnz={self._Q.nnz})"
+
+    # -- derived quantities --------------------------------------------------
+
+    def rate(self, src: Hashable, dst: Hashable) -> float:
+        """Transition rate from ``src`` to ``dst`` (0.0 if absent)."""
+        return float(self._Q[self.index_of(src), self.index_of(dst)])
+
+    def exit_rates(self) -> np.ndarray:
+        """Total exit rate of every state (``-diag(Q)``)."""
+        return -self._Q.diagonal()
+
+    def max_exit_rate(self) -> float:
+        """Largest exit rate; the uniformization constant lower bound."""
+        rates = self.exit_rates()
+        return float(rates.max()) if rates.size else 0.0
+
+    def absorbing_states(self) -> tuple[Hashable, ...]:
+        """States with zero exit rate."""
+        rates = self.exit_rates()
+        return tuple(s for s, r in zip(self._states, rates) if r == 0.0)
+
+    def initial_distribution(
+        self, weights: Mapping[Hashable, float] | Hashable | None = None
+    ) -> np.ndarray:
+        """Build a dense initial distribution vector.
+
+        Parameters
+        ----------
+        weights:
+            ``None`` puts all mass on state index 0; a single state label
+            puts all mass there; a mapping assigns (and normalizes)
+            explicit weights.
+        """
+        pi0 = np.zeros(self.n_states)
+        if weights is None:
+            pi0[0] = 1.0
+        elif isinstance(weights, Mapping):
+            for state, w in weights.items():
+                if w < 0:
+                    raise ValueError(f"negative weight for state {state!r}")
+                pi0[self.index_of(state)] = w
+            total = pi0.sum()
+            if total <= 0:
+                raise ValueError("initial weights sum to zero")
+            pi0 /= total
+        else:
+            pi0[self.index_of(weights)] = 1.0
+        return pi0
+
+    def probability_of(
+        self, distribution: np.ndarray, states: Iterable[Hashable]
+    ) -> float:
+        """Total probability mass of ``states`` under ``distribution``.
+
+        Accepts a 1-D distribution or a 2-D ``(n_times, n_states)`` array,
+        returning a scalar or a vector respectively.
+        """
+        idx = [self.index_of(s) for s in states]
+        dist = np.asarray(distribution)
+        if dist.ndim == 1:
+            return float(dist[idx].sum())
+        return dist[:, idx].sum(axis=1)
+
+    def embedded_jump_matrix(self) -> sp.csr_matrix:
+        """DTMC transition matrix of the embedded jump chain.
+
+        Absorbing states are given a self-loop probability of 1.
+        """
+        Q = self._Q.tocoo()
+        rates = self.exit_rates()
+        rows, cols, vals = [], [], []
+        for i, j, q in zip(Q.row, Q.col, Q.data):
+            if i == j:
+                continue
+            rows.append(i)
+            cols.append(j)
+            vals.append(q / rates[i])
+        for i in np.flatnonzero(rates == 0.0):
+            rows.append(int(i))
+            cols.append(int(i))
+            vals.append(1.0)
+        return sp.csr_matrix(
+            (vals, (rows, cols)), shape=self._Q.shape, dtype=np.float64
+        )
+
+    def uniformized_matrix(self, rate: float | None = None) -> tuple[sp.csr_matrix, float]:
+        """Uniformized DTMC ``P = I + Q / Lambda`` and the rate ``Lambda``.
+
+        ``rate`` must be >= the maximum exit rate; defaults to 1.02x the
+        maximum (slack improves conditioning and guarantees aperiodicity).
+        """
+        lam = self.max_exit_rate() * 1.02 if rate is None else float(rate)
+        if lam <= 0.0:
+            # Chain with no transitions at all: identity.
+            return sp.identity(self.n_states, format="csr"), 1.0
+        if lam < self.max_exit_rate():
+            raise ValueError(
+                f"uniformization rate {lam} below max exit rate {self.max_exit_rate()}"
+            )
+        P = sp.identity(self.n_states, format="csr") + self._Q / lam
+        return P.tocsr(), lam
+
+    def restricted_to(self, keep: Iterable[Hashable]) -> "CTMC":
+        """Sub-chain on ``keep`` with transitions among kept states only.
+
+        Row sums of the restricted generator are re-diagonalized so the
+        result is a proper (sub-stochastic-completed) CTMC: rate mass that
+        left the kept set is dropped.  Useful for conditional analyses.
+        """
+        keep = list(keep)
+        idx = np.asarray([self.index_of(s) for s in keep], dtype=int)
+        sub = self._Q[np.ix_(idx, idx)].tolil()
+        sub.setdiag(0.0)
+        sub = sub.tocsr()
+        diag = -np.asarray(sub.sum(axis=1)).ravel()
+        sub = sub + sp.diags(diag)
+        return CTMC(keep, sub, validate=True)
+
+
+def _validate_generator(Q: sp.csr_matrix) -> None:
+    """Check off-diagonal nonnegativity and zero row sums."""
+    coo = Q.tocoo()
+    off_diag = coo.data[coo.row != coo.col]
+    if off_diag.size and off_diag.min() < 0:
+        raise CTMCValidationError("negative off-diagonal rate in generator")
+    row_sums = np.asarray(Q.sum(axis=1)).ravel()
+    scale = max(1.0, float(np.abs(Q.data).max()) if Q.nnz else 1.0)
+    if np.any(np.abs(row_sums) > _ROWSUM_RTOL * scale):
+        worst = int(np.argmax(np.abs(row_sums)))
+        raise CTMCValidationError(
+            f"generator row {worst} sums to {row_sums[worst]:.3e}, expected 0"
+        )

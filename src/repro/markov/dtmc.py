@@ -1,0 +1,177 @@
+"""Discrete-time Markov chains.
+
+The CTMC machinery keeps meeting DTMCs -- the embedded jump chain, the
+uniformized chain, the biased chain of the importance sampler.  This
+module makes them first-class: a validated stochastic matrix with
+stationary analysis, n-step distributions, and absorbing-chain
+fundamentals, plus constructors from a CTMC.
+
+Used directly by tests (cross-checking the CTMC solvers through their
+discrete skeletons) and available to downstream users who want to reason
+about the protocol's per-round behaviour (e.g. the arbiter's turn
+rotation as a deterministic DTMC).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg
+
+from repro.markov.ctmc import CTMC
+
+__all__ = ["DTMC"]
+
+_ROW_TOL = 1e-9
+
+
+class DTMC:
+    """A finite discrete-time Markov chain.
+
+    Parameters
+    ----------
+    states:
+        Hashable state labels (order fixes the dense indices).
+    transition:
+        Row-stochastic matrix (dense or sparse).
+    """
+
+    __slots__ = ("_states", "_index", "_P")
+
+    def __init__(self, states: Sequence[Hashable], transition: Any) -> None:
+        states = tuple(states)
+        if len(set(states)) != len(states):
+            raise ValueError("duplicate states")
+        P = sp.csr_matrix(transition, dtype=np.float64)
+        if P.shape != (len(states), len(states)):
+            raise ValueError(
+                f"transition shape {P.shape} does not match {len(states)} states"
+            )
+        if P.nnz and P.data.min() < -_ROW_TOL:
+            raise ValueError("negative transition probability")
+        rows = np.asarray(P.sum(axis=1)).ravel()
+        if np.any(np.abs(rows - 1.0) > _ROW_TOL):
+            worst = int(np.argmax(np.abs(rows - 1.0)))
+            raise ValueError(f"row {worst} sums to {rows[worst]}, expected 1")
+        self._states = states
+        self._index = {s: i for i, s in enumerate(states)}
+        self._P = P
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def embedded_from(cls, chain: CTMC) -> "DTMC":
+        """The CTMC's embedded jump chain."""
+        return cls(chain.states, chain.embedded_jump_matrix())
+
+    @classmethod
+    def uniformized_from(cls, chain: CTMC, rate: float | None = None) -> "DTMC":
+        """The CTMC's uniformized chain ``I + Q / Lambda``."""
+        P, _lam = chain.uniformized_matrix(rate)
+        return cls(chain.states, P)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return len(self._states)
+
+    @property
+    def states(self) -> tuple[Hashable, ...]:
+        """State labels in index order."""
+        return self._states
+
+    @property
+    def transition_matrix(self) -> sp.csr_matrix:
+        """The row-stochastic matrix ``P`` (do not mutate)."""
+        return self._P
+
+    def index_of(self, state: Hashable) -> int:
+        """Dense index of ``state``."""
+        return self._index[state]
+
+    def probability(self, src: Hashable, dst: Hashable) -> float:
+        """One-step transition probability."""
+        return float(self._P[self.index_of(src), self.index_of(dst)])
+
+    # -- evolution ---------------------------------------------------------------
+
+    def step(self, distribution: np.ndarray, n: int = 1) -> np.ndarray:
+        """``distribution @ P^n`` without forming the power explicitly."""
+        if n < 0:
+            raise ValueError(f"step count must be nonnegative, got {n}")
+        out = np.asarray(distribution, dtype=np.float64)
+        if out.shape != (self.n_states,):
+            raise ValueError("distribution has wrong shape")
+        PT = self._P.T.tocsr()
+        for _ in range(n):
+            out = PT @ out
+        return out
+
+    def stationary(self, *, tol: float = 1e-13, max_iter: int = 1_000_000) -> np.ndarray:
+        """Stationary distribution (power iteration with a damping restart
+        for periodic chains)."""
+        n = self.n_states
+        if n == 1:
+            return np.ones(1)
+        # Lazy chain (I + P)/2 shares the stationary vector and is
+        # aperiodic, so power iteration always converges.
+        PT = (0.5 * (self._P + sp.identity(n))).T.tocsr()
+        pi = np.full(n, 1.0 / n)
+        for _ in range(max_iter):
+            nxt = PT @ pi
+            total = nxt.sum()
+            if total <= 0:  # pragma: no cover - defensive
+                raise RuntimeError("mass vanished during iteration")
+            nxt /= total
+            if np.abs(nxt - pi).max() < tol:
+                return nxt
+            pi = nxt
+        raise RuntimeError(f"power iteration did not converge in {max_iter} steps")
+
+    # -- absorbing analysis ---------------------------------------------------------
+
+    def absorbing_states(self) -> tuple[Hashable, ...]:
+        """States with a self-loop of probability 1."""
+        out = []
+        for i, s in enumerate(self._states):
+            if self._P[i, i] >= 1.0 - _ROW_TOL:
+                out.append(s)
+        return tuple(out)
+
+    def fundamental_matrix(
+        self, absorbing: Iterable[Hashable] | None = None
+    ) -> tuple[np.ndarray, list[Hashable]]:
+        """``N = (I - T)^-1`` on the transient block.
+
+        Returns the matrix and the transient state labels in row order.
+        ``N[i, j]`` is the expected number of visits to transient state
+        ``j`` starting from transient state ``i`` before absorption.
+        """
+        absorbing_set = (
+            set(self.absorbing_states()) if absorbing is None else set(absorbing)
+        )
+        if not absorbing_set:
+            raise ValueError("chain has no absorbing states")
+        t_idx = [i for i, s in enumerate(self._states) if s not in absorbing_set]
+        if not t_idx:
+            raise ValueError("chain has no transient states")
+        T = self._P[np.ix_(t_idx, t_idx)].toarray()
+        N = np.linalg.inv(np.eye(len(t_idx)) - T)
+        return N, [self._states[i] for i in t_idx]
+
+    def expected_steps_to_absorption(
+        self, absorbing: Iterable[Hashable] | None = None
+    ) -> dict[Hashable, float]:
+        """Expected number of steps until absorption from each transient
+        state (``N 1``); absorbing states map to 0."""
+        N, transient = self.fundamental_matrix(absorbing)
+        steps = N.sum(axis=1)
+        out: dict[Hashable, float] = {s: 0.0 for s in self.absorbing_states()}
+        for s, v in zip(transient, steps):
+            out[s] = float(v)
+        return out

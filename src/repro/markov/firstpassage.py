@@ -1,0 +1,105 @@
+"""First-passage analysis on CTMCs.
+
+Expected first-passage times and hitting probabilities into a target set,
+solved through the standard linear systems on the non-target block.  The
+dependability benches use these for MTTF tables (first passage into
+``F``) and for "time to first coverage exhaustion" style questions the
+paper's figures do not expose directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+import numpy as np
+import scipy.sparse.linalg
+
+from repro.markov.ctmc import CTMC
+
+__all__ = ["expected_first_passage_times", "hitting_probabilities"]
+
+
+def expected_first_passage_times(
+    chain: CTMC, targets: Iterable[Hashable]
+) -> dict[Hashable, float]:
+    """``E[inf {t : X_t in targets} | X_0 = s]`` for every state ``s``.
+
+    Target states map to 0.  States that cannot reach the target set get
+    ``inf``.  Solves ``(-T) m = 1`` on the non-target block ``T``.
+    """
+    target_idx = {chain.index_of(s) for s in targets}
+    if not target_idx:
+        raise ValueError("target set must not be empty")
+    other = [i for i in range(chain.n_states) if i not in target_idx]
+    out: dict[Hashable, float] = {chain.states[i]: 0.0 for i in target_idx}
+    if not other:
+        return out
+    # Which non-target states can reach the target set at all?
+    reachable = _can_reach(chain, target_idx)
+    solvable = [i for i in other if reachable[i]]
+    for i in other:
+        if not reachable[i]:
+            out[chain.states[i]] = float("inf")
+    if solvable:
+        T = chain.generator[np.ix_(solvable, solvable)].tocsc()
+        m = scipy.sparse.linalg.spsolve(-T, np.ones(len(solvable)))
+        m = np.atleast_1d(m)
+        for i, value in zip(solvable, m):
+            out[chain.states[i]] = float(value)
+    return out
+
+
+def hitting_probabilities(
+    chain: CTMC, targets: Iterable[Hashable]
+) -> dict[Hashable, float]:
+    """Probability of ever entering ``targets`` from every state.
+
+    Solves ``T h = -R 1`` on the non-target block (``R`` the block of
+    rates into the target set); target states map to 1.
+    """
+    target_idx = sorted(chain.index_of(s) for s in set(targets))
+    if not target_idx:
+        raise ValueError("target set must not be empty")
+    other = [i for i in range(chain.n_states) if i not in set(target_idx)]
+    out: dict[Hashable, float] = {chain.states[i]: 1.0 for i in target_idx}
+    if not other:
+        return out
+    Q = chain.generator
+    T = Q[np.ix_(other, other)].tocsc()
+    R = Q[np.ix_(other, target_idx)]
+    rhs = -np.asarray(R.sum(axis=1)).ravel()
+    # Absorbing non-target states (exit rate 0) yield singular T; regularize
+    # by noting h = 0 there and solving on the rest.
+    exit_rates = -T.diagonal()
+    live = np.flatnonzero(exit_rates > 0.0)
+    dead = np.flatnonzero(exit_rates == 0.0)
+    for k in dead:
+        out[chain.states[other[k]]] = 0.0
+    if live.size:
+        T_live = T[np.ix_(live, live)].tocsc()
+        # T h = -(R 1); columns into dead states multiply h = 0 and drop out.
+        h = np.atleast_1d(scipy.sparse.linalg.spsolve(T_live, rhs[live]))
+        for k, value in zip(live, h):
+            out[chain.states[other[k]]] = float(np.clip(value, 0.0, 1.0))
+    return out
+
+
+def _can_reach(chain: CTMC, target_idx: set[int]) -> np.ndarray:
+    """Boolean vector: can state i reach the target set?"""
+    # Reverse-BFS over the transition graph.
+    Q = chain.generator.tocoo()
+    reverse_adj: dict[int, list[int]] = {}
+    for i, j, q in zip(Q.row, Q.col, Q.data):
+        if i != j and q > 0.0:
+            reverse_adj.setdefault(j, []).append(i)
+    seen = np.zeros(chain.n_states, dtype=bool)
+    stack = list(target_idx)
+    for i in stack:
+        seen[i] = True
+    while stack:
+        j = stack.pop()
+        for i in reverse_adj.get(j, ()):
+            if not seen[i]:
+                seen[i] = True
+                stack.append(i)
+    return seen

@@ -1,0 +1,118 @@
+"""Steady-state distribution solvers for irreducible CTMCs.
+
+The stationary distribution ``pi`` solves ``pi @ Q = 0`` with
+``sum(pi) = 1``.  Three independent methods are provided; availability
+analysis (:mod:`repro.core.availability`) uses ``linear`` by default, while
+tests cross-check all three.
+
+The repair-augmented dependability chains of Section 5.2 are irreducible by
+construction (every state repairs back to the all-healthy state), so
+existence and uniqueness of ``pi`` are guaranteed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+import scipy.sparse.linalg
+
+from repro.markov.ctmc import CTMC
+
+__all__ = ["stationary_distribution", "STATIONARY_METHODS", "is_irreducible"]
+
+STATIONARY_METHODS = ("linear", "nullspace", "power")
+
+
+def is_irreducible(chain: CTMC) -> bool:
+    """True when the transition graph is strongly connected."""
+    n_comp, _ = sp.csgraph.connected_components(
+        chain.generator, directed=True, connection="strong"
+    )
+    return n_comp == 1
+
+
+def stationary_distribution(
+    chain: CTMC,
+    *,
+    method: str = "linear",
+    tol: float = 1e-13,
+    max_iter: int = 2_000_000,
+) -> np.ndarray:
+    """Stationary distribution of an irreducible CTMC.
+
+    Parameters
+    ----------
+    chain:
+        The chain; must be irreducible (checked).
+    method:
+        ``linear`` replaces one balance equation with the normalization
+        constraint and solves the sparse system (default); ``nullspace``
+        extracts the null space of ``Q^T`` by dense SVD; ``power`` runs
+        power iteration on the uniformized DTMC.
+    tol, max_iter:
+        Convergence controls for ``power`` (ignored otherwise).
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``n_states`` probability vector.
+    """
+    if chain.n_states == 1:
+        return np.ones(1)
+    if not is_irreducible(chain):
+        raise ValueError(
+            "chain is not irreducible; stationary distribution is not unique"
+        )
+    if method == "linear":
+        return _solve_linear(chain)
+    if method == "nullspace":
+        return _solve_nullspace(chain)
+    if method == "power":
+        return _solve_power(chain, tol=tol, max_iter=max_iter)
+    raise ValueError(f"unknown method {method!r}; choose from {STATIONARY_METHODS}")
+
+
+def _solve_linear(chain: CTMC) -> np.ndarray:
+    n = chain.n_states
+    # pi Q = 0  <=>  Q^T pi^T = 0; replace the last equation by sum(pi) = 1.
+    A = chain.generator.T.tolil()
+    A[n - 1, :] = 1.0
+    b = np.zeros(n)
+    b[n - 1] = 1.0
+    pi = scipy.sparse.linalg.spsolve(A.tocsr(), b)
+    return _clean(pi)
+
+
+def _solve_nullspace(chain: CTMC) -> np.ndarray:
+    QT = chain.generator.T.toarray()
+    ns = scipy.linalg.null_space(QT)
+    if ns.shape[1] != 1:  # pragma: no cover - guarded by irreducibility check
+        raise RuntimeError(f"null space dimension {ns.shape[1]} != 1")
+    pi = ns[:, 0]
+    if pi.sum() < 0:
+        pi = -pi
+    return _clean(pi)
+
+
+def _solve_power(chain: CTMC, *, tol: float, max_iter: int) -> np.ndarray:
+    P, _lam = chain.uniformized_matrix()
+    PT = P.T.tocsr()
+    pi = np.full(chain.n_states, 1.0 / chain.n_states)
+    for _ in range(max_iter):
+        nxt = PT @ pi
+        nxt /= nxt.sum()
+        if np.abs(nxt - pi).max() < tol:
+            return _clean(nxt)
+        pi = nxt
+    raise RuntimeError(
+        f"power iteration did not converge in {max_iter} iterations"
+    )
+
+
+def _clean(pi: np.ndarray) -> np.ndarray:
+    pi = np.where(np.abs(pi) < 1e-300, 0.0, pi)
+    if pi.min() < -1e-9 * max(1.0, pi.max()):
+        raise RuntimeError("stationary solve produced a significantly negative entry")
+    pi = np.clip(pi, 0.0, None)
+    return pi / pi.sum()

@@ -1,0 +1,42 @@
+"""Monte Carlo dependability estimation.
+
+Cross-validates the Markov results of :mod:`repro.core` through two fully
+independent estimators (a stronger check than the paper itself ran):
+
+* :mod:`~repro.montecarlo.ctmc_mc` -- direct trajectory sampling of *any*
+  CTMC: empirical transient distributions (hence R(t)) and long-run
+  occupancy (hence availability), with confidence intervals.
+* :mod:`~repro.montecarlo.lifetime` -- a structure-function estimator that
+  never builds the chain: it samples iid exponential component lifetimes
+  and applies the DRA coverage semantics directly.  Its analytic target is
+  the ``extended`` model variant (the physically faithful one), so
+  agreement checks the *chain structure*, not just the solver.
+"""
+
+from repro.montecarlo.ctmc_mc import (
+    TrajectorySample,
+    empirical_availability,
+    empirical_state_probabilities,
+    sample_trajectory,
+)
+from repro.montecarlo.importance import (
+    ImportanceSamplingResult,
+    unavailability_importance_sampling,
+)
+from repro.montecarlo.lifetime import (
+    LifetimeEstimate,
+    sample_lc_failure_times,
+    structure_function_reliability,
+)
+
+__all__ = [
+    "TrajectorySample",
+    "sample_trajectory",
+    "empirical_state_probabilities",
+    "empirical_availability",
+    "LifetimeEstimate",
+    "sample_lc_failure_times",
+    "structure_function_reliability",
+    "ImportanceSamplingResult",
+    "unavailability_importance_sampling",
+]

@@ -1,0 +1,217 @@
+"""Rare-event availability estimation by importance sampling.
+
+The paper's DRA availability figures sit at unavailabilities of 1e-8 to
+1e-10.  Naive trajectory sampling would need ~1e11 regenerative cycles to
+see a single LC outage, so standard Monte Carlo *cannot* check Figure 7
+-- a gap this module closes with the classic **balanced failure biasing**
+estimator (Shahabuddin-style) on regenerative cycles:
+
+1. A cycle starts in the all-healthy state and ends on the first return
+   to it.
+2. Under the *biased* measure, whenever both failure and repair
+   transitions are available, failure transitions jointly receive
+   probability ``bias`` (spread evenly among them -- "balanced"),
+   steering the walk toward the failed state.
+3. Sojourn times stay exponential with the original exit rates, so only
+   the jump probabilities are reweighted; each cycle carries the
+   likelihood ratio of its jump sequence.
+4. Unavailability = E[downtime per cycle] / E[cycle length] by the
+   renewal-reward theorem; the numerator uses the biased measure with
+   likelihood weights, the denominator plain sampling (it is not rare).
+
+The estimator returns a point estimate with a delta-method standard
+error, and is validated in the benches against the exact stationary
+solve across six orders of magnitude of rarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.ctmc import CTMC
+
+__all__ = ["ImportanceSamplingResult", "unavailability_importance_sampling"]
+
+
+@dataclass(frozen=True)
+class ImportanceSamplingResult:
+    """Outcome of a failure-biasing run."""
+
+    unavailability: float
+    std_error: float
+    n_cycles: int
+    mean_cycle_length: float
+    #: fraction of biased cycles that visited the rare (failed) state
+    hit_fraction: float
+
+    @property
+    def availability(self) -> float:
+        """``1 - unavailability``."""
+        return 1.0 - self.unavailability
+
+    def consistent_with(self, exact: float, *, z: float = 5.0) -> bool:
+        """True when ``exact`` lies within ``z`` standard errors."""
+        return abs(self.unavailability - exact) <= z * self.std_error
+
+
+class _Rows:
+    """Per-state jump structure with failure/repair classification.
+
+    A transition out of state ``i`` is classified as *repair* if it moves
+    toward the regeneration state's neighborhood (here: any transition
+    whose rate is at least ``repair_threshold`` times the largest failure
+    rate -- the dependability chains have a clean scale gap of ~1e4
+    between repair (~1e-1/h) and failure (~1e-5/h) rates).
+    """
+
+    def __init__(self, chain: CTMC, repair_threshold: float) -> None:
+        Q = chain.generator
+        self.exit = chain.exit_rates()
+        self.targets: list[np.ndarray] = []
+        self.probs: list[np.ndarray] = []
+        self.is_repair: list[np.ndarray] = []
+        max_rate = max((Q.data.max() if Q.nnz else 0.0), 1e-300)
+        for i in range(chain.n_states):
+            row = Q.getrow(i).tocoo()
+            mask = (row.col != i) & (row.data > 0.0)
+            cols, rates = row.col[mask], row.data[mask]
+            self.targets.append(cols)
+            total = rates.sum()
+            self.probs.append(rates / total if total > 0 else rates)
+            # Scale-gap classification: "fast" transitions are repairs.
+            cutoff = repair_threshold * (rates.min() if rates.size else 1.0)
+            self.is_repair.append(rates >= cutoff)
+
+
+def unavailability_importance_sampling(
+    chain: CTMC,
+    failed_state: object,
+    n_cycles: int,
+    rng: np.random.Generator,
+    *,
+    regeneration_state: object | None = None,
+    bias: float = 0.5,
+    repair_threshold: float = 100.0,
+    max_jumps_per_cycle: int = 100_000,
+) -> ImportanceSamplingResult:
+    """Estimate steady-state unavailability by balanced failure biasing.
+
+    Parameters
+    ----------
+    chain:
+        Irreducible repairable CTMC.
+    failed_state:
+        The state whose occupancy defines unavailability (the paper's F).
+    n_cycles:
+        Regenerative cycles to simulate (half plain for the denominator,
+        half biased for the numerator).
+    regeneration_state:
+        Cycle anchor; defaults to state index 0 (the all-healthy state in
+        the dependability chains).
+    bias:
+        Total jump probability given to failure transitions when both
+        kinds are available (0.5 is the standard choice).
+    repair_threshold:
+        Rate ratio separating repair from failure transitions.
+    """
+    if not 0.0 < bias < 1.0:
+        raise ValueError(f"bias must lie in (0, 1), got {bias}")
+    if n_cycles < 2:
+        raise ValueError("need at least 2 cycles")
+    regen = 0 if regeneration_state is None else chain.index_of(regeneration_state)
+    failed = chain.index_of(failed_state)
+    if failed == regen:
+        raise ValueError("failed state cannot anchor the regeneration cycles")
+    rows = _Rows(chain, repair_threshold)
+
+    # --- denominator: E[cycle length], plain simulation -------------------
+    n_plain = n_cycles // 2
+    lengths = np.empty(n_plain)
+    for c in range(n_plain):
+        lengths[c] = _plain_cycle_length(rows, regen, rng, max_jumps_per_cycle)
+
+    # --- numerator: E[downtime per cycle], biased + reweighted -------------
+    n_biased = n_cycles - n_plain
+    downtimes = np.empty(n_biased)
+    hits = 0
+    for c in range(n_biased):
+        downtime, hit = _biased_cycle_downtime(
+            rows, regen, failed, bias, rng, max_jumps_per_cycle
+        )
+        downtimes[c] = downtime
+        hits += hit
+
+    mean_len = float(lengths.mean())
+    mean_down = float(downtimes.mean())
+    u = mean_down / mean_len
+    # Delta-method standard error for a ratio of independent means.
+    var_len = float(lengths.var(ddof=1)) / n_plain
+    var_down = float(downtimes.var(ddof=1)) / n_biased
+    se = (
+        np.sqrt(var_down / mean_len**2 + (mean_down**2 / mean_len**4) * var_len)
+        if mean_len > 0
+        else float("inf")
+    )
+    return ImportanceSamplingResult(
+        unavailability=u,
+        std_error=float(se),
+        n_cycles=n_cycles,
+        mean_cycle_length=mean_len,
+        hit_fraction=hits / n_biased,
+    )
+
+
+def _plain_cycle_length(
+    rows: _Rows, regen: int, rng: np.random.Generator, max_jumps: int
+) -> float:
+    t = 0.0
+    i = regen
+    for _ in range(max_jumps):
+        t += rng.exponential(1.0 / rows.exit[i])
+        cp = np.cumsum(rows.probs[i])
+        i = int(rows.targets[i][np.searchsorted(cp, rng.random(), side="right")])
+        if i == regen:
+            return t
+    raise RuntimeError("cycle did not regenerate within max_jumps")
+
+
+def _biased_cycle_downtime(
+    rows: _Rows,
+    regen: int,
+    failed: int,
+    bias: float,
+    rng: np.random.Generator,
+    max_jumps: int,
+) -> tuple[float, int]:
+    """One biased cycle: (likelihood-weighted downtime, hit indicator)."""
+    downtime = 0.0
+    weight = 1.0
+    hit = 0
+    i = regen
+    for _ in range(max_jumps):
+        dwell = rng.exponential(1.0 / rows.exit[i])
+        if i == failed:
+            downtime += dwell
+            hit = 1
+        probs = rows.probs[i]
+        repair_mask = rows.is_repair[i]
+        n_fail = int((~repair_mask).sum())
+        if 0 < n_fail < probs.size:
+            # Balanced failure biasing: failures share `bias` evenly,
+            # repairs share the rest proportionally.
+            biased = np.empty_like(probs)
+            biased[~repair_mask] = bias / n_fail
+            repair_total = probs[repair_mask].sum()
+            biased[repair_mask] = (1.0 - bias) * probs[repair_mask] / repair_total
+        else:
+            biased = probs
+        cp = np.cumsum(biased)
+        k = int(np.searchsorted(cp, rng.random(), side="right"))
+        k = min(k, probs.size - 1)
+        weight *= probs[k] / biased[k]
+        i = int(rows.targets[i][k])
+        if i == regen:
+            return downtime * weight, hit
+    raise RuntimeError("biased cycle did not regenerate within max_jumps")

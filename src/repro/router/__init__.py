@@ -1,0 +1,57 @@
+"""Executable BDR / DRA router model.
+
+This subpackage turns the architecture of Sections 2-4 of the paper into a
+runnable discrete-event model:
+
+* :mod:`~repro.router.packets` -- packets, fixed-size cells and the five
+  EIB control-packet kinds with their three-tier parameter sets.
+* :mod:`~repro.router.components` -- PIU, PDLU, SRU, LFE and bus-controller
+  models with health state.
+* :mod:`~repro.router.routing` -- route processor, routing-table
+  distribution, and the LFE's longest-prefix-match trie.
+* :mod:`~repro.router.linecard` -- linecards in BDR style (protocol logic
+  fused into PIU/SRU) and DRA style (separate PDLU).
+* :mod:`~repro.router.fabric` -- crossbar switching fabric with redundant
+  fabric cards (Cisco-12000-style 1:4 sparing).
+* :mod:`~repro.router.bus` -- the enhanced internal bus: CSMA/CD control
+  lines and TDM data lines.
+* :mod:`~repro.router.arbitration` -- the distributed counter arbiter of
+  Section 4 (Ctr_id / Ctr_r / Ctr_beta, L_t / L_p lines).
+* :mod:`~repro.router.protocol` -- the three-tier EIB protocol state
+  machines (forward path, reverse path, lookup service).
+* :mod:`~repro.router.recovery` -- the fault map and coverage planning of
+  Section 3.2 (Cases 1-3).
+* :mod:`~repro.router.bandwidth` -- the B_prom allocator over the EIB.
+* :mod:`~repro.router.faults` -- fault injection and repair processes.
+* :mod:`~repro.router.router` -- the assembled ``Router`` facade.
+* :mod:`~repro.router.stats` -- metric collection.
+"""
+
+from repro.router.packets import (
+    Cell,
+    ControlKind,
+    ControlPacket,
+    Packet,
+    Protocol,
+    segment,
+)
+from repro.router.components import ComponentKind
+from repro.router.router import Router, RouterConfig, RouterMode
+from repro.router.faults import FaultInjector, FaultEvent
+from repro.router.stats import RouterStats
+
+__all__ = [
+    "Cell",
+    "ControlKind",
+    "ControlPacket",
+    "Packet",
+    "Protocol",
+    "segment",
+    "ComponentKind",
+    "Router",
+    "RouterConfig",
+    "RouterMode",
+    "FaultInjector",
+    "FaultEvent",
+    "RouterStats",
+]

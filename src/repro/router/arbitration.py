@@ -1,0 +1,173 @@
+"""The distributed data-line arbiter of Section 4.
+
+Every LC mirrors three counters:
+
+* ``Ctr_id`` -- the LC's assigned logical-path ID (unique, dense, assigned
+  in LP-establishment completion order: the first LP gets 1, the next 2, ...);
+* ``Ctr_beta`` -- the number of LPs currently sharing the data lines;
+* ``Ctr_r`` -- the round counter; all copies move in lockstep because they
+  are driven by two broadcast control lines: ``L_t`` ("turn finished",
+  decrements every ``Ctr_r``) and ``L_p`` ("round exhausted", raised when
+  ``Ctr_r`` hits zero, reloading every copy with ``beta``).
+
+An LC transmits exactly when ``Ctr_r == Ctr_id``.  Consequences (all
+asserted in tests):
+
+* turn order within a round is descending ID -- "the most recently added
+  requesting LC has its first turn";
+* every LP gets exactly one turn per round (round-robin fairness);
+* on release of the LP with ID ``id_o`` (announced inside REL_D), ``beta``
+  decrements and every ID greater than ``id_o`` shifts down by one, keeping
+  the ID space dense.
+
+The class keeps one counter copy per participating LC and exposes
+:meth:`check_coherence` verifying that all mirrors agree -- the property
+the paper's broadcast lines are designed to maintain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LCCounters", "DistributedArbiter", "ArbitrationError"]
+
+
+class ArbitrationError(RuntimeError):
+    """Raised on protocol violations (double release, unknown LC, ...)."""
+
+
+@dataclass
+class LCCounters:
+    """One LC's mirrored counter set."""
+
+    ctr_id: int | None = None  # None when this LC holds no LP
+    ctr_beta: int = 0
+    ctr_r: int = 0
+
+
+class DistributedArbiter:
+    """Counter-based round-robin TDM arbiter over the EIB data lines."""
+
+    def __init__(self, lc_ids: list[int]) -> None:
+        if len(set(lc_ids)) != len(lc_ids):
+            raise ArbitrationError("duplicate LC ids")
+        self._counters = {lc: LCCounters() for lc in lc_ids}
+        self.rounds_completed = 0
+        self.turns_taken = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def _any(self) -> LCCounters:
+        """Any mirror (they agree on ``ctr_beta``/``ctr_r`` by construction)."""
+        return next(iter(self._counters.values()))
+
+    @property
+    def beta(self) -> int:
+        """Current number of LPs sharing the data lines."""
+        return self._any().ctr_beta
+
+    @property
+    def round_counter(self) -> int:
+        """The global ``Ctr_r`` value (all mirrors agree)."""
+        return self._any().ctr_r
+
+    def counters(self, lc_id: int) -> LCCounters:
+        """The mirrored counter set at ``lc_id``."""
+        try:
+            return self._counters[lc_id]
+        except KeyError:
+            raise ArbitrationError(f"LC {lc_id} is not on this bus") from None
+
+    def holder_of(self, lp_ordinal: int) -> int | None:
+        """LC currently holding the given LP ID, or ``None``."""
+        for lc, c in self._counters.items():
+            if c.ctr_id == lp_ordinal:
+                return lc
+        return None
+
+    def participants(self) -> list[int]:
+        """LCs currently holding an LP, in ascending ID order."""
+        holders = [
+            (c.ctr_id, lc) for lc, c in self._counters.items() if c.ctr_id is not None
+        ]
+        return [lc for _id, lc in sorted(holders)]
+
+    def check_coherence(self) -> None:
+        """Assert all mirrored ``Ctr_beta`` / ``Ctr_r`` copies agree and the
+        ID space is exactly ``{1, ..., beta}``."""
+        betas = {c.ctr_beta for c in self._counters.values()}
+        rounds = {c.ctr_r for c in self._counters.values()}
+        if len(betas) != 1 or len(rounds) != 1:
+            raise ArbitrationError(
+                f"counter mirrors diverged: betas={betas}, rounds={rounds}"
+            )
+        ids = sorted(
+            c.ctr_id for c in self._counters.values() if c.ctr_id is not None
+        )
+        beta = betas.pop()
+        if ids != list(range(1, beta + 1)):
+            raise ArbitrationError(f"ID space {ids} not dense over beta={beta}")
+
+    # -- protocol operations ---------------------------------------------------
+
+    def establish(self, lc_id: int) -> int:
+        """Complete LP establishment for ``lc_id``; returns the assigned ID.
+
+        Mirrors Section 4's assignment sequence: ``Ctr_id <- beta + 1``,
+        ``Ctr_r <- beta + 1`` (the newcomer leads the next round), then
+        ``beta`` incremented everywhere.
+        """
+        c = self.counters(lc_id)
+        if c.ctr_id is not None:
+            raise ArbitrationError(f"LC {lc_id} already holds LP id {c.ctr_id}")
+        new_id = self.beta + 1
+        c.ctr_id = new_id
+        for mirror in self._counters.values():
+            mirror.ctr_beta = new_id
+            mirror.ctr_r = new_id
+        return new_id
+
+    def release(self, lc_id: int) -> int:
+        """Release ``lc_id``'s LP (the REL_D announcement); returns the
+        freed ID ``id_o``.  IDs above ``id_o`` compact down by one."""
+        c = self.counters(lc_id)
+        if c.ctr_id is None:
+            raise ArbitrationError(f"LC {lc_id} holds no LP to release")
+        id_o = c.ctr_id
+        c.ctr_id = None
+        for mirror in self._counters.values():
+            mirror.ctr_beta -= 1
+            if mirror.ctr_id is not None and mirror.ctr_id > id_o:
+                mirror.ctr_id -= 1
+        # Keep the round counter meaningful: positions above id_o shifted.
+        new_beta = self.beta
+        for mirror in self._counters.values():
+            if mirror.ctr_r > id_o:
+                mirror.ctr_r -= 1
+            if mirror.ctr_r > new_beta or (mirror.ctr_r == 0 and new_beta > 0):
+                mirror.ctr_r = new_beta
+        return id_o
+
+    def current_turn(self) -> int | None:
+        """LC whose turn it is (``Ctr_r == Ctr_id``); ``None`` when idle."""
+        if self.beta == 0:
+            return None
+        r = self.round_counter
+        return self.holder_of(r)
+
+    def finish_turn(self, lc_id: int) -> None:
+        """The transmitting LC lowers ``L_t``: all ``Ctr_r`` decrement; a
+        zero raises ``L_p``, reloading every ``Ctr_r`` with ``beta``."""
+        turn = self.current_turn()
+        if turn != lc_id:
+            raise ArbitrationError(
+                f"LC {lc_id} finished a turn it does not hold (turn={turn})"
+            )
+        self.turns_taken += 1
+        for mirror in self._counters.values():
+            mirror.ctr_r -= 1
+        if self.round_counter == 0:
+            self.rounds_completed += 1
+            beta = self.beta
+            for mirror in self._counters.values():
+                mirror.ctr_r = beta

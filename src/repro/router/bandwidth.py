@@ -1,0 +1,113 @@
+"""B_prom bandwidth allocation over the EIB data lines (Section 4).
+
+Wraps :func:`repro.core.performance.promised_bandwidth` (the paper's
+scale-back rule) in a stateful allocator the bus uses: logical paths
+register their requested rates, and every registration/deregistration
+recomputes each LP's *promised* rate.  The data channel paces each LP to
+its promise with a virtual-time token scheme, and LPs whose backlog
+exceeds the configured buffer drop packets -- the paper's "scale back
+their transmission rates accordingly by dropping packets".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.performance import promised_bandwidth
+
+__all__ = ["EIBBandwidthAllocator", "LPAllocation"]
+
+
+@dataclass
+class LPAllocation:
+    """One logical path's bandwidth state."""
+
+    lp_id: int
+    requested_bps: float
+    promised_bps: float = 0.0
+    #: Virtual time before which the LP has exhausted its promised credit.
+    next_eligible: float = 0.0
+
+
+class EIBBandwidthAllocator:
+    """Tracks LP bandwidth requests and the resulting promises."""
+
+    def __init__(self, bus_capacity_bps: float) -> None:
+        if bus_capacity_bps <= 0.0:
+            raise ValueError(f"bus capacity must be positive, got {bus_capacity_bps}")
+        self._capacity = bus_capacity_bps
+        self._lps: dict[int, LPAllocation] = {}
+
+    @property
+    def capacity_bps(self) -> float:
+        """The EIB data-line capacity ``B_BUS``."""
+        return self._capacity
+
+    @property
+    def total_requested_bps(self) -> float:
+        """``B_LCT``: sum of all current requests."""
+        return sum(lp.requested_bps for lp in self._lps.values())
+
+    @property
+    def oversubscribed(self) -> bool:
+        """True when requests exceed the bus and promises are scaled back."""
+        return self.total_requested_bps > self._capacity
+
+    def register(self, lp_id: int, requested_bps: float) -> LPAllocation:
+        """Add a logical path and recompute all promises."""
+        if requested_bps < 0.0:
+            raise ValueError(f"negative request {requested_bps}")
+        if lp_id in self._lps:
+            raise ValueError(f"LP {lp_id} already registered")
+        alloc = LPAllocation(lp_id=lp_id, requested_bps=requested_bps)
+        self._lps[lp_id] = alloc
+        self._recompute()
+        return alloc
+
+    def update_request(self, lp_id: int, requested_bps: float) -> None:
+        """Change an LP's requested rate (streams sharing one LP re-post
+        their combined requirement) and recompute all promises."""
+        if requested_bps < 0.0:
+            raise ValueError(f"negative request {requested_bps}")
+        self._lps[lp_id].requested_bps = requested_bps
+        self._recompute()
+
+    def deregister(self, lp_id: int) -> None:
+        """Remove a logical path and recompute remaining promises."""
+        if lp_id not in self._lps:
+            raise ValueError(f"LP {lp_id} not registered")
+        del self._lps[lp_id]
+        self._recompute()
+
+    def allocation(self, lp_id: int) -> LPAllocation:
+        """The allocation record for ``lp_id``."""
+        return self._lps[lp_id]
+
+    def promises(self) -> dict[int, float]:
+        """Current promised rate per LP id."""
+        return {lp_id: lp.promised_bps for lp_id, lp in self._lps.items()}
+
+    def charge(self, lp_id: int, size_bytes: int, now: float) -> float:
+        """Consume credit for one packet; returns its eligible-to-send time.
+
+        Implements per-LP pacing at the promised rate: each packet is
+        eligible ``size * 8 / promise`` after the previous one (or
+        immediately when the LP has been idle past that point).
+        """
+        lp = self._lps[lp_id]
+        if lp.promised_bps <= 0.0:
+            return float("inf")
+        start = max(now, lp.next_eligible)
+        lp.next_eligible = start + (size_bytes * 8.0) / lp.promised_bps
+        return start
+
+    def _recompute(self) -> None:
+        if not self._lps:
+            return
+        ids = list(self._lps)
+        requests = np.array([self._lps[i].requested_bps for i in ids])
+        promises = promised_bandwidth(requests, self._capacity)
+        for lp_id, promise in zip(ids, promises):
+            self._lps[lp_id].promised_bps = float(promise)

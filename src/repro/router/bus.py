@@ -1,0 +1,391 @@
+"""The enhanced internal bus (EIB): control lines and data lines.
+
+The EIB of Section 4 is a distributed bus with two separate line groups:
+
+* **control lines** -- CSMA/CD medium carrying the small fixed-size
+  control packets (REQ/REP/REL) that arbitrate the data lines, exchange
+  the fault map, and serve remote lookups;
+* **data lines** -- the wide path carrying whole packets (no cell
+  segmentation, one of the distributed bus's stated advantages), shared by
+  the established logical paths under the counter-based round-robin TDM of
+  :mod:`repro.router.arbitration`, with per-LP rates paced to the B_prom
+  promises of :mod:`repro.router.bandwidth`.
+
+Both channels share a health flag (the passive lines, ``lam_bus`` in the
+dependability models); per-LC bus controllers are modeled at the linecard.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.router.arbitration import DistributedArbiter
+from repro.router.bandwidth import EIBBandwidthAllocator
+from repro.router.packets import ControlPacket
+from repro.sim import Engine
+
+__all__ = ["ControlChannel", "DataChannel", "EIB"]
+
+
+class ControlChannel:
+    """CSMA/CD broadcast medium for control packets.
+
+    Carrier sense: a sender that finds the medium busy defers to the end
+    of the current transmission plus a random backoff.  Collision: two
+    stations that start within ``collision_window`` of each other abort
+    and retry with binary exponential backoff (slot-granular, like
+    classic Ethernet).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rng: np.random.Generator,
+        *,
+        rate_bps: float = 2e9,
+        slot_time_s: float = 50e-9,
+        collision_window_s: float = 5e-9,
+        max_attempts: int = 16,
+    ) -> None:
+        self._engine = engine
+        self._rng = rng
+        self._rate = rate_bps
+        self._slot = slot_time_s
+        self._window = collision_window_s
+        self._max_attempts = max_attempts
+        self._handlers: dict[int, Callable[[ControlPacket], None]] = {}
+        self._busy_until = 0.0
+        self._tx_start = -1.0
+        self._tx_abort: Callable[[], None] | None = None
+        self._tx_inflight: tuple[ControlPacket, int, int] | None = None
+        self.healthy = True
+        # statistics
+        self.sent = 0
+        self.collisions = 0
+        self.deferrals = 0
+        self.failures = 0  # packets abandoned after max_attempts
+
+    def attach(self, lc_id: int, handler: Callable[[ControlPacket], None]) -> None:
+        """Register ``handler`` to receive every broadcast not sent by ``lc_id``."""
+        self._handlers[lc_id] = handler
+
+    def broadcast(self, packet: ControlPacket, sender_lc: int) -> None:
+        """Transmit ``packet`` from ``sender_lc`` to all other stations.
+
+        Returns immediately; delivery happens via the attached handlers
+        after medium acquisition.  A dead bus silently drops (stations
+        discover this through the absence of replies, as in hardware).
+        """
+        self._attempt(packet, sender_lc, attempt=0)
+
+    def _attempt(self, packet: ControlPacket, sender_lc: int, attempt: int) -> None:
+        if not self.healthy:
+            return
+        if attempt >= self._max_attempts:
+            self.failures += 1
+            return
+        now = self._engine.now
+        if now - self._tx_start < self._window and self._tx_abort is not None:
+            # Collision: another station started within the vulnerability
+            # window -- signal propagation has not reached us yet, so
+            # carrier sense cannot save us.  Both transmissions die and
+            # both stations back off and retry.
+            self.collisions += 1
+            self._tx_abort()
+            self._tx_abort = None
+            self._busy_until = now  # medium clears after the jam
+            if self._tx_inflight is not None:
+                pkt0, lc0, att0 = self._tx_inflight
+                self._tx_inflight = None
+                self._engine.schedule_in(
+                    self._backoff(att0),
+                    lambda: self._attempt(pkt0, lc0, att0 + 1),
+                    label="eib:ctl:retry",
+                )
+            self._engine.schedule_in(
+                self._backoff(attempt),
+                lambda: self._attempt(packet, sender_lc, attempt + 1),
+                label="eib:ctl:retry",
+            )
+            return
+        if now < self._busy_until:
+            # Carrier sensed busy: defer past it with a short random gap.
+            self.deferrals += 1
+            wait = (self._busy_until - now) + self._backoff(attempt)
+            self._engine.schedule_in(
+                wait, lambda: self._attempt(packet, sender_lc, attempt + 1),
+                label="eib:ctl:defer",
+            )
+            return
+        # Acquire the medium.
+        duration = packet.SIZE_BYTES * 8.0 / self._rate
+        self._tx_start = now
+        self._busy_until = now + duration
+        handle = self._engine.schedule_in(
+            duration, lambda: self._deliver(packet, sender_lc), label="eib:ctl:tx"
+        )
+        self._tx_abort = handle.cancel
+        self._tx_inflight = (packet, sender_lc, attempt)
+
+    def _backoff(self, attempt: int) -> float:
+        slots = int(self._rng.integers(0, 2 ** min(attempt + 1, 10)))
+        return self._slot * (1 + slots)
+
+    def _deliver(self, packet: ControlPacket, sender_lc: int) -> None:
+        self._tx_abort = None
+        self._tx_inflight = None
+        self.sent += 1
+        for lc_id, handler in list(self._handlers.items()):
+            if lc_id != sender_lc:
+                handler(packet)
+
+
+@dataclass
+class _QueuedTransfer:
+    size_bytes: int
+    eligible_at: float
+    deliver: Callable[[], None]
+
+
+@dataclass
+class _LPQueue:
+    """Per-logical-path transmit buffer at the initiating LC."""
+
+    lc_id: int
+    queue: deque[_QueuedTransfer] = field(default_factory=deque)
+    buffered_bytes: int = 0
+    closing: bool = False
+    in_service: bool = False
+    on_closed: Callable[[], None] | None = None
+
+    @property
+    def draining(self) -> bool:
+        """True while packets remain buffered or in transmission."""
+        return bool(self.queue) or self.in_service
+
+
+class DataChannel:
+    """TDM data lines driven by the distributed arbiter.
+
+    Each LC with an open logical path owns a transmit buffer; on its turn
+    (``Ctr_r == Ctr_id``) it transmits the eligible packets in its buffer
+    at the line rate, then lowers ``L_t``.  Pacing to the B_prom promise
+    happens at enqueue time through the allocator's virtual clock; packets
+    arriving beyond ``buffer_bytes`` of backlog are dropped (the paper's
+    rate scale-back by packet drop).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        arbiter: DistributedArbiter,
+        allocator: EIBBandwidthAllocator,
+        *,
+        rate_bps: float | None = None,
+        buffer_bytes: int = 2_000_000,
+        turn_overhead_s: float = 200e-9,
+    ) -> None:
+        self._engine = engine
+        self._arbiter = arbiter
+        self._allocator = allocator
+        self._rate = allocator.capacity_bps if rate_bps is None else rate_bps
+        self._buffer_limit = buffer_bytes
+        self._turn_overhead = turn_overhead_s
+        self._lps: dict[int, _LPQueue] = {}
+        self._busy = False
+        self._wake_handle = None
+        self.healthy = True
+        # statistics
+        self.transferred_bytes = 0
+        self.transferred_packets = 0
+        self.dropped_packets = 0
+
+    # -- logical-path management ---------------------------------------------
+
+    def open_lp(self, lc_id: int, requested_bps: float) -> int:
+        """Establish a logical path for ``lc_id``; returns its arbiter ID."""
+        if not self.healthy:
+            raise RuntimeError("cannot open an LP on a failed EIB")
+        existing = self._lps.get(lc_id)
+        if existing is not None:
+            if not existing.closing:
+                raise ValueError(f"LC {lc_id} already has an open LP")
+            # Reopen an LP still draining toward close: keep the arbiter
+            # slot and buffer, just refresh the bandwidth request.
+            existing.closing = False
+            existing.on_closed = None
+            self._allocator.update_request(lc_id, requested_bps)
+            return self._arbiter.counters(lc_id).ctr_id or 0
+        lp_id = self._arbiter.establish(lc_id)
+        self._allocator.register(lc_id, requested_bps)
+        self._lps[lc_id] = _LPQueue(lc_id=lc_id)
+        return lp_id
+
+    def close_lp(self, lc_id: int, *, on_closed: Callable[[], None] | None = None) -> None:
+        """Release ``lc_id``'s LP once its buffer drains (REL_D follows)."""
+        lp = self._lps.get(lc_id)
+        if lp is None:
+            raise ValueError(f"LC {lc_id} has no open LP")
+        lp.closing = True
+        lp.on_closed = on_closed
+        if not lp.draining:
+            self._finalize_close(lc_id)
+
+    def has_lp(self, lc_id: int) -> bool:
+        """True while ``lc_id`` holds an open LP."""
+        return lc_id in self._lps
+
+    def _finalize_close(self, lc_id: int) -> None:
+        lp = self._lps.pop(lc_id)
+        self._arbiter.release(lc_id)
+        self._allocator.deregister(lc_id)
+        if lp.on_closed is not None:
+            lp.on_closed()
+
+    # -- transfer --------------------------------------------------------------
+
+    def enqueue(
+        self, lc_id: int, size_bytes: int, deliver: Callable[[], None]
+    ) -> bool:
+        """Buffer ``size_bytes`` for transfer on ``lc_id``'s LP.
+
+        ``deliver`` fires at the receiving side when the transfer
+        completes.  Returns False (drop) when the LP is missing/closing,
+        the EIB is down, or the buffer is full.
+        """
+        lp = self._lps.get(lc_id)
+        if lp is None or lp.closing or not self.healthy:
+            self.dropped_packets += 1
+            return False
+        if lp.buffered_bytes + size_bytes > self._buffer_limit:
+            self.dropped_packets += 1
+            return False
+        eligible = self._allocator.charge(lc_id, size_bytes, self._engine.now)
+        if eligible == float("inf"):
+            self.dropped_packets += 1
+            return False
+        lp.queue.append(_QueuedTransfer(size_bytes, eligible, deliver))
+        lp.buffered_bytes += size_bytes
+        self._maybe_transmit()
+        return True
+
+    def fail(self) -> None:
+        """Passive-line failure: buffered and in-flight packets are lost,
+        every LP is torn down."""
+        self.healthy = False
+        for lc_id in list(self._lps):
+            lp = self._lps[lc_id]
+            self.dropped_packets += len(lp.queue) + (1 if lp.in_service else 0)
+            lp.queue.clear()
+            lp.in_service = False
+            self._finalize_close(lc_id)
+
+    def repair(self) -> None:
+        """Bring the lines back (LPs must be re-established by protocol)."""
+        self.healthy = True
+
+    def _maybe_transmit(self) -> None:
+        if self._busy or not self.healthy:
+            return
+        now = self._engine.now
+        # Rotate through at most beta turns looking for an eligible buffer.
+        for _ in range(max(1, self._arbiter.beta)):
+            turn_lc = self._arbiter.current_turn()
+            if turn_lc is None:
+                return
+            lp = self._lps.get(turn_lc)
+            if lp and lp.queue and lp.queue[0].eligible_at <= now:
+                self._transmit(lp)
+                return
+            # Empty or not-yet-eligible buffer: the LC skips its turn.
+            self._arbiter.finish_turn(turn_lc)
+        self._schedule_wake()
+
+    def _transmit(self, lp: _LPQueue) -> None:
+        self._busy = True
+        lp.in_service = True
+        item = lp.queue.popleft()
+        lp.buffered_bytes -= item.size_bytes
+        duration = self._turn_overhead + item.size_bytes * 8.0 / self._rate
+
+        def finish() -> None:
+            self._busy = False
+            lp.in_service = False
+            if not self.healthy:
+                return  # counted as dropped by fail()
+            self.transferred_bytes += item.size_bytes
+            self.transferred_packets += 1
+            if True:
+                item.deliver()
+                if lp.lc_id in self._lps:
+                    # An LP established mid-transmission reloads the round
+                    # counter (the newcomer leads); only lower L_t if this
+                    # LC still holds the turn.
+                    if self._arbiter.current_turn() == lp.lc_id:
+                        self._arbiter.finish_turn(lp.lc_id)
+                    if lp.closing and not lp.draining:
+                        self._finalize_close(lp.lc_id)
+                self._maybe_transmit()
+
+        self._engine.schedule_in(duration, finish, label="eib:data:tx")
+
+    def _schedule_wake(self) -> None:
+        pending = [
+            lp.queue[0].eligible_at for lp in self._lps.values() if lp.queue
+        ]
+        if not pending:
+            return
+        wake_at = max(min(pending), self._engine.now)
+        # A live pending wake that fires early enough already covers us.
+        if (
+            self._wake_handle is not None
+            and not self._wake_handle.cancelled
+            and self._wake_handle.time > self._engine.now
+            and self._wake_handle.time <= wake_at
+        ):
+            return
+        if self._wake_handle is not None:
+            self._wake_handle.cancel()
+
+        def wake() -> None:
+            self._wake_handle = None
+            self._maybe_transmit()
+
+        self._wake_handle = self._engine.schedule(wake_at, wake, label="eib:data:wake")
+
+
+class EIB:
+    """The whole enhanced internal bus: control + data lines + health."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        lc_ids: list[int],
+        rng: np.random.Generator,
+        *,
+        data_rate_bps: float = 20e9,
+        control_rate_bps: float = 2e9,
+    ) -> None:
+        self.arbiter = DistributedArbiter(lc_ids)
+        self.allocator = EIBBandwidthAllocator(data_rate_bps)
+        self.control = ControlChannel(engine, rng, rate_bps=control_rate_bps)
+        self.data = DataChannel(engine, self.arbiter, self.allocator)
+
+    @property
+    def healthy(self) -> bool:
+        """True while the passive lines are up."""
+        return self.data.healthy and self.control.healthy
+
+    def fail(self) -> None:
+        """Fail the passive lines (``lam_bus`` event)."""
+        self.control.healthy = False
+        self.data.fail()
+
+    def repair(self) -> None:
+        """Repair the passive lines."""
+        self.control.healthy = True
+        self.data.repair()

@@ -1,0 +1,211 @@
+"""Linecard functional units: PIU, PDLU, SRU, LFE, bus controller.
+
+Each unit is a small state machine with a health flag and a deterministic
+service-time model (fixed per-packet overhead plus a size-proportional
+term).  Failure semantics follow Section 3.2's functional fault model: a
+failed unit stops processing entirely; it is restored only by repair
+(hot-swap) -- there is no partial degradation within a unit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.router.packets import Protocol
+
+__all__ = [
+    "ComponentKind",
+    "Component",
+    "PIU",
+    "PDLU",
+    "SRU",
+    "LFE",
+    "BusController",
+    "ServiceModel",
+]
+
+
+class ComponentKind(enum.Enum):
+    """The linecard units of Figure 2 (plus the EIB bus controller)."""
+
+    PIU = "PIU"
+    PDLU = "PDLU"
+    SRU = "SRU"
+    LFE = "LFE"
+    BUS_CONTROLLER = "BC"
+
+    @property
+    def is_protocol_dependent(self) -> bool:
+        """True for the unit whose coverage requires a same-protocol LC."""
+        return self is ComponentKind.PDLU
+
+    @property
+    def is_pi_unit(self) -> bool:
+        """True for the protocol-independent datapath units (SRU, LFE).
+
+        The dependability analysis groups these as the "PI units" with the
+        combined failure rate ``lam_lpi``.
+        """
+        return self in (ComponentKind.SRU, ComponentKind.LFE)
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Deterministic per-unit service time: ``overhead + bytes / rate``.
+
+    A unit must process faster than the 10 Gbps line it serves (hardware
+    pipelines at line rate or better), and it handles both directions of
+    its LC's traffic plus any coverage work -- hence the 4x-line-rate
+    default with a small fixed overhead.
+
+    Parameters
+    ----------
+    overhead_s:
+        Fixed per-packet processing latency (seconds).
+    rate_bps:
+        Sustained processing throughput in bits per second.
+    """
+
+    overhead_s: float = 40e-9
+    rate_bps: float = 40e9
+
+    def delay(self, size_bytes: int) -> float:
+        """Service time for a unit of ``size_bytes``."""
+        return self.overhead_s + (size_bytes * 8.0) / self.rate_bps
+
+
+@dataclass
+class Component:
+    """Base class for linecard units.
+
+    ``healthy`` is toggled by the fault injector; ``processed`` counts
+    units of work completed while healthy.  Each unit is a single server:
+    :meth:`serve` accounts queueing behind earlier work via ``busy_until``,
+    so latency grows with load (and ``busy_time`` feeds utilization
+    stats).
+    """
+
+    kind: ComponentKind
+    lc_id: int
+    service: ServiceModel = field(default_factory=ServiceModel)
+    healthy: bool = True
+    processed: int = 0
+    busy_until: float = 0.0
+    busy_time: float = 0.0
+
+    def fail(self) -> None:
+        """Mark the unit failed (idempotent)."""
+        self.healthy = False
+
+    def repair(self) -> None:
+        """Restore the unit to service (hot-swap replacement).
+
+        Any virtual backlog dies with the replaced hardware, so the
+        server comes back idle.
+        """
+        self.healthy = True
+        self.busy_until = 0.0
+
+    def process_delay(self, size_bytes: int) -> float:
+        """Pure service delay (no queueing) for one unit of work; raises
+        if the unit is down.
+
+        Callers are expected to check ``healthy`` first and take the
+        coverage path; this raise is a model-consistency backstop.
+        """
+        if not self.healthy:
+            raise RuntimeError(
+                f"{self.kind.value}@LC{self.lc_id} processed work while failed"
+            )
+        self.processed += 1
+        return self.service.delay(size_bytes)
+
+    def serve(self, size_bytes: int, now: float) -> float:
+        """Queue-aware sojourn time for work arriving at ``now``.
+
+        The unit is a FIFO single server: the work waits until
+        ``busy_until``, then takes the deterministic service delay.
+        Returns waiting + service time; raises if the unit is down.
+        """
+        if not self.healthy:
+            raise RuntimeError(
+                f"{self.kind.value}@LC{self.lc_id} processed work while failed"
+            )
+        start = max(now, self.busy_until)
+        delay = self.service.delay(size_bytes)
+        self.busy_until = start + delay
+        self.busy_time += delay
+        self.processed += 1
+        return (start - now) + delay
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` time this unit spent serving."""
+        if elapsed <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    @property
+    def name(self) -> str:
+        """Short diagnostic name, e.g. ``SRU@LC3``."""
+        return f"{self.kind.value}@LC{self.lc_id}"
+
+
+@dataclass
+class PIU(Component):
+    """Physical interface unit: one per LC in this model (ports are
+    aggregated; a PIU failure takes the whole external link down, which is
+    why the analysis treats it as un-coverable)."""
+
+    def __init__(self, lc_id: int, service: ServiceModel | None = None) -> None:
+        super().__init__(ComponentKind.PIU, lc_id, service or ServiceModel())
+
+
+@dataclass
+class PDLU(Component):
+    """Protocol-dependent logic unit (DRA only): detects L2 frame
+    boundaries, extracts/attaches headers for its programmed protocol."""
+
+    protocol: Protocol = Protocol.ETHERNET
+
+    def __init__(
+        self,
+        lc_id: int,
+        protocol: Protocol,
+        service: ServiceModel | None = None,
+    ) -> None:
+        super().__init__(ComponentKind.PDLU, lc_id, service or ServiceModel())
+        self.protocol = protocol
+
+
+@dataclass
+class SRU(Component):
+    """Segmentation-and-reassembly unit: packet <-> fabric cells."""
+
+    def __init__(self, lc_id: int, service: ServiceModel | None = None) -> None:
+        super().__init__(ComponentKind.SRU, lc_id, service or ServiceModel())
+
+
+@dataclass
+class LFE(Component):
+    """Local forwarding engine: holds the distributed routing-table copy
+    and answers destination lookups."""
+
+    def __init__(self, lc_id: int, service: ServiceModel | None = None) -> None:
+        # Lookups are small fixed-cost operations dominated by overhead.
+        super().__init__(
+            ComponentKind.LFE, lc_id, service or ServiceModel(overhead_s=50e-9)
+        )
+
+
+@dataclass
+class BusController(Component):
+    """Per-LC EIB bus controller: CSMA/CD on the control lines, TDM turn
+    management on the data lines (Section 4)."""
+
+    def __init__(self, lc_id: int, service: ServiceModel | None = None) -> None:
+        super().__init__(
+            ComponentKind.BUS_CONTROLLER,
+            lc_id,
+            service or ServiceModel(overhead_s=100e-9, rate_bps=40e9),
+        )

@@ -1,0 +1,186 @@
+"""Fault injection and repair processes for the executable router.
+
+Component lifetimes are exponential with per-kind rates; repairs (when a
+repair rate is given) restore the component after an exponential delay --
+the DES analogue of the Markov models' repair transition, applied per
+component rather than router-wide.
+
+Because real failure rates (~1e-5/h) against packet timescales (~1e-6 s)
+would never fire inside a tractable run, experiments use *accelerated*
+rates; :meth:`FaultInjector.accelerated` builds one from the paper's
+:class:`~repro.core.parameters.FailureRates` and an acceleration factor.
+The DES is about *behavioral* fidelity (does coverage engage, what drops,
+how does the EIB carry the detour); the calibrated dependability numbers
+come from the Markov models and the Monte Carlo estimators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import FailureRates
+from repro.router.components import ComponentKind
+from repro.router.router import Router
+
+__all__ = ["FaultEvent", "FaultInjector", "ComponentRates"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of the injector's fault/repair log."""
+
+    time: float
+    lc_id: int | None  # None for EIB-level events
+    kind: ComponentKind | None  # None for EIB passive-line events
+    action: str  # "fail" or "repair"
+
+
+@dataclass(frozen=True)
+class ComponentRates:
+    """Per-component failure rates for the DES (per simulated second).
+
+    The paper's PI-unit rate ``lam_lpi`` covers SRU + LFE together; the
+    DES needs them separately, so it splits the rate evenly (no finer
+    attribution exists in the paper or its cited datasheet).
+    """
+
+    piu: float = 0.0
+    pdlu: float = 6.0e-6
+    sru: float = 7.0e-6
+    lfe: float = 7.0e-6
+    bus_controller: float = 1.0e-6
+    eib: float = 1.0e-6
+
+    @classmethod
+    def from_failure_rates(
+        cls, rates: FailureRates, *, accel: float = 1.0, include_piu: bool = False
+    ) -> "ComponentRates":
+        """Derive DES rates from the paper's hourly rates.
+
+        ``accel`` multiplies every rate (and converts nothing else: callers
+        decide whether a simulated second means an hour).  ``include_piu``
+        adds PIU failures, which the analysis excludes but the DES can
+        exercise.
+        """
+        return cls(
+            piu=(rates.lam_lpi / 2.0) * accel if include_piu else 0.0,
+            pdlu=rates.lam_lpd * accel,
+            sru=(rates.lam_lpi / 2.0) * accel,
+            lfe=(rates.lam_lpi / 2.0) * accel,
+            bus_controller=rates.lam_bc * accel,
+            eib=rates.lam_bus * accel,
+        )
+
+    def rate_of(self, kind: ComponentKind) -> float:
+        """Failure rate for one component kind."""
+        return {
+            ComponentKind.PIU: self.piu,
+            ComponentKind.PDLU: self.pdlu,
+            ComponentKind.SRU: self.sru,
+            ComponentKind.LFE: self.lfe,
+            ComponentKind.BUS_CONTROLLER: self.bus_controller,
+        }[kind]
+
+
+class FaultInjector:
+    """Drives component failures (and optional repairs) into a router."""
+
+    def __init__(
+        self,
+        router: Router,
+        rates: ComponentRates,
+        rng: np.random.Generator,
+        *,
+        repair_rate: float | None = None,
+    ) -> None:
+        self._router = router
+        self._rates = rates
+        self._rng = rng
+        self._repair_rate = repair_rate
+        self.log: list[FaultEvent] = []
+
+    @classmethod
+    def accelerated(
+        cls,
+        router: Router,
+        rng: np.random.Generator,
+        *,
+        accel: float = 1.0,
+        base: FailureRates | None = None,
+        repair_rate: float | None = None,
+    ) -> "FaultInjector":
+        """Injector using the paper's rates scaled by ``accel``."""
+        return cls(
+            router,
+            ComponentRates.from_failure_rates(base or FailureRates(), accel=accel),
+            rng,
+            repair_rate=repair_rate,
+        )
+
+    def start(self) -> None:
+        """Arm the first failure timer of every component (and the EIB)."""
+        for lc_id, lc in self._router.linecards.items():
+            for unit in lc.units():
+                self._arm_failure(lc_id, unit.kind)
+        if self._router.eib is not None and self._rates.eib > 0.0:
+            self._arm_eib_failure()
+
+    # -- per-component lifecycle ------------------------------------------------
+
+    def _arm_failure(self, lc_id: int, kind: ComponentKind) -> None:
+        rate = self._rates.rate_of(kind)
+        if rate <= 0.0:
+            return
+        delay = float(self._rng.exponential(1.0 / rate))
+        self._router.engine.schedule_in(
+            delay, lambda: self._fire_failure(lc_id, kind), label=f"fault:{kind.value}"
+        )
+
+    def _fire_failure(self, lc_id: int, kind: ComponentKind) -> None:
+        unit = self._router.linecards[lc_id].unit(kind)
+        if unit is None or not unit.healthy:
+            return  # already failed through another path
+        self._router.inject_fault(lc_id, kind)
+        self.log.append(FaultEvent(self._router.engine.now, lc_id, kind, "fail"))
+        if self._repair_rate is not None:
+            delay = float(self._rng.exponential(1.0 / self._repair_rate))
+            self._router.engine.schedule_in(
+                delay, lambda: self._fire_repair(lc_id, kind), label="repair"
+            )
+
+    def _fire_repair(self, lc_id: int, kind: ComponentKind) -> None:
+        self._router.repair_fault(lc_id, kind)
+        self.log.append(FaultEvent(self._router.engine.now, lc_id, kind, "repair"))
+        self._arm_failure(lc_id, kind)
+
+    # -- EIB lifecycle ------------------------------------------------------------
+
+    def _arm_eib_failure(self) -> None:
+        delay = float(self._rng.exponential(1.0 / self._rates.eib))
+        self._router.engine.schedule_in(delay, self._fire_eib_failure, label="fault:eib")
+
+    def _fire_eib_failure(self) -> None:
+        if self._router.eib is None or not self._router.eib.healthy:
+            return
+        self._router.fail_eib()
+        self.log.append(FaultEvent(self._router.engine.now, None, None, "fail"))
+        if self._repair_rate is not None:
+            delay = float(self._rng.exponential(1.0 / self._repair_rate))
+            self._router.engine.schedule_in(delay, self._fire_eib_repair, label="repair:eib")
+
+    def _fire_eib_repair(self) -> None:
+        self._router.repair_eib()
+        self.log.append(FaultEvent(self._router.engine.now, None, None, "repair"))
+        self._arm_eib_failure()
+
+    # -- summaries ------------------------------------------------------------------
+
+    def failures(self) -> list[FaultEvent]:
+        """All failure entries of the log."""
+        return [e for e in self.log if e.action == "fail"]
+
+    def repairs(self) -> list[FaultEvent]:
+        """All repair entries of the log."""
+        return [e for e in self.log if e.action == "repair"]

@@ -1,0 +1,164 @@
+"""Linecards in BDR and DRA styles.
+
+A DRA linecard (Figure 2) has four units -- PIU, PDLU, SRU, LFE -- plus a
+bus controller on the EIB.  A BDR linecard (Figure 1) has no separate
+PDLU: protocol-dependent logic is fused into the PIU and SRU, so the model
+gives it the three classic units and *no* bus controller (there is no EIB
+to attach to; the maintenance bus is not a datapath in BDR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.router.components import (
+    LFE,
+    PDLU,
+    PIU,
+    SRU,
+    BusController,
+    Component,
+    ComponentKind,
+)
+from repro.router.packets import Protocol
+from repro.router.routing import RoutingTable
+
+__all__ = ["Linecard"]
+
+
+@dataclass
+class Linecard:
+    """One linecard: functional units, protocol, capacity and load accounting.
+
+    Parameters
+    ----------
+    lc_id:
+        Slot index; also the LC's fabric port.
+    protocol:
+        The L2 protocol this card terminates.
+    dra:
+        True builds the DRA unit set (separate PDLU + bus controller).
+    capacity_bps:
+        Line-rate of the card (paper: 10 Gbps).
+    """
+
+    lc_id: int
+    protocol: Protocol
+    dra: bool = True
+    capacity_bps: float = 10e9
+
+    piu: PIU = field(init=False)
+    pdlu: PDLU | None = field(init=False)
+    sru: SRU = field(init=False)
+    lfe: LFE = field(init=False)
+    bus_controller: BusController | None = field(init=False)
+    table: RoutingTable = field(init=False, default_factory=RoutingTable)
+
+    #: Bits currently committed per second: own offered load plus any
+    #: coverage streams accepted on behalf of faulty LCs.
+    committed_bps: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bps <= 0.0:
+            raise ValueError(f"capacity must be positive, got {self.capacity_bps}")
+        self.piu = PIU(self.lc_id)
+        self.pdlu = PDLU(self.lc_id, self.protocol) if self.dra else None
+        self.sru = SRU(self.lc_id)
+        self.lfe = LFE(self.lc_id)
+        self.bus_controller = BusController(self.lc_id) if self.dra else None
+
+    # -- unit access ---------------------------------------------------------
+
+    def unit(self, kind: ComponentKind) -> Component | None:
+        """The unit of the given kind, or ``None`` if this style lacks it."""
+        return {
+            ComponentKind.PIU: self.piu,
+            ComponentKind.PDLU: self.pdlu,
+            ComponentKind.SRU: self.sru,
+            ComponentKind.LFE: self.lfe,
+            ComponentKind.BUS_CONTROLLER: self.bus_controller,
+        }[kind]
+
+    def units(self) -> list[Component]:
+        """All present units."""
+        out: list[Component] = [self.piu, self.sru, self.lfe]
+        if self.pdlu is not None:
+            out.append(self.pdlu)
+        if self.bus_controller is not None:
+            out.append(self.bus_controller)
+        return out
+
+    def failed_kinds(self) -> set[ComponentKind]:
+        """Kinds of all currently failed units on this card."""
+        return {u.kind for u in self.units() if not u.healthy}
+
+    @property
+    def fully_healthy(self) -> bool:
+        """True when every unit on the card is up."""
+        return all(u.healthy for u in self.units())
+
+    @property
+    def datapath_healthy(self) -> bool:
+        """True when the units a packet traverses are all up (the bus
+        controller is not on the no-fault datapath)."""
+        datapath = [self.piu, self.sru, self.lfe]
+        if self.pdlu is not None:
+            datapath.append(self.pdlu)
+        return all(u.healthy for u in datapath)
+
+    # -- coverage capacity accounting (Section 5.3's psi) --------------------
+
+    @property
+    def headroom_bps(self) -> float:
+        """Spare capacity this card can offer to faulty LCs."""
+        return max(0.0, self.capacity_bps - self.committed_bps)
+
+    def reserve(self, rate_bps: float) -> bool:
+        """Commit ``rate_bps`` of this card's capacity to a coverage
+        stream; False (and no change) when headroom is insufficient."""
+        if rate_bps < 0.0:
+            raise ValueError(f"negative reservation {rate_bps}")
+        if rate_bps > self.headroom_bps * (1.0 + 1e-9):
+            return False
+        self.committed_bps += rate_bps
+        return True
+
+    def release(self, rate_bps: float) -> None:
+        """Return previously reserved coverage capacity."""
+        if rate_bps < 0.0:
+            raise ValueError(f"negative release {rate_bps}")
+        self.committed_bps = max(0.0, self.committed_bps - rate_bps)
+
+    def can_cover(
+        self, fault: ComponentKind, protocol: Protocol, rate_bps: float
+    ) -> bool:
+        """Section 3.2 candidate check: can this card cover a fault of
+        ``fault`` kind on a card running ``protocol`` at ``rate_bps``?
+
+        Requires (1) a DRA card with a healthy bus controller, (2) the
+        covering unit *and everything downstream of it* on this card to be
+        healthy (a PDLU-coverage stream continues through this card's SRU
+        and LFE -- the Markov analysis treats the pools as independent,
+        but functionally the whole remaining chain must run), (3) a
+        protocol match when the fault is at the PDLU, and (4) sufficient
+        headroom.
+        """
+        if not self.dra or self.bus_controller is None or not self.bus_controller.healthy:
+            return False
+        if fault is ComponentKind.PDLU:
+            if self.pdlu is None or not self.pdlu.healthy:
+                return False
+            if self.pdlu.protocol is not protocol:
+                return False
+            if not (self.sru.healthy and self.lfe.healthy):
+                return False
+        elif fault is ComponentKind.SRU:
+            if not (self.sru.healthy and self.lfe.healthy):
+                return False
+        elif fault is ComponentKind.LFE:
+            if not self.lfe.healthy:
+                return False
+        else:
+            # PIU and bus-controller faults are not coverable (Section 3.2).
+            return False
+        return rate_bps <= self.headroom_bps * (1.0 + 1e-9)

@@ -1,0 +1,175 @@
+"""Packets, cells and EIB control packets.
+
+Data units:
+
+* :class:`Packet` -- a variable-length L3 datagram entering/leaving the
+  router through LC ports.
+* :class:`Cell` -- the fixed-length unit the SRU segments packets into for
+  transfer over the switching fabric (the EIB, by contrast, carries whole
+  packets -- one of the distributed bus's advantages listed in Section 4).
+* :class:`ControlPacket` -- the five control-line packet kinds of the EIB
+  protocol (REQ_D, REP_D, REQ_L, REP_L, REL_D) carrying the processing-tier
+  parameters (data rate, protocol type, faulty component, lookup
+  address/result).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Protocol",
+    "Packet",
+    "Cell",
+    "CELL_PAYLOAD_BYTES",
+    "segment",
+    "ControlKind",
+    "ControlPacket",
+]
+
+#: Payload bytes per fabric cell.  The paper cites fixed-length cells
+#: without a size; 48 bytes (ATM-style, as in many fabric designs of the
+#: era) is used throughout.
+CELL_PAYLOAD_BYTES = 48
+
+_packet_ids = itertools.count()
+
+
+class Protocol(enum.Enum):
+    """Layer-2 protocol families terminated by linecards.
+
+    The PDLU of a DRA linecard is programmed for exactly one of these; a
+    PDLU fault can only be covered by an LC whose PDLU implements the same
+    protocol (Section 3.1).
+    """
+
+    ETHERNET = "ethernet"
+    SONET_POS = "sonet-pos"
+    ATM = "atm"
+    FRAME_RELAY = "frame-relay"
+
+
+@dataclass
+class Packet:
+    """A datagram transiting the router.
+
+    ``path`` records every processing hop for assertions in tests ("the
+    packet actually detoured over the EIB through LC 3's PDLU").
+    """
+
+    src_lc: int
+    dst_lc: int
+    dst_addr: int
+    size_bytes: int
+    protocol: Protocol
+    created_at: float
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    delivered_at: float | None = None
+    path: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size_bytes}")
+        if not 0 <= self.dst_addr < 2**32:
+            raise ValueError(f"dst_addr must be an IPv4 integer, got {self.dst_addr}")
+
+    def hop(self, label: str) -> None:
+        """Append a processing-stage label to the packet's recorded path."""
+        self.path.append(label)
+
+    @property
+    def latency(self) -> float | None:
+        """End-to-end delay, or ``None`` while in flight / dropped."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.created_at
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fixed-length fabric cell of a segmented packet."""
+
+    pkt_id: int
+    seq: int
+    total: int
+    payload_bytes: int
+    dst_lc: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.seq < self.total:
+            raise ValueError(f"cell seq {self.seq} out of range for total {self.total}")
+        if not 0 < self.payload_bytes <= CELL_PAYLOAD_BYTES:
+            raise ValueError(f"invalid cell payload {self.payload_bytes}")
+
+
+def segment(packet: Packet, dst_lc: int | None = None) -> list[Cell]:
+    """Split ``packet`` into fabric cells (the SRU's segmentation step).
+
+    The last cell may be partially filled.  ``dst_lc`` overrides the
+    packet's destination LC (used when cells detour through an LC_inter).
+    """
+    dst = packet.dst_lc if dst_lc is None else dst_lc
+    n_cells = -(-packet.size_bytes // CELL_PAYLOAD_BYTES)  # ceil division
+    cells = []
+    remaining = packet.size_bytes
+    for seq in range(n_cells):
+        payload = min(CELL_PAYLOAD_BYTES, remaining)
+        cells.append(
+            Cell(pkt_id=packet.pkt_id, seq=seq, total=n_cells, payload_bytes=payload, dst_lc=dst)
+        )
+        remaining -= payload
+    return cells
+
+
+class ControlKind(enum.Enum):
+    """The five EIB control-packet types of Section 4."""
+
+    REQ_D = "REQ_D"  # request a data transfer over the EIB data lines
+    REP_D = "REP_D"  # accept a data-transfer request
+    REQ_L = "REQ_L"  # request an IP lookup (faulty LFE)
+    REP_L = "REP_L"  # lookup reply, result embedded in the control packet
+    REL_D = "REL_D"  # release an established logical path
+
+
+@dataclass(frozen=True)
+class ControlPacket:
+    """An EIB control-line packet.
+
+    Field groups follow the protocol's three tiers:
+
+    * addressing tier -- ``init_lc`` (LC_init) and ``rec_lc`` (LC_rec;
+      ``None`` means broadcast, e.g. a forward-path REQ_D soliciting any
+      able LC_inter);
+    * communication tier -- ``kind``;
+    * processing tier -- ``data_rate`` (Gbps requested by LC_init),
+      ``protocol`` (for LC_inter protocol matching), ``faulty_component``
+      (drives the packets-vs-cells delivery decision at healthy LCs),
+      ``lookup_addr`` / ``lookup_result`` (REQ_L / REP_L payloads), and
+      ``lp_id`` (logical-path being created or released).
+    """
+
+    kind: ControlKind
+    init_lc: int
+    rec_lc: int | None = None
+    data_rate: float = 0.0
+    protocol: Protocol | None = None
+    faulty_component: object | None = None
+    lookup_addr: int | None = None
+    lookup_result: int | None = None
+    lp_id: int | None = None
+
+    #: Control packets are small and fixed-size; 32 bytes covers the tier
+    #: fields plus framing.
+    SIZE_BYTES = 32
+
+    def __post_init__(self) -> None:
+        if self.data_rate < 0.0:
+            raise ValueError(f"negative data rate {self.data_rate}")
+        if self.kind is ControlKind.REQ_L and self.lookup_addr is None:
+            raise ValueError("REQ_L requires a lookup_addr")
+        if self.kind is ControlKind.REP_L and self.lookup_result is None:
+            raise ValueError("REP_L requires a lookup_result")
+        if self.kind is ControlKind.REL_D and self.lp_id is None:
+            raise ValueError("REL_D must name the logical path being released")

@@ -1,0 +1,493 @@
+"""The three-tier EIB protocol state machines (Section 4).
+
+Implements the control-packet exchanges over the CSMA/CD control lines:
+
+* **forward path** -- a faulty LC broadcasts ``REQ_D``; every able
+  candidate (headroom, protocol match for PDLU faults) schedules a
+  ``REP_D``; the first reply on the wire wins and the others stand down
+  on hearing it (the paper's collision-arbitrated acceptance);
+* **reverse path** -- a healthy LC addresses ``REQ_D`` directly at the
+  faulty destination, which answers ``REP_D`` itself;
+* **lookup service** -- ``REQ_L`` carries the destination address; any LC
+  with a healthy LFE answers ``REP_L`` with the result embedded in the
+  control packet (the data lines stay reserved for large transfers);
+* **release** -- ``REL_D`` announces the freed logical path so every LC
+  compacts its arbiter counters.
+
+Streams sharing one initiating LC share that LC's logical path on the
+data lines (the arbiter assigns IDs per LC); the allocator sees their
+combined requested rate.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.router.bus import EIB
+from repro.router.components import ComponentKind
+from repro.router.linecard import Linecard
+from repro.router.packets import ControlKind, ControlPacket, Protocol
+from repro.router.stats import RouterStats
+from repro.sim import Engine
+from repro.sim.events import EventHandle
+
+__all__ = ["EIBProtocol", "CoverageStream", "StreamState"]
+
+
+class StreamState(enum.Enum):
+    """Lifecycle of a coverage stream."""
+
+    SOLICITING = "soliciting"
+    ACTIVE = "active"
+    FAILED = "failed"
+    CLOSED = "closed"
+
+
+@dataclass
+class CoverageStream:
+    """One coverage relationship established over the EIB.
+
+    ``init_lc`` starts the handshake; ``sender_lc`` is the side that
+    transmits on the data lines once active (differs from ``init_lc`` for
+    the via-inter egress route, where LC_in solicits but the chosen
+    LC_inter relays).
+    """
+
+    key: tuple
+    init_lc: int
+    rate_bps: float
+    fault_kind: ComponentKind | None = None
+    protocol: Protocol | None = None
+    rec_lc: int | None = None
+    sender_is_coverer: bool = False
+    state: StreamState = StreamState.SOLICITING
+    covering_lc: int | None = None
+    req_id: int = -1
+    failed_at: float = -1.0
+    waiters: deque = field(default_factory=deque)
+
+    @property
+    def sender_lc(self) -> int:
+        """The LC holding the data-line LP for this stream."""
+        if self.sender_is_coverer:
+            if self.covering_lc is None:
+                raise RuntimeError("stream has no covering LC yet")
+            return self.covering_lc
+        return self.init_lc
+
+
+class EIBProtocol:
+    """Protocol engine shared by all bus controllers of one router."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        eib: EIB,
+        linecards: dict[int, Linecard],
+        stats: RouterStats,
+        rng: np.random.Generator,
+        *,
+        solicit_timeout_s: float = 300e-6,
+        lookup_timeout_s: float = 150e-6,
+        reply_jitter_s: float = 10e-6,
+        retry_cooldown_s: float = 1e-3,
+    ) -> None:
+        self._engine = engine
+        self._eib = eib
+        self._lcs = linecards
+        self._stats = stats
+        self._rng = rng
+        self._solicit_timeout = solicit_timeout_s
+        self._lookup_timeout = lookup_timeout_s
+        self._reply_jitter = reply_jitter_s
+        self._retry_cooldown = retry_cooldown_s
+
+        self._req_counter = 0
+        self._streams: dict[tuple, CoverageStream] = {}
+        self._by_req: dict[int, tuple] = {}
+        self._timeouts: dict[int, EventHandle] = {}
+        self._pending_lookups: dict[int, Callable[[int | None], None]] = {}
+        self._reply_handles: dict[tuple[int, int], EventHandle] = {}
+        self._lp_refs: dict[int, int] = {}
+        self._lp_rates: dict[int, float] = {}
+
+        for lc_id, lc in linecards.items():
+            if lc.bus_controller is not None:
+                eib.control.attach(lc_id, self._make_handler(lc_id))
+
+    # ------------------------------------------------------------------
+    # public API used by the router
+    # ------------------------------------------------------------------
+
+    def stream(self, key: tuple) -> CoverageStream | None:
+        """The stream registered under ``key``, if any."""
+        return self._streams.get(key)
+
+    def ensure_stream(
+        self,
+        key: tuple,
+        init_lc: int,
+        rate_bps: float,
+        callback: Callable[[CoverageStream | None], None],
+        *,
+        fault_kind: ComponentKind | None = None,
+        protocol: Protocol | None = None,
+        rec_lc: int | None = None,
+        sender_is_coverer: bool = False,
+    ) -> None:
+        """Get-or-establish a coverage stream; ``callback`` fires with the
+        active stream, or ``None`` when no LC can (currently) cover.
+
+        Failed solicitations are cached for ``retry_cooldown_s`` so a
+        packet flood does not hammer the control lines with REQ_D storms.
+        """
+        stream = self._streams.get(key)
+        if stream is not None:
+            if stream.state is StreamState.ACTIVE:
+                callback(stream)
+                return
+            if stream.state is StreamState.SOLICITING:
+                stream.waiters.append(callback)
+                return
+            if stream.state is StreamState.FAILED:
+                if self._engine.now - stream.failed_at < self._retry_cooldown:
+                    callback(None)
+                    return
+                # Cooldown over: forget the failed attempt and re-solicit.
+                self._by_req.pop(stream.req_id, None)
+                del self._streams[key]
+
+        bc = self._lcs[init_lc].bus_controller
+        if not self._eib.healthy or bc is None or not bc.healthy:
+            callback(None)
+            return
+
+        stream = CoverageStream(
+            key=key,
+            init_lc=init_lc,
+            rate_bps=rate_bps,
+            fault_kind=fault_kind,
+            protocol=protocol,
+            rec_lc=rec_lc,
+            sender_is_coverer=sender_is_coverer,
+        )
+        stream.req_id = self._next_req()
+        stream.waiters.append(callback)
+        self._streams[key] = stream
+        self._by_req[stream.req_id] = key
+        self._eib.control.broadcast(
+            ControlPacket(
+                kind=ControlKind.REQ_D,
+                init_lc=init_lc,
+                rec_lc=rec_lc,
+                data_rate=rate_bps,
+                protocol=protocol,
+                faulty_component=fault_kind,
+                lp_id=stream.req_id,
+            ),
+            init_lc,
+        )
+        self._timeouts[stream.req_id] = self._engine.schedule_in(
+            self._solicit_timeout,
+            lambda: self._on_solicit_timeout(stream.req_id),
+            label="eib:req_d:timeout",
+        )
+
+    def send_on_stream(
+        self, stream: CoverageStream, size_bytes: int, deliver: Callable[[], None]
+    ) -> bool:
+        """Queue ``size_bytes`` on the stream's logical path."""
+        if stream.state is not StreamState.ACTIVE:
+            return False
+        return self._eib.data.enqueue(stream.sender_lc, size_bytes, deliver)
+
+    def release_stream(self, key: tuple) -> None:
+        """Tear a stream down (REL_D broadcast, reservation + LP release)."""
+        stream = self._streams.pop(key, None)
+        if stream is None:
+            return
+        self._by_req.pop(stream.req_id, None)
+        handle = self._timeouts.pop(stream.req_id, None)
+        if handle is not None:
+            handle.cancel()
+        if stream.state is StreamState.ACTIVE:
+            if stream.covering_lc is not None:
+                self._lcs[stream.covering_lc].release(stream.rate_bps)
+            self._release_lp(stream.sender_lc, stream.rate_bps)
+            if self._eib.healthy:
+                self._eib.control.broadcast(
+                    ControlPacket(
+                        kind=ControlKind.REL_D,
+                        init_lc=stream.init_lc,
+                        rec_lc=stream.covering_lc,
+                        lp_id=stream.req_id,
+                    ),
+                    stream.init_lc,
+                )
+        stream.state = StreamState.CLOSED
+        self._flush_waiters(stream, None)
+
+    def release_streams_for_fault(self, lc_id: int, kind: ComponentKind) -> None:
+        """Release every stream covering the given (repaired) fault."""
+        for key in [
+            k
+            for k, s in self._streams.items()
+            if s.fault_kind is kind and s.init_lc == lc_id
+        ]:
+            self.release_stream(key)
+
+    def on_eib_failure(self) -> None:
+        """Passive-line failure: every stream is gone instantly.
+
+        The data channel already dropped the buffered transfers and tore
+        down the LPs; here the protocol layer releases capacity
+        reservations and rejects waiting packets.
+        """
+        for key in list(self._streams):
+            stream = self._streams.pop(key)
+            self._by_req.pop(stream.req_id, None)
+            handle = self._timeouts.pop(stream.req_id, None)
+            if handle is not None:
+                handle.cancel()
+            if stream.state is StreamState.ACTIVE and stream.covering_lc is not None:
+                self._lcs[stream.covering_lc].release(stream.rate_bps)
+            stream.state = StreamState.CLOSED
+            self._flush_waiters(stream, None)
+        self._lp_refs.clear()
+        self._lp_rates.clear()
+
+    def request_lookup(
+        self, lc_id: int, addr: int, callback: Callable[[int | None], None]
+    ) -> None:
+        """Serve a destination lookup remotely over REQ_L / REP_L."""
+        bc = self._lcs[lc_id].bus_controller
+        if not self._eib.healthy or bc is None or not bc.healthy:
+            callback(None)
+            return
+        req_id = self._next_req()
+        self._pending_lookups[req_id] = callback
+        self._eib.control.broadcast(
+            ControlPacket(
+                kind=ControlKind.REQ_L,
+                init_lc=lc_id,
+                lookup_addr=addr,
+                lp_id=req_id,
+            ),
+            lc_id,
+        )
+
+        def timeout() -> None:
+            cb = self._pending_lookups.pop(req_id, None)
+            if cb is not None:
+                cb(None)
+
+        self._engine.schedule_in(self._lookup_timeout, timeout, label="eib:req_l:timeout")
+
+    # ------------------------------------------------------------------
+    # control-packet handling at each LC
+    # ------------------------------------------------------------------
+
+    def _make_handler(self, me: int) -> Callable[[ControlPacket], None]:
+        def handle(cp: ControlPacket) -> None:
+            bc = self._lcs[me].bus_controller
+            if bc is None or not bc.healthy:
+                return  # a dead bus controller hears nothing
+            if cp.kind is ControlKind.REQ_D:
+                self._handle_req_d(me, cp)
+            elif cp.kind is ControlKind.REP_D:
+                self._handle_rep_d(me, cp)
+            elif cp.kind is ControlKind.REQ_L:
+                self._handle_req_l(me, cp)
+            elif cp.kind is ControlKind.REP_L:
+                self._handle_rep_l(me, cp)
+            # REL_D bookkeeping is central (release_stream); mirrors of the
+            # arbiter counters are updated inside DistributedArbiter.
+
+        return handle
+
+    def _handle_req_d(self, me: int, cp: ControlPacket) -> None:
+        lc = self._lcs[me]
+        if cp.rec_lc is None:
+            # Broadcast solicitation: am I an able candidate?
+            fault = cp.faulty_component
+            if not isinstance(fault, ComponentKind) or cp.protocol is None:
+                return
+            if not lc.can_cover(fault, cp.protocol, cp.data_rate):
+                return
+            self._schedule_reply(
+                me,
+                cp.lp_id,
+                ControlPacket(
+                    kind=ControlKind.REP_D,
+                    init_lc=me,
+                    rec_lc=cp.init_lc,
+                    lp_id=cp.lp_id,
+                ),
+                jitter=True,
+            )
+        elif cp.rec_lc == me:
+            # Reverse path: I am the faulty destination being offered data.
+            if lc.piu.healthy:
+                self._schedule_reply(
+                    me,
+                    cp.lp_id,
+                    ControlPacket(
+                        kind=ControlKind.REP_D,
+                        init_lc=me,
+                        rec_lc=cp.init_lc,
+                        lp_id=cp.lp_id,
+                    ),
+                    jitter=False,
+                )
+
+    def _handle_rep_d(self, me: int, cp: ControlPacket) -> None:
+        key = self._by_req.get(cp.lp_id)
+        if key is not None and self._streams[key].init_lc == me:
+            self._resolve_stream(cp.lp_id, responder=cp.init_lc)
+        else:
+            # Someone else's request was answered: stand down my reply.
+            self._cancel_reply(me, cp.lp_id)
+
+    def _handle_req_l(self, me: int, cp: ControlPacket) -> None:
+        lc = self._lcs[me]
+        if not lc.lfe.healthy or cp.lookup_addr is None:
+            return
+        result = lc.table.lookup(cp.lookup_addr)
+        if result is None:
+            return
+        self._schedule_reply(
+            me,
+            cp.lp_id,
+            ControlPacket(
+                kind=ControlKind.REP_L,
+                init_lc=me,
+                rec_lc=cp.init_lc,
+                lp_id=cp.lp_id,
+                lookup_addr=cp.lookup_addr,
+                lookup_result=result,
+            ),
+            jitter=True,
+        )
+
+    def _handle_rep_l(self, me: int, cp: ControlPacket) -> None:
+        if cp.rec_lc == me:
+            cb = self._pending_lookups.pop(cp.lp_id, None)
+            if cb is not None:
+                self._stats.remote_lookups += 1
+                cb(cp.lookup_result)
+        else:
+            self._cancel_reply(me, cp.lp_id)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _next_req(self) -> int:
+        self._req_counter += 1
+        return self._req_counter
+
+    def _schedule_reply(
+        self, me: int, req_id: int | None, reply: ControlPacket, *, jitter: bool
+    ) -> None:
+        if req_id is None:
+            return
+        if jitter:
+            # Rank-based contention resolution: the candidate "closest"
+            # (in slot order) to the requester replies first; the others'
+            # timers are spaced far enough apart that hearing the winning
+            # reply cancels them before they fire.  A small random term
+            # breaks the remaining ties; CSMA/CD handles true collisions.
+            requester = reply.rec_lc if reply.rec_lc is not None else 0
+            rank = (me - requester) % max(len(self._lcs), 1)
+            delay = 0.5e-6 + 2e-6 * rank + float(self._rng.uniform(0.0, 0.4e-6))
+        else:
+            delay = 1e-6
+
+        def fire() -> None:
+            self._reply_handles.pop((req_id, me), None)
+            self._eib.control.broadcast(reply, me)
+
+        self._reply_handles[(req_id, me)] = self._engine.schedule_in(
+            delay, fire, label=f"eib:reply:{reply.kind.value}"
+        )
+
+    def _cancel_reply(self, me: int, req_id: int | None) -> None:
+        if req_id is None:
+            return
+        handle = self._reply_handles.pop((req_id, me), None)
+        if handle is not None:
+            handle.cancel()
+
+    def _resolve_stream(self, req_id: int, responder: int) -> None:
+        key = self._by_req.get(req_id)
+        if key is None:
+            return
+        stream = self._streams[key]
+        if stream.state is not StreamState.SOLICITING:
+            return
+        handle = self._timeouts.pop(req_id, None)
+        if handle is not None:
+            handle.cancel()
+        # Reverse-path streams address a fixed receiver; solicited streams
+        # reserve coverage capacity on the winning LC_inter.
+        if stream.rec_lc is None:
+            if not self._lcs[responder].reserve(stream.rate_bps):
+                # The responder's headroom evaporated between its REP_D and
+                # now (a race the paper resolves with a fresh REQ_D): fail
+                # and let the cooldown trigger re-solicitation.
+                self._fail_stream(stream)
+                return
+            stream.covering_lc = responder
+        else:
+            stream.covering_lc = stream.rec_lc
+        stream.state = StreamState.ACTIVE
+        self._acquire_lp(stream.sender_lc, stream.rate_bps)
+        self._stats.streams_established += 1
+        self._flush_waiters(stream, stream)
+
+    def _on_solicit_timeout(self, req_id: int) -> None:
+        key = self._by_req.get(req_id)
+        if key is None:
+            return
+        stream = self._streams[key]
+        if stream.state is StreamState.SOLICITING:
+            self._fail_stream(stream)
+
+    def _fail_stream(self, stream: CoverageStream) -> None:
+        stream.state = StreamState.FAILED
+        stream.failed_at = self._engine.now
+        stream.covering_lc = None
+        self._stats.streams_failed += 1
+        self._flush_waiters(stream, None)
+
+    def _flush_waiters(
+        self, stream: CoverageStream, result: CoverageStream | None
+    ) -> None:
+        while stream.waiters:
+            stream.waiters.popleft()(result)
+
+    def _acquire_lp(self, lc_id: int, rate_bps: float) -> None:
+        self._lp_refs[lc_id] = self._lp_refs.get(lc_id, 0) + 1
+        self._lp_rates[lc_id] = self._lp_rates.get(lc_id, 0.0) + rate_bps
+        if self._lp_refs[lc_id] == 1:
+            self._eib.data.open_lp(lc_id, self._lp_rates[lc_id])
+        else:
+            self._eib.allocator.update_request(lc_id, self._lp_rates[lc_id])
+
+    def _release_lp(self, lc_id: int, rate_bps: float) -> None:
+        if lc_id not in self._lp_refs:
+            return  # LP already torn down (e.g. by an EIB failure)
+        self._lp_refs[lc_id] -= 1
+        self._lp_rates[lc_id] = max(0.0, self._lp_rates[lc_id] - rate_bps)
+        if self._lp_refs[lc_id] <= 0:
+            del self._lp_refs[lc_id]
+            del self._lp_rates[lc_id]
+            if self._eib.data.has_lp(lc_id):
+                self._eib.data.close_lp(lc_id)
+        else:
+            self._eib.allocator.update_request(lc_id, self._lp_rates[lc_id])

@@ -1,0 +1,114 @@
+"""SRU reassembly buffers.
+
+The egress SRU collects a packet's fabric cells and reassembles them
+(Section 2).  Modeling the buffer explicitly -- rather than counting
+cells in a closure -- buys three behaviours the dependability story
+cares about:
+
+* an SRU that fails mid-reassembly destroys its partial packets (the
+  in-flight loss the Markov models charge to the PI-unit failure);
+* incomplete reassemblies (cells lost to a fabric outage) are garbage
+  collected by a timeout instead of leaking state;
+* per-LC reassembly occupancy is observable for tests and stats.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.router.packets import Cell
+from repro.sim import Engine
+from repro.sim.events import EventHandle
+
+__all__ = ["ReassemblyBuffer", "PendingReassembly"]
+
+
+@dataclass
+class PendingReassembly:
+    """One packet's in-progress reassembly state."""
+
+    pkt_id: int
+    total_cells: int
+    received: int = 0
+    on_complete: Callable[[], None] | None = None
+    on_abort: Callable[[str], None] | None = None
+    timeout_handle: EventHandle | None = field(default=None, repr=False)
+
+
+class ReassemblyBuffer:
+    """Per-SRU cell reassembly with timeout-based garbage collection."""
+
+    def __init__(self, engine: Engine, *, timeout_s: float = 5e-3) -> None:
+        if timeout_s <= 0.0:
+            raise ValueError(f"timeout must be positive, got {timeout_s}")
+        self._engine = engine
+        self._timeout = timeout_s
+        self._pending: dict[int, PendingReassembly] = {}
+        self.completed = 0
+        self.timed_out = 0
+        self.flushed = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Packets currently being reassembled."""
+        return len(self._pending)
+
+    def is_pending(self, pkt_id: int) -> bool:
+        """True while ``pkt_id`` has an open reassembly."""
+        return pkt_id in self._pending
+
+    def add_cell(
+        self,
+        cell: Cell,
+        on_complete: Callable[[], None],
+        on_abort: Callable[[str], None] | None = None,
+    ) -> None:
+        """Account one arriving cell; fires ``on_complete`` on the last.
+
+        The first cell of a packet opens the reassembly and arms its
+        timeout; cells of an already-dropped packet are ignored (their
+        reassembly no longer exists).  ``on_abort`` fires with a reason
+        string when the reassembly dies by timeout or flush.
+        """
+        entry = self._pending.get(cell.pkt_id)
+        if entry is None:
+            entry = PendingReassembly(
+                pkt_id=cell.pkt_id,
+                total_cells=cell.total,
+                on_complete=on_complete,
+                on_abort=on_abort,
+            )
+            self._pending[cell.pkt_id] = entry
+
+            def fire_timeout() -> None:
+                if self._pending.pop(cell.pkt_id, None) is not None:
+                    self.timed_out += 1
+                    if on_abort is not None:
+                        on_abort("timeout")
+
+            entry.timeout_handle = self._engine.schedule_in(
+                self._timeout, fire_timeout, label="sru:reassembly-timeout"
+            )
+        entry.received += 1
+        if entry.received >= entry.total_cells:
+            self._pending.pop(cell.pkt_id, None)
+            if entry.timeout_handle is not None:
+                entry.timeout_handle.cancel()
+            self.completed += 1
+            complete = entry.on_complete
+            if complete is not None:
+                complete()
+
+    def flush(self) -> int:
+        """Destroy every in-progress reassembly (SRU failure); returns the
+        number of partial packets lost."""
+        entries = list(self._pending.values())
+        self._pending.clear()
+        for entry in entries:
+            if entry.timeout_handle is not None:
+                entry.timeout_handle.cancel()
+            if entry.on_abort is not None:
+                entry.on_abort("flush")
+        self.flushed += len(entries)
+        return len(entries)

@@ -1,0 +1,211 @@
+"""Fault map and coverage planning (Section 3.2's Cases 1-3).
+
+:class:`FaultMap` is every LC's shared view of which components are down.
+In hardware this view is maintained by the processing-tier parameters of
+the control packets; the model keeps one authoritative map and treats
+dissemination as instantaneous (the control-line broadcast latency --
+sub-microsecond -- is negligible against fault inter-arrival times, and
+the protocol engine still exchanges the real control packets for stream
+setup).
+
+:class:`CoveragePlanner` turns (packet, fault map) into a
+:class:`CoveragePlan` describing how the packet must move: which side
+needs EIB coverage, whether the lookup is remote, and how the egress leg
+reaches a faulty destination (direct EIB from the source, or fabric to an
+LC_inter that finishes processing and relays over the EIB).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.router.components import ComponentKind
+from repro.router.linecard import Linecard
+from repro.router.packets import Packet
+
+__all__ = ["FaultMap", "CoveragePlan", "CoveragePlanner", "EgressMode", "DropReason"]
+
+
+class FaultMap:
+    """Shared registry of failed components per LC plus EIB state."""
+
+    def __init__(self) -> None:
+        self._failed: dict[int, set[ComponentKind]] = {}
+        self.eib_healthy = True
+
+    def mark_failed(self, lc_id: int, kind: ComponentKind) -> None:
+        """Record a component failure."""
+        self._failed.setdefault(lc_id, set()).add(kind)
+
+    def mark_repaired(self, lc_id: int, kind: ComponentKind) -> None:
+        """Clear a component failure."""
+        self._failed.get(lc_id, set()).discard(kind)
+
+    def failed_at(self, lc_id: int) -> set[ComponentKind]:
+        """Failed component kinds at ``lc_id``."""
+        return set(self._failed.get(lc_id, set()))
+
+    def is_failed(self, lc_id: int, kind: ComponentKind) -> bool:
+        """True when the given unit is currently down."""
+        return kind in self._failed.get(lc_id, set())
+
+    def any_failed(self, lc_id: int) -> bool:
+        """True when any unit of the LC is down."""
+        return bool(self._failed.get(lc_id))
+
+
+class EgressMode(enum.Enum):
+    """How a packet reaches its outgoing LC."""
+
+    FABRIC = "fabric"          # healthy path: cells over the crossbar
+    EIB_DIRECT = "eib-direct"  # whole packet over the EIB straight to LC_out
+    EIB_VIA_INTER = "eib-via-inter"  # fabric to LC_inter, then EIB to LC_out
+
+
+class DropReason:
+    """Canonical drop-reason strings (kept together for test assertions)."""
+
+    PIU_IN = "piu_in_failed"
+    PIU_OUT = "piu_out_failed"
+    BDR_LC_DOWN_IN = "bdr_ingress_lc_down"
+    BDR_LC_DOWN_OUT = "bdr_egress_lc_down"
+    NO_COVERAGE = "no_coverage"
+    EIB_DOWN = "eib_down"
+    BUS_CONTROLLER = "bus_controller_failed"
+    NO_ROUTE = "no_route"
+    FABRIC_DOWN = "fabric_down"
+    EIB_OVERLOAD = "eib_overload"
+    COMPOUND_FAULT = "uncovered_compound_fault"
+    MID_FLIGHT_FAULT = "component_failed_mid_flight"
+
+
+@dataclass
+class CoveragePlan:
+    """The planner's decision for one packet.
+
+    ``None`` fields mean "not needed".  ``drop`` short-circuits the whole
+    pipeline with the recorded reason.
+    """
+
+    drop: str | None = None
+    #: fault kind at the ingress LC needing a covering LC (PDLU or SRU)
+    ingress_fault: ComponentKind | None = None
+    #: ingress lookup must be served remotely over REQ_L/REP_L
+    remote_lookup: bool = False
+    egress_mode: EgressMode = EgressMode.FABRIC
+    #: fault kind at the egress LC being covered (PDLU or SRU), if any
+    egress_fault: ComponentKind | None = None
+
+    @property
+    def uses_eib(self) -> bool:
+        """True when any leg of the plan rides the EIB."""
+        return (
+            self.ingress_fault is not None
+            or self.remote_lookup
+            or self.egress_mode is not EgressMode.FABRIC
+        )
+
+
+class CoveragePlanner:
+    """Derives per-packet coverage plans from the fault map.
+
+    The planner implements exactly the cases the paper enumerates
+    (Section 3.2).  Fault *combinations* that would require chaining two
+    covering LCs on both sides of the fabric are outside the paper's
+    model (its analysis assumption 1 explicitly excludes multi-LC_inter
+    chains) and are dropped with :data:`DropReason.COMPOUND_FAULT`.
+    """
+
+    def __init__(self, linecards: dict[int, Linecard], faults: FaultMap) -> None:
+        self._lcs = linecards
+        self._faults = faults
+
+    def plan(self, packet: Packet) -> CoveragePlan:
+        """Build the coverage plan for ``packet`` under the current faults."""
+        src, dst = packet.src_lc, packet.dst_lc
+        f_src = self._faults.failed_at(src)
+        f_dst = self._faults.failed_at(dst)
+
+        # PIU failures disconnect the external link -- never coverable.
+        if ComponentKind.PIU in f_src:
+            return CoveragePlan(drop=DropReason.PIU_IN)
+        if ComponentKind.PIU in f_dst and dst != src:
+            return CoveragePlan(drop=DropReason.PIU_OUT)
+
+        plan = CoveragePlan()
+
+        # --- ingress side (Case 2) ---
+        if ComponentKind.PDLU in f_src:
+            plan.ingress_fault = ComponentKind.PDLU
+        elif ComponentKind.SRU in f_src:
+            plan.ingress_fault = ComponentKind.SRU
+        if ComponentKind.LFE in f_src and plan.ingress_fault is None:
+            # With a PDLU/SRU coverage stream the covering LC also does the
+            # lookup; only a lone LFE fault needs the REQ_L service.
+            plan.remote_lookup = True
+
+        # --- egress side (Case 3) ---
+        dst_pdlu_down = ComponentKind.PDLU in f_dst and dst != src
+        dst_sru_down = ComponentKind.SRU in f_dst and dst != src
+        if dst_sru_down and dst_pdlu_down:
+            # Both egress processing units gone: the paper provides no
+            # combined path (the SRU route targets the PDLU and vice versa).
+            return CoveragePlan(drop=DropReason.COMPOUND_FAULT)
+        if dst_sru_down:
+            # "LC_in sends the reassembled data through its SRU to the PDLU
+            # of LC_out": whole packets over the EIB, skipping dst's SRU.
+            plan.egress_mode = EgressMode.EIB_DIRECT
+            plan.egress_fault = ComponentKind.SRU
+        elif dst_pdlu_down:
+            plan.egress_fault = ComponentKind.PDLU
+            src_lc = self._lcs[src]
+            dst_lc = self._lcs[dst]
+            same_protocol = (
+                src_lc.pdlu is not None
+                and src_lc.pdlu.healthy
+                and src_lc.protocol is dst_lc.protocol
+            )
+            if same_protocol and plan.ingress_fault is None:
+                # First alternative: LC_in's own PDLU finishes the packet
+                # and ships it over the EIB directly to LC_out's PIU.
+                plan.egress_mode = EgressMode.EIB_DIRECT
+            else:
+                # Second alternative: cells cross the fabric to an LC_inter
+                # of LC_out's protocol, which reassembles, runs its PDLU,
+                # and relays the packet over the EIB.
+                plan.egress_mode = EgressMode.EIB_VIA_INTER
+
+        # Combining an ingress coverage detour with an egress EIB leg would
+        # chain two LC_inter hops -- excluded by the paper's model.
+        if plan.ingress_fault is not None and plan.egress_mode is not EgressMode.FABRIC:
+            return CoveragePlan(drop=DropReason.COMPOUND_FAULT)
+
+        return plan
+
+    def ingress_candidates(
+        self, packet: Packet, fault: ComponentKind, rate_bps: float
+    ) -> list[int]:
+        """LCs able to cover an ingress-side fault (candidate LC_inters).
+
+        Protocol matching applies only for PDLU faults; LC_out is excluded
+        per the analysis assumption that it stays clean of coverage duty.
+        """
+        src = self._lcs[packet.src_lc]
+        return [
+            lc_id
+            for lc_id, lc in self._lcs.items()
+            if lc_id not in (packet.src_lc, packet.dst_lc)
+            and lc.can_cover(fault, src.protocol, rate_bps)
+        ]
+
+    def egress_inter_candidates(self, packet: Packet, rate_bps: float) -> list[int]:
+        """LC_inter candidates for the EIB_VIA_INTER egress route."""
+        dst = self._lcs[packet.dst_lc]
+        return [
+            lc_id
+            for lc_id, lc in self._lcs.items()
+            if lc_id not in (packet.src_lc, packet.dst_lc)
+            and lc.can_cover(ComponentKind.PDLU, dst.protocol, rate_bps)
+            and lc.sru.healthy
+        ]

@@ -1,0 +1,197 @@
+"""Route processor, routing tables and longest-prefix-match lookup.
+
+The route processor (RP) runs the routing protocols and pushes table
+copies to every LC's local forwarding engine over the internal bus
+(Section 2).  The LFE's lookup structure here is a binary trie keyed on
+IPv4 prefixes -- small, exact, and fast enough for the simulated rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RoutePrefix", "RoutingTable", "RouteProcessor", "ipv4", "format_ipv4"]
+
+
+def ipv4(dotted: str) -> int:
+    """Parse dotted-quad notation into the integer form used throughout.
+
+    >>> ipv4("10.0.0.1")
+    167772161
+    """
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address {dotted!r}")
+    value = 0
+    for p in parts:
+        octet = int(p)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet {octet} out of range in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(addr: int) -> str:
+    """Inverse of :func:`ipv4`."""
+    if not 0 <= addr < 2**32:
+        raise ValueError(f"address {addr} out of IPv4 range")
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True)
+class RoutePrefix:
+    """An IPv4 prefix with its outgoing linecard."""
+
+    prefix: int
+    length: int
+    next_hop_lc: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length {self.length} out of range")
+        if not 0 <= self.prefix < 2**32:
+            raise ValueError(f"prefix {self.prefix} out of IPv4 range")
+        mask = ((1 << self.length) - 1) << (32 - self.length) if self.length else 0
+        if self.prefix & ~mask:
+            raise ValueError(
+                f"prefix {format_ipv4(self.prefix)}/{self.length} has host bits set"
+            )
+
+    def matches(self, addr: int) -> bool:
+        """True when ``addr`` falls inside this prefix."""
+        if self.length == 0:
+            return True
+        shift = 32 - self.length
+        return (addr >> shift) == (self.prefix >> shift)
+
+
+class _TrieNode:
+    __slots__ = ("children", "next_hop")
+
+    def __init__(self) -> None:
+        self.children: list[_TrieNode | None] = [None, None]
+        self.next_hop: int | None = None
+
+
+class RoutingTable:
+    """Binary trie supporting insert and longest-prefix-match lookup."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._routes: dict[tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def insert(self, route: RoutePrefix) -> None:
+        """Add (or replace) a prefix route."""
+        node = self._root
+        for depth in range(route.length):
+            bit = (route.prefix >> (31 - depth)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        node.next_hop = route.next_hop_lc
+        self._routes[(route.prefix, route.length)] = route.next_hop_lc
+
+    def remove(self, prefix: int, length: int) -> bool:
+        """Withdraw a route; returns False if it was not present.
+
+        The trie node is kept (tombstoned with ``next_hop = None``); the
+        simulated tables are small enough that path compaction is not
+        worth the complexity.
+        """
+        if (prefix, length) not in self._routes:
+            return False
+        del self._routes[(prefix, length)]
+        node = self._root
+        for depth in range(length):
+            bit = (prefix >> (31 - depth)) & 1
+            node = node.children[bit]
+        node.next_hop = None
+        return True
+
+    def lookup(self, addr: int) -> int | None:
+        """Longest-prefix match; ``None`` when no route covers ``addr``."""
+        if not 0 <= addr < 2**32:
+            raise ValueError(f"address {addr} out of IPv4 range")
+        node = self._root
+        best = node.next_hop
+        for depth in range(32):
+            bit = (addr >> (31 - depth)) & 1
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.next_hop is not None:
+                best = node.next_hop
+        return best
+
+    def lookup_linear(self, addr: int) -> int | None:
+        """Reference LPM by linear scan (oracle for property tests)."""
+        best_len = -1
+        best_hop: int | None = None
+        for (prefix, length), hop in self._routes.items():
+            if RoutePrefix(prefix, length, hop).matches(addr) and length > best_len:
+                best_len = length
+                best_hop = hop
+        return best_hop
+
+    def routes(self) -> list[RoutePrefix]:
+        """All installed routes."""
+        return [
+            RoutePrefix(prefix, length, hop)
+            for (prefix, length), hop in self._routes.items()
+        ]
+
+
+class RouteProcessor:
+    """The router's RP: owns the master table, distributes copies to LFEs.
+
+    Distribution models the internal-bus dissemination function: each LC
+    receives an independent :class:`RoutingTable` copy, so a master update
+    is invisible at the LCs until the next :meth:`distribute` (tests cover
+    this staleness window).
+    """
+
+    def __init__(self) -> None:
+        self._master = RoutingTable()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone table version, bumped on every announce/withdraw."""
+        return self._version
+
+    @property
+    def master(self) -> RoutingTable:
+        """The RP's master table (mutate via announce/withdraw)."""
+        return self._master
+
+    def announce(self, route: RoutePrefix) -> None:
+        """Install a route into the master table."""
+        self._master.insert(route)
+        self._version += 1
+
+    def withdraw(self, prefix: int, length: int) -> bool:
+        """Remove a route from the master table."""
+        removed = self._master.remove(prefix, length)
+        if removed:
+            self._version += 1
+        return removed
+
+    def distribute(self) -> RoutingTable:
+        """A fresh copy of the master table for one LFE."""
+        copy = RoutingTable()
+        for route in self._master.routes():
+            copy.insert(route)
+        return copy
+
+    def default_full_mesh(self, n_lcs: int, base: str = "10.0.0.0") -> None:
+        """Install one /16 per linecard under ``base`` (test/bench topology).
+
+        LC ``k`` owns ``base + (k << 16)``; traffic generators then draw
+        destination addresses inside the target LC's /16.
+        """
+        base_addr = ipv4(base)
+        for lc in range(n_lcs):
+            self.announce(RoutePrefix(base_addr + (lc << 16), 16, lc))

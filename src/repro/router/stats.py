@@ -1,0 +1,86 @@
+"""Router metric collection.
+
+One :class:`RouterStats` instance per router accumulates counters the
+tests and benches assert on: offered/delivered/dropped packets (drops
+keyed by reason), latency moments, EIB usage and coverage activity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["RouterStats", "LatencyAccumulator"]
+
+
+@dataclass
+class LatencyAccumulator:
+    """Streaming mean/min/max/count of packet latencies (no sample list,
+    so long runs stay O(1) in memory)."""
+
+    count: int = 0
+    total: float = 0.0
+    min_value: float = float("inf")
+    max_value: float = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one latency sample."""
+        if value < 0.0:
+            raise ValueError(f"negative latency {value}")
+        self.count += 1
+        self.total += value
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency (0.0 before any sample)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class RouterStats:
+    """Aggregated router metrics."""
+
+    offered: int = 0
+    delivered: int = 0
+    drops: Counter = field(default_factory=Counter)
+    latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+    #: packets delivered per destination LC
+    delivered_by_lc: Counter = field(default_factory=Counter)
+    #: packets that used the EIB datapath at least once
+    covered_deliveries: int = 0
+    #: coverage streams successfully established
+    streams_established: int = 0
+    #: solicitations that found no able covering LC
+    streams_failed: int = 0
+    #: remote lookups served over the control lines (REQ_L / REP_L)
+    remote_lookups: int = 0
+
+    @property
+    def dropped(self) -> int:
+        """Total drops across all reasons."""
+        return sum(self.drops.values())
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / offered (1.0 when nothing was offered)."""
+        return self.delivered / self.offered if self.offered else 1.0
+
+    def drop(self, reason: str) -> None:
+        """Record one dropped packet under ``reason``."""
+        self.drops[reason] += 1
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest."""
+        lines = [
+            f"offered            {self.offered}",
+            f"delivered          {self.delivered} ({self.delivery_ratio:.2%})",
+            f"covered deliveries {self.covered_deliveries}",
+            f"remote lookups     {self.remote_lookups}",
+            f"streams ok/failed  {self.streams_established}/{self.streams_failed}",
+            f"mean latency       {self.latency.mean * 1e6:.2f} us",
+        ]
+        for reason, count in self.drops.most_common():
+            lines.append(f"drop[{reason}]  {count}")
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event-driven engine used by the executable router
+model (:mod:`repro.router`) and the regenerative availability simulator
+(:mod:`repro.montecarlo`).  Design points:
+
+* a single binary-heap event queue keyed by ``(time, priority, seq)`` so
+  simultaneous events fire in a reproducible order;
+* events are plain callbacks (no coroutine machinery) -- the router model
+  is written as interacting state machines, which profile far better in
+  CPython than generator-based processes;
+* named RNG streams (:mod:`repro.sim.rng`) keep workload, fault and
+  protocol randomness independent, so experiments can vary one source
+  while holding the others fixed.
+"""
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import Event, EventHandle
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Engine", "SimulationError", "Event", "EventHandle", "RngRegistry"]

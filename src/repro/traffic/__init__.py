@@ -1,0 +1,30 @@
+"""Workload generation for the executable router.
+
+* :mod:`~repro.traffic.flows` -- flow descriptors and destination
+  matrices (uniform / hotspot), built on the paper's assumption of
+  uniform loads at link utilizations between 15% and 70%.
+* :mod:`~repro.traffic.generators` -- packet sources: Poisson, constant
+  bit-rate, and two-state on/off (bursty) processes targeting a
+  configured utilization of the linecard.
+"""
+
+from repro.traffic.flows import FlowSpec, TrafficMatrix
+from repro.traffic.generators import (
+    CBRSource,
+    OnOffSource,
+    PoissonSource,
+    TraceSource,
+    TrafficSource,
+    wire_uniform_load,
+)
+
+__all__ = [
+    "FlowSpec",
+    "TrafficMatrix",
+    "TrafficSource",
+    "PoissonSource",
+    "CBRSource",
+    "OnOffSource",
+    "TraceSource",
+    "wire_uniform_load",
+]

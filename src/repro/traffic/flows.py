@@ -1,0 +1,116 @@
+"""Flow descriptors and destination matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FlowSpec", "TrafficMatrix"]
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One unidirectional flow between two linecards."""
+
+    src_lc: int
+    dst_lc: int
+    rate_bps: float
+    mean_packet_bytes: int = 500
+
+    def __post_init__(self) -> None:
+        if self.rate_bps < 0.0:
+            raise ValueError(f"negative rate {self.rate_bps}")
+        if self.mean_packet_bytes <= 0:
+            raise ValueError(f"invalid packet size {self.mean_packet_bytes}")
+
+    @property
+    def packets_per_second(self) -> float:
+        """Mean packet rate implied by the byte rate and packet size."""
+        return self.rate_bps / (self.mean_packet_bytes * 8.0)
+
+
+class TrafficMatrix:
+    """An ``n x n`` demand matrix (bps from LC ``i`` to LC ``j``).
+
+    The diagonal is zero: a router does not hairpin traffic to the
+    arriving linecard in this model.
+    """
+
+    def __init__(self, demands: np.ndarray) -> None:
+        demands = np.asarray(demands, dtype=np.float64)
+        if demands.ndim != 2 or demands.shape[0] != demands.shape[1]:
+            raise ValueError(f"demand matrix must be square, got {demands.shape}")
+        if demands.min() < 0.0:
+            raise ValueError("demands must be nonnegative")
+        if np.any(np.diag(demands) != 0.0):
+            raise ValueError("self-directed demands are not allowed")
+        self._d = demands
+
+    @classmethod
+    def uniform(cls, n: int, load: float, capacity_bps: float = 10e9) -> "TrafficMatrix":
+        """The paper's workload: every LC offers ``load * capacity``,
+        spread evenly over the other ``n - 1`` LCs."""
+        if not 0.0 <= load < 1.0:
+            raise ValueError(f"load must lie in [0, 1), got {load}")
+        per_pair = load * capacity_bps / (n - 1)
+        d = np.full((n, n), per_pair)
+        np.fill_diagonal(d, 0.0)
+        return cls(d)
+
+    @classmethod
+    def hotspot(
+        cls,
+        n: int,
+        load: float,
+        hot_lc: int,
+        hot_fraction: float = 0.5,
+        capacity_bps: float = 10e9,
+    ) -> "TrafficMatrix":
+        """Uniform base load with ``hot_fraction`` of every LC's traffic
+        aimed at one destination (stress case for the fabric port and for
+        coverage of that LC)."""
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must lie in [0, 1], got {hot_fraction}")
+        if not 0 <= hot_lc < n:
+            raise ValueError(f"hot_lc {hot_lc} out of range")
+        total = load * capacity_bps
+        d = np.zeros((n, n))
+        for src in range(n):
+            others = [j for j in range(n) if j != src]
+            cold = [j for j in others if j != hot_lc]
+            if src == hot_lc:
+                for j in others:
+                    d[src, j] = total / len(others)
+                continue
+            d[src, hot_lc] = total * hot_fraction
+            for j in cold:
+                d[src, j] = total * (1.0 - hot_fraction) / len(cold)
+        return cls(d)
+
+    @property
+    def n(self) -> int:
+        """Number of linecards."""
+        return self._d.shape[0]
+
+    def demand(self, src: int, dst: int) -> float:
+        """Offered bps from ``src`` to ``dst``."""
+        return float(self._d[src, dst])
+
+    def offered_at(self, src: int) -> float:
+        """Total bps entering at ``src``."""
+        return float(self._d[src].sum())
+
+    def flows(self, mean_packet_bytes: int = 500) -> list[FlowSpec]:
+        """All nonzero entries as flow specs."""
+        out = []
+        for src in range(self.n):
+            for dst in range(self.n):
+                rate = self._d[src, dst]
+                if rate > 0.0:
+                    out.append(FlowSpec(src, dst, rate, mean_packet_bytes))
+        return out
+
+    def as_array(self) -> np.ndarray:
+        """A copy of the demand matrix."""
+        return self._d.copy()

@@ -1,0 +1,230 @@
+"""Packet sources driving the executable router.
+
+Every source emits :class:`~repro.router.packets.Packet` objects into a
+router's :meth:`~repro.router.router.Router.inject` according to its
+arrival process:
+
+* :class:`PoissonSource` -- exponential inter-arrivals (the classic open
+  workload);
+* :class:`CBRSource` -- deterministic constant bit rate;
+* :class:`OnOffSource` -- two-state Markov-modulated bursts, matching a
+  target long-run utilization while stressing buffers.
+
+Destination addresses are drawn inside the destination LC's /16 of the
+:meth:`~repro.router.routing.RouteProcessor.default_full_mesh` topology,
+so LFE lookups are real LPM queries, not pass-throughs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.router.packets import Packet
+from repro.router.router import Router
+from repro.router.routing import ipv4
+from repro.traffic.flows import FlowSpec, TrafficMatrix
+
+__all__ = [
+    "TrafficSource",
+    "PoissonSource",
+    "CBRSource",
+    "OnOffSource",
+    "TraceSource",
+    "wire_uniform_load",
+]
+
+_BASE_ADDR = ipv4("10.0.0.0")
+
+
+def _draw_dst_addr(dst_lc: int, rng: np.random.Generator) -> int:
+    """A host address inside LC ``dst_lc``'s /16."""
+    return _BASE_ADDR + (dst_lc << 16) + int(rng.integers(1, 1 << 16))
+
+
+@dataclass
+class TrafficSource:
+    """Base class: one source per flow, started once and self-rescheduling."""
+
+    router: Router
+    flow: FlowSpec
+    rng: np.random.Generator
+    emitted: int = 0
+    _stopped: bool = False
+
+    def start(self) -> None:
+        """Arm the first arrival."""
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop emitting after the current pending arrival (if any)."""
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        if self._stopped or self.flow.packets_per_second <= 0.0:
+            return
+        self.router.engine.schedule_in(
+            self._next_gap(), self._emit, label=f"traffic:{self.flow.src_lc}"
+        )
+
+    def _emit(self) -> None:
+        if self._stopped:
+            return
+        packet = Packet(
+            src_lc=self.flow.src_lc,
+            dst_lc=self.flow.dst_lc,
+            dst_addr=_draw_dst_addr(self.flow.dst_lc, self.rng),
+            size_bytes=self._packet_size(),
+            protocol=self.router.linecards[self.flow.src_lc].protocol,
+            created_at=self.router.engine.now,
+        )
+        self.emitted += 1
+        self.router.inject(packet)
+        self._schedule_next()
+
+    def _packet_size(self) -> int:
+        return self.flow.mean_packet_bytes
+
+    def _next_gap(self) -> float:
+        raise NotImplementedError
+
+
+class PoissonSource(TrafficSource):
+    """Poisson arrivals at the flow's mean rate; exponential sizes truncated
+    to [64, 1500] bytes around the configured mean."""
+
+    def _next_gap(self) -> float:
+        return float(self.rng.exponential(1.0 / self.flow.packets_per_second))
+
+    def _packet_size(self) -> int:
+        size = self.rng.exponential(self.flow.mean_packet_bytes)
+        return int(min(max(size, 64), 1500))
+
+
+class CBRSource(TrafficSource):
+    """Constant bit rate: fixed sizes at fixed intervals."""
+
+    def _next_gap(self) -> float:
+        return 1.0 / self.flow.packets_per_second
+
+
+class OnOffSource(TrafficSource):
+    """Two-state burst source.
+
+    While ON, packets arrive at ``burstiness`` times the mean rate; the
+    ON/OFF holding times are exponential with the duty cycle chosen so the
+    long-run average meets the flow's rate.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        flow: FlowSpec,
+        rng: np.random.Generator,
+        *,
+        burstiness: float = 4.0,
+        mean_burst_s: float = 2e-3,
+    ) -> None:
+        super().__init__(router, flow, rng)
+        if burstiness <= 1.0:
+            raise ValueError(f"burstiness must exceed 1, got {burstiness}")
+        self._burstiness = burstiness
+        self._on = False
+        self._mean_on = mean_burst_s
+        # duty = 1/burstiness so that duty * burst_rate = mean rate.
+        self._mean_off = mean_burst_s * (burstiness - 1.0)
+        self._state_ends = 0.0
+
+    def _next_gap(self) -> float:
+        now = self.router.engine.now
+        gap = 0.0
+        while True:
+            if now + gap >= self._state_ends:
+                self._on = not self._on
+                hold = self._mean_on if self._on else self._mean_off
+                self._state_ends = max(now + gap, self._state_ends) + float(
+                    self.rng.exponential(hold)
+                )
+                if not self._on:
+                    gap = self._state_ends - now  # sleep through the OFF period
+                    continue
+            break
+        on_rate = self.flow.packets_per_second * self._burstiness
+        return gap + float(self.rng.exponential(1.0 / on_rate))
+
+
+class TraceSource:
+    """Replays an explicit packet trace: ``(time, src, dst, size_bytes)``.
+
+    The deterministic counterpart of the stochastic sources -- tests and
+    debugging sessions can script an exact packet sequence (the paper has
+    no public traces; this is the hook a user with real captures would
+    use).  Destination addresses fall inside the dst LC's /16 so lookups
+    remain genuine.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        trace: list[tuple[float, int, int, int]],
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.router = router
+        self.trace = sorted(trace)
+        self.rng = rng or np.random.default_rng(0)
+        self.emitted = 0
+        for time, src, dst, size in self.trace:
+            if time < 0.0 or size <= 0:
+                raise ValueError(f"malformed trace entry {(time, src, dst, size)}")
+            if src not in router.linecards or dst not in router.linecards:
+                raise ValueError(f"trace references unknown LC in {(src, dst)}")
+
+    def start(self) -> None:
+        """Schedule every trace entry."""
+        for time, src, dst, size in self.trace:
+            self.router.engine.schedule(
+                time,
+                lambda src=src, dst=dst, size=size: self._emit(src, dst, size),
+                label="traffic:trace",
+            )
+
+    def _emit(self, src: int, dst: int, size: int) -> None:
+        packet = Packet(
+            src_lc=src,
+            dst_lc=dst,
+            dst_addr=_draw_dst_addr(dst, self.rng),
+            size_bytes=size,
+            protocol=self.router.linecards[src].protocol,
+            created_at=self.router.engine.now,
+        )
+        self.emitted += 1
+        self.router.inject(packet)
+
+
+def wire_uniform_load(
+    router: Router,
+    load: float,
+    *,
+    mean_packet_bytes: int = 500,
+    source_cls: type[TrafficSource] = PoissonSource,
+    start: bool = True,
+) -> list[TrafficSource]:
+    """Attach the paper's uniform workload to ``router``.
+
+    Builds :meth:`TrafficMatrix.uniform` at ``load``, declares the offered
+    load on every LC (sizing coverage solicitations), and starts one
+    source per flow.  Returns the sources for later ``stop()``.
+    """
+    matrix = TrafficMatrix.uniform(
+        router.config.n_linecards, load, router.config.lc_capacity_bps
+    )
+    sources: list[TrafficSource] = []
+    for lc_id in range(matrix.n):
+        router.set_offered_load(lc_id, matrix.offered_at(lc_id))
+    for i, flow in enumerate(matrix.flows(mean_packet_bytes)):
+        src = source_cls(router, flow, router.rng.stream(f"traffic:{i}"))
+        sources.append(src)
+        if start:
+            src.start()
+    return sources

@@ -1,0 +1,32 @@
+"""Claims-registry tests."""
+
+from repro.analysis.claims import all_claims, check_claims
+
+
+class TestClaimsRegistry:
+    def test_registry_covers_all_sections(self):
+        sections = {c.section for c in all_claims()}
+        assert {"5.1", "5.2", "5.3"} <= sections
+
+    def test_claim_ids_unique(self):
+        ids = [c.claim_id for c in all_claims()]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_claim_holds(self):
+        """The reproduction's single most important test."""
+        results = check_claims()
+        failing = [r for r in results if not r.passed]
+        assert not failing, "\n".join(
+            f"{r.claim.claim_id}: {r.detail}" for r in failing
+        )
+
+    def test_details_are_informative(self):
+        for r in check_claims():
+            assert r.detail  # every check must explain itself
+
+    def test_cli_claims_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 claims hold" in out

@@ -1,0 +1,50 @@
+"""Export-helper tests."""
+
+import csv
+import io
+
+import networkx as nx
+
+from repro.analysis import chain_to_networkx, records_to_csv
+from repro.analysis.export import chain_to_dot
+from repro.analysis.sweep import SweepRecord
+from repro.core import DRAConfig
+from repro.core.reliability import build_dra_reliability_chain
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        recs = [
+            SweepRecord("a", 1.0, 0.5, extra=(("n", 3),)),
+            SweepRecord("b", 2.0, 0.7),
+        ]
+        path = tmp_path / "out.csv"
+        text = records_to_csv(recs, path)
+        assert path.read_text() == text
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["label"] == "a"
+        assert rows[0]["n"] == "3"
+        assert rows[1]["n"] == ""
+
+    def test_no_path_returns_only(self):
+        text = records_to_csv([SweepRecord("a", 1.0, 2.0)])
+        assert "label,x,value" in text
+
+
+class TestGraphExport:
+    def test_networkx_structure(self):
+        chain = build_dra_reliability_chain(DRAConfig(n=3, m=2))
+        g = chain_to_networkx(chain)
+        assert isinstance(g, nx.DiGraph)
+        assert g.number_of_nodes() == chain.n_states
+        # F is absorbing: no out-edges.
+        assert g.out_degree("F") == 0
+        # All rates positive.
+        assert all(d["rate"] > 0 for _, _, d in g.edges(data=True))
+
+    def test_dot_output(self):
+        chain = build_dra_reliability_chain(DRAConfig(n=3, m=2))
+        dot = chain_to_dot(chain)
+        assert dot.startswith("digraph")
+        assert '"F"' in dot
+        assert "->" in dot

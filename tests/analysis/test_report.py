@@ -1,0 +1,28 @@
+"""Report-generator tests."""
+
+from repro.analysis.report import generate_report
+
+
+class TestReport:
+    def test_contains_every_section(self):
+        text = generate_report()
+        for heading in (
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "MTTF",
+            "elasticities",
+            "cost vs availability",
+        ):
+            assert heading in text, f"missing section {heading!r}"
+
+    def test_contains_headline_values(self):
+        text = generate_report()
+        assert "9^4" in text  # BDR fast-repair nines
+        assert "9^8" in text  # DRA minimal config
+        assert "9^9" in text  # saturation
+        assert "lam_lpi" in text
+
+    def test_markdown_code_fences_balanced(self):
+        text = generate_report()
+        assert text.count("```") % 2 == 0

@@ -1,0 +1,75 @@
+"""Sweep-driver tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import (
+    FIG6_CONFIGS,
+    FIG8_LOADS,
+    SweepRecord,
+    availability_sweep,
+    performance_sweep,
+    reliability_sweep,
+)
+
+
+class TestSweepRecord:
+    def test_extra_lookup(self):
+        rec = SweepRecord("x", 1.0, 2.0, extra=(("n", 3), ("m", 2)))
+        assert rec.get("n") == 3
+        assert rec.get("missing", "dflt") == "dflt"
+
+
+class TestReliabilitySweep:
+    def test_default_covers_paper_families(self):
+        recs = reliability_sweep(times=np.array([0.0, 40_000.0]))
+        labels = {r.label for r in recs}
+        assert "BDR" in labels
+        assert len(labels) == len(FIG6_CONFIGS) + 1
+
+    def test_record_count(self):
+        t = np.array([0.0, 1000.0, 2000.0])
+        recs = reliability_sweep(times=t, configs=[(3, 2)], include_bdr=False)
+        assert len(recs) == 3
+        assert all(r.label == "DRA(N=3,M=2)" for r in recs)
+
+    def test_values_are_probabilities(self):
+        recs = reliability_sweep(times=np.array([10_000.0]), configs=[(5, 3)])
+        assert all(0.0 <= r.value <= 1.0 for r in recs)
+
+    def test_variant_forwarded(self):
+        t = np.array([150_000.0])
+        paper = reliability_sweep(times=t, configs=[(3, 2)], include_bdr=False)
+        ext = reliability_sweep(
+            times=t, configs=[(3, 2)], include_bdr=False, variant="extended"
+        )
+        assert paper[0].value > ext[0].value
+
+
+class TestAvailabilitySweep:
+    def test_two_repair_policies_by_default(self):
+        recs = availability_sweep(configs=[(3, 2)])
+        mus = sorted({r.x for r in recs})
+        assert mus == [pytest.approx(1 / 12), pytest.approx(1 / 3)]
+
+    def test_nines_annotation_present(self):
+        recs = availability_sweep(configs=[(3, 2)])
+        for rec in recs:
+            assert isinstance(rec.get("nines"), int)
+            assert rec.get("notation")
+
+
+class TestPerformanceSweep:
+    def test_default_loads(self):
+        recs = performance_sweep()
+        loads = {r.get("load") for r in recs}
+        assert loads == set(FIG8_LOADS)
+
+    def test_x_range(self):
+        recs = performance_sweep(loads=[0.5], n=6)
+        xs = sorted(r.x for r in recs)
+        assert xs == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_percentages_bounded(self):
+        recs = performance_sweep()
+        assert all(0.0 <= r.value <= 100.0 for r in recs)

@@ -1,0 +1,57 @@
+"""Table-formatter tests."""
+
+import numpy as np
+
+from repro.analysis import (
+    availability_sweep,
+    format_availability_table,
+    format_performance_table,
+    format_reliability_table,
+    format_series,
+    performance_sweep,
+    reliability_sweep,
+)
+from repro.analysis.sweep import SweepRecord
+
+
+class TestFormatSeries:
+    def test_one_row_per_x_one_column_per_label(self):
+        recs = [
+            SweepRecord("a", 1.0, 0.5),
+            SweepRecord("a", 2.0, 0.6),
+            SweepRecord("b", 1.0, 0.7),
+            SweepRecord("b", 2.0, 0.8),
+        ]
+        out = format_series(recs)
+        lines = out.splitlines()
+        assert len(lines) == 3  # header + 2 x rows
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "0.5000" in lines[1] and "0.7000" in lines[1]
+
+    def test_missing_cell_left_blank(self):
+        recs = [SweepRecord("a", 1.0, 0.5), SweepRecord("b", 2.0, 0.7)]
+        out = format_series(recs)
+        assert "0.5000" in out and "0.7000" in out
+
+
+class TestFigureTables:
+    def test_reliability_table_selects_time_points(self):
+        recs = reliability_sweep(
+            times=np.array([0.0, 20_000.0, 40_000.0]), configs=[(3, 2)]
+        )
+        out = format_reliability_table(recs, time_points=[40_000.0])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "40000" in lines[1]
+
+    def test_availability_table_contains_notation(self):
+        recs = availability_sweep(configs=[(3, 2)])
+        out = format_availability_table(recs)
+        assert "9^8" in out
+        assert "1/3" in out and "1/12" in out
+
+    def test_performance_table_shape(self):
+        out = format_performance_table(performance_sweep(loads=[0.15, 0.7], n=6))
+        lines = out.splitlines()
+        assert len(lines) == 6  # header + X_faulty 1..5
+        assert "%" in lines[1]

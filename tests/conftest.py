@@ -1,0 +1,97 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.parameters import DRAConfig, FailureRates
+from repro.markov import CTMC, CTMCBuilder
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for MC tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def two_state_chain() -> CTMC:
+    """The classic repairable unit: up <-> down."""
+    b = CTMCBuilder()
+    b.add_transition("up", "down", 0.2)
+    b.add_transition("down", "up", 2.0)
+    return b.build()
+
+
+@pytest.fixture
+def absorbing_chain() -> CTMC:
+    """A three-state chain with one absorbing failure state."""
+    b = CTMCBuilder()
+    b.add_transition("good", "degraded", 0.5)
+    b.add_transition("degraded", "good", 1.0)
+    b.add_transition("degraded", "dead", 0.25)
+    b.add_state("dead")
+    return b.build()
+
+
+# -- hypothesis strategies ---------------------------------------------------
+
+#: Small random irreducible-ish CTMCs: a ring backbone guarantees strong
+#: connectivity, plus random extra edges.
+@st.composite
+def irreducible_chains(draw) -> CTMC:
+    n = draw(st.integers(min_value=2, max_value=8))
+    rates = draw(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    n_extra = draw(st.integers(min_value=0, max_value=2 * n))
+    extras = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+                st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+            ),
+            min_size=n_extra,
+            max_size=n_extra,
+        )
+    )
+    b = CTMCBuilder()
+    for i in range(n):
+        b.add_transition(i, (i + 1) % n, rates[i])
+    for src, dst, rate in extras:
+        if src != dst:
+            b.add_transition(src, dst, rate)
+    return b.build()
+
+
+@st.composite
+def dra_configs(draw) -> DRAConfig:
+    n = draw(st.integers(min_value=3, max_value=10))
+    m = draw(st.integers(min_value=2, max_value=n))
+    variant = draw(st.sampled_from(DRAConfig.VARIANTS))
+    return DRAConfig(n=n, m=m, variant=variant)
+
+
+@st.composite
+def failure_rates(draw) -> FailureRates:
+    """Consistent rate sets: draw the atomic rates, derive the combined."""
+    lam_lpd = draw(st.floats(min_value=1e-8, max_value=1e-3, allow_nan=False))
+    lam_lpi = draw(st.floats(min_value=1e-8, max_value=1e-3, allow_nan=False))
+    lam_bc = draw(st.floats(min_value=1e-9, max_value=1e-4, allow_nan=False))
+    lam_bus = draw(st.floats(min_value=1e-9, max_value=1e-4, allow_nan=False))
+    return FailureRates(
+        lam_lc=lam_lpd + lam_lpi,
+        lam_lpd=lam_lpd,
+        lam_lpi=lam_lpi,
+        lam_bc=lam_bc,
+        lam_bus=lam_bus,
+        lam_pd=lam_lpd + lam_bc,
+        lam_pi=lam_lpi + lam_bc,
+    )

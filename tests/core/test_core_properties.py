@@ -1,0 +1,60 @@
+"""Property-based tests for the dependability models (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dra_availability, dra_reliability
+from repro.core.performance import promised_bandwidth
+from repro.core.parameters import RepairPolicy
+from repro.core.reliability import build_dra_reliability_chain
+from repro.core.states import Failed
+from tests.conftest import dra_configs, failure_rates
+
+
+@settings(max_examples=25, deadline=None)
+@given(cfg=dra_configs(), rates=failure_rates())
+def test_dra_chain_always_valid(cfg, rates):
+    """Any (N, M, variant, rates) yields a well-formed absorbing chain."""
+    chain = build_dra_reliability_chain(cfg, rates)
+    assert chain.absorbing_states() == (Failed,)
+    assert chain.n_states >= 5
+
+
+@settings(max_examples=15, deadline=None)
+@given(cfg=dra_configs(), rates=failure_rates())
+def test_reliability_monotone_and_bounded(cfg, rates):
+    t = np.linspace(0.0, 50_000.0, 6)
+    r = dra_reliability(cfg, t, rates).reliability
+    assert np.all((0.0 <= r) & (r <= 1.0 + 1e-12))
+    assert np.all(np.diff(r) <= 1e-10)
+    assert r[0] == 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    cfg=dra_configs(),
+    mu=st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+)
+def test_availability_in_unit_interval(cfg, mu):
+    a = dra_availability(cfg, RepairPolicy(mu=mu)).availability
+    assert 0.0 < a <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    requests=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=12,
+    ),
+    capacity=st.floats(min_value=0.1, max_value=200.0, allow_nan=False),
+)
+def test_b_prom_never_exceeds_bus_or_request(requests, capacity):
+    """B_prom conservation: sum <= B_BUS and each promise <= its request."""
+    out = promised_bandwidth(requests, capacity)
+    assert out.sum() <= max(capacity, sum(requests)) + 1e-9
+    if sum(requests) > capacity:
+        assert out.sum() <= capacity * (1.0 + 1e-12)
+    for promise, request in zip(out, requests):
+        assert promise <= request + 1e-12

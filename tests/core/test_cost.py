@@ -1,0 +1,74 @@
+"""Cost-effectiveness model tests."""
+
+import pytest
+
+from repro.core import CostModel, RepairPolicy, compare_designs
+from repro.core.cost import spared_group_availability
+
+
+class TestCostModel:
+    def test_bdr_cost_linear(self):
+        assert CostModel().bdr_cost(8) == pytest.approx(8.0)
+
+    def test_sparing_cost_adds_spares(self):
+        c = CostModel()
+        assert c.sparing_cost(8, 2) == pytest.approx(8.0 + 2 * 1.10)
+
+    def test_dra_cost_structure(self):
+        c = CostModel()
+        assert c.dra_cost(8) == pytest.approx(8 * 1.03 + 0.25)
+
+    def test_dra_cheaper_than_sparing(self):
+        c = CostModel()
+        for n in (4, 8, 16):
+            assert c.dra_cost(n) < c.sparing_cost(n, 1)
+
+
+class TestSparedGroup:
+    def test_better_than_unspared(self):
+        rp = RepairPolicy.three_hours()
+        a_spared = spared_group_availability(4, rp)
+        a_plain = rp.mu / (rp.mu + 2e-5)
+        assert a_spared > a_plain
+
+    def test_smaller_groups_more_available(self):
+        rp = RepairPolicy.three_hours()
+        assert spared_group_availability(1, rp) > spared_group_availability(8, rp)
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            spared_group_availability(0, RepairPolicy())
+
+
+class TestCompareDesigns:
+    def test_three_designs_returned(self):
+        designs = compare_designs(n=8, n_protocols=2)
+        assert len(designs) == 3
+        labels = [d.label for d in designs]
+        assert labels[0] == "BDR"
+        assert "sparing" in labels[1]
+        assert labels[2].startswith("DRA")
+
+    def test_paper_economics_claim(self):
+        """DRA must beat 1:1 sparing on BOTH cost and availability -- the
+        quantified version of the paper's 'significant cost-savings as
+        well as higher dependability'."""
+        designs = compare_designs(n=8, n_protocols=2)
+        _bdr, spared, dra = designs
+        assert dra.cost < spared.cost
+        assert dra.availability > spared.availability
+
+    def test_everything_beats_plain_bdr(self):
+        bdr, spared, dra = compare_designs(n=6, n_protocols=1)
+        assert spared.availability > bdr.availability
+        assert dra.availability > bdr.availability
+
+    def test_downtime_property(self):
+        bdr = compare_designs(n=6, n_protocols=1)[0]
+        assert bdr.downtime_minutes_per_year == pytest.approx(
+            (1 - bdr.availability) * 8766 * 60
+        )
+
+    def test_invalid_protocol_count(self):
+        with pytest.raises(ValueError):
+            compare_designs(n=4, n_protocols=5)

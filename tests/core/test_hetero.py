@@ -1,0 +1,110 @@
+"""Heterogeneous performance-model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hetero import HeterogeneousPerformanceModel
+from repro.core.performance import PerformanceModel
+
+
+class TestConstruction:
+    def test_scalar_capacity_broadcast(self):
+        m = HeterogeneousPerformanceModel([0.1, 0.2, 0.3], 10.0)
+        np.testing.assert_allclose(m.capacities, [10.0, 10.0, 10.0])
+
+    def test_invalid_loads(self):
+        with pytest.raises(ValueError):
+            HeterogeneousPerformanceModel([0.5, 1.0])
+        with pytest.raises(ValueError):
+            HeterogeneousPerformanceModel([0.5, -0.1])
+
+    def test_mismatched_capacities(self):
+        with pytest.raises(ValueError):
+            HeterogeneousPerformanceModel([0.1, 0.2], [10.0])
+
+    def test_too_few_lcs(self):
+        with pytest.raises(ValueError):
+            HeterogeneousPerformanceModel([0.5])
+
+
+class TestDegradation:
+    def test_single_fault_low_load_full_service(self):
+        m = HeterogeneousPerformanceModel([0.15] * 6)
+        out = m.degradation([0])
+        np.testing.assert_allclose(out.percent, [100.0])
+
+    def test_hot_card_needs_more(self):
+        m = HeterogeneousPerformanceModel([0.9 - 0.2, 0.1, 0.1, 0.1])
+        hot = m.degradation([0])
+        cold = m.degradation([1])
+        assert hot.required[0] > cold.required[0]
+
+    def test_proportional_share_under_pressure(self):
+        """Two faulty LCs with unequal demands scale back proportionally."""
+        m = HeterogeneousPerformanceModel([0.8, 0.4, 0.9, 0.9], 10.0)
+        out = m.degradation([0, 1])
+        # pool = 2 * (1 - 0.9) * 10 = 2.0 < required total 12.0
+        np.testing.assert_allclose(out.delivered.sum(), 2.0)
+        assert out.delivered[0] / out.delivered[1] == pytest.approx(
+            out.required[0] / out.required[1]
+        )
+
+    def test_bus_binds(self):
+        m = HeterogeneousPerformanceModel([0.5] * 4, 10.0, b_bus=3.0)
+        out = m.degradation([0, 1])
+        assert out.delivered.sum() == pytest.approx(3.0)
+
+    def test_all_faulty_rejected(self):
+        m = HeterogeneousPerformanceModel([0.5, 0.5])
+        with pytest.raises(ValueError):
+            m.degradation([0, 1])
+
+    def test_out_of_range_rejected(self):
+        m = HeterogeneousPerformanceModel([0.5, 0.5])
+        with pytest.raises(ValueError):
+            m.degradation([7])
+
+    def test_worst_single_fault_is_a_coolest_card(self):
+        """Counter-intuitive but correct: losing a *cool* card is the
+        worst single fault.  The binding quantity is the surviving pool
+        of headroom, and failing a cool card leaves the hottest (lowest
+        headroom) survivor set; failing the hottest card leaves the most
+        headroom behind and is actually the best case."""
+        loads = [0.85, 0.9, 0.95, 0.9, 0.85]
+        m = HeterogeneousPerformanceModel(loads)
+        worst_lc, pct = m.worst_single_fault()
+        assert worst_lc in (0, 4)  # a coolest card
+        assert pct < 50.0
+        # And the hottest card's failure is actually the *best* case.
+        best = max(
+            m.degradation([lc]).aggregate_percent for lc in range(5)
+        )
+        assert best == pytest.approx(m.degradation([2]).aggregate_percent)
+
+
+class TestUniformEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=9),
+        load=st.floats(min_value=0.05, max_value=0.85),
+        x_faulty=st.integers(min_value=1, max_value=8),
+    )
+    def test_reduces_to_paper_model(self, n, load, x_faulty):
+        """Equal loads: the heterogeneous model gives exactly the paper's
+        per-LC B_faulty for every fault count."""
+        x_faulty = min(x_faulty, n - 1)
+        hetero = HeterogeneousPerformanceModel.uniform(n, load)
+        paper = PerformanceModel(n=n)
+        out = hetero.degradation(range(x_faulty))
+        expected = paper.bandwidth_to_faulty(x_faulty, load)
+        np.testing.assert_allclose(out.delivered, expected, rtol=1e-9)
+
+    def test_aggregate_percent_matches(self):
+        hetero = HeterogeneousPerformanceModel.uniform(6, 0.7)
+        paper = PerformanceModel(n=6)
+        out = hetero.degradation(range(5))
+        assert out.aggregate_percent == pytest.approx(
+            paper.degradation_percent(5, 0.7)
+        )

@@ -1,0 +1,73 @@
+"""Component-importance tests."""
+
+import pytest
+
+from repro.core import (
+    DRAConfig,
+    FailureRates,
+    RepairPolicy,
+    reliability_rate_sensitivity,
+    unavailability_elasticities,
+)
+from repro.core.importance import RATE_FIELDS, _consistent
+
+
+class TestConsistentPerturbation:
+    def test_derived_rates_follow(self):
+        base = FailureRates()
+        perturbed = _consistent(base, "lam_lpi", 2e-5)
+        perturbed.validate()
+        assert perturbed.lam_lpi == 2e-5
+        assert perturbed.lam_lc == pytest.approx(2e-5 + base.lam_lpd)
+        assert perturbed.lam_pi == pytest.approx(2e-5 + base.lam_bc)
+
+    def test_untouched_rates_stable(self):
+        base = FailureRates()
+        perturbed = _consistent(base, "lam_bus", 5e-6)
+        assert perturbed.lam_lpd == base.lam_lpd
+        assert perturbed.lam_pd == base.lam_pd
+
+
+class TestElasticities:
+    def test_all_fields_reported_sorted(self):
+        out = unavailability_elasticities(DRAConfig(n=9, m=4))
+        assert {r.field for r in out} == set(RATE_FIELDS)
+        magnitudes = [abs(r.elasticity) for r in out]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_paper_claim_pi_dominates_pd(self):
+        """"the number of PI units has a greater impact ... than the
+        number of PDLU's" -- in rate terms, lam_lpi outranks lam_lpd."""
+        out = {r.field: r.elasticity for r in
+               unavailability_elasticities(DRAConfig(n=9, m=4))}
+        assert out["lam_lpi"] > out["lam_lpd"] > 0.0
+
+    def test_elasticities_positive(self):
+        """Unavailability worsens with every failure rate."""
+        out = unavailability_elasticities(
+            DRAConfig(n=5, m=3), RepairPolicy.half_day()
+        )
+        assert all(r.elasticity > 0.0 for r in out)
+
+    def test_two_failure_structure(self):
+        """Every F path needs one LCUA-side and one covering-side event,
+        so elasticities sum to ~2 (each path is a product of two rates)."""
+        out = unavailability_elasticities(DRAConfig(n=9, m=4))
+        assert sum(r.elasticity for r in out) == pytest.approx(2.0, abs=0.05)
+
+
+class TestReliabilitySensitivity:
+    def test_negative_derivatives(self):
+        """Raising any failure rate can only lower R(t)."""
+        out = reliability_rate_sensitivity(DRAConfig(n=6, m=3), 40_000.0)
+        assert all(v < 0.0 for v in out.values())
+
+    def test_pi_rate_most_damaging_when_rate_weighted(self):
+        """Raw derivatives favor lam_lpd (only 3 covering PDLUs vs 7 PI
+        pools), but weighted by the actual rates -- the realistic
+        perturbation scale -- the PI side dominates, matching the paper."""
+        out = reliability_rate_sensitivity(DRAConfig(n=9, m=4), 40_000.0)
+        rates = FailureRates()
+        assert abs(out["lam_lpi"] * rates.lam_lpi) > abs(
+            out["lam_lpd"] * rates.lam_lpd
+        )

@@ -1,0 +1,45 @@
+"""Interval-availability tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import DRAConfig, RepairPolicy, bdr_availability, dra_availability
+from repro.core.interval import bdr_interval_availability, dra_interval_availability
+
+
+class TestBDRInterval:
+    def test_starts_at_one(self):
+        ia = bdr_interval_availability(np.array([0.0]))
+        assert ia[0] == pytest.approx(1.0)
+
+    def test_converges_to_steady_state(self):
+        rp = RepairPolicy.three_hours()
+        ia = bdr_interval_availability(np.array([5e6]), rp)
+        a_inf = bdr_availability(rp).availability
+        assert ia[0] == pytest.approx(a_inf, abs=1e-6)
+
+    def test_monotone_decay_from_healthy_start(self):
+        t = np.array([0.0, 1e4, 1e5, 1e6])
+        ia = bdr_interval_availability(t)
+        assert np.all(np.diff(ia) <= 1e-12)
+
+
+class TestDRAInterval:
+    def test_dra_above_bdr(self):
+        t = np.array([1e4, 1e5])
+        rp = RepairPolicy.half_day()
+        ia_dra = dra_interval_availability(DRAConfig(n=5, m=3), t, rp)
+        ia_bdr = bdr_interval_availability(t, rp)
+        assert np.all(ia_dra > ia_bdr)
+
+    def test_converges_to_steady_state(self):
+        rp = RepairPolicy.three_hours()
+        cfg = DRAConfig(n=3, m=2)
+        ia = dra_interval_availability(cfg, np.array([5e7]), rp)
+        a_inf = dra_availability(cfg, rp).availability
+        assert ia[0] == pytest.approx(a_inf, abs=1e-7)
+
+    def test_bounded(self):
+        t = np.linspace(0.0, 1e5, 5)
+        ia = dra_interval_availability(DRAConfig(n=4, m=2), t)
+        assert np.all((0.0 <= ia) & (ia <= 1.0))

@@ -1,0 +1,42 @@
+"""MTTF analysis tests."""
+
+import pytest
+
+from repro.core import DRAConfig, FailureRates, bdr_mttf, dra_mttf, mttf_improvement
+
+
+class TestBDRMTTF:
+    def test_closed_form(self):
+        assert bdr_mttf().hours == pytest.approx(1.0 / 2e-5)
+
+    def test_years_conversion(self):
+        assert bdr_mttf().years == pytest.approx(50_000.0 / 8766.0)
+
+    def test_custom_rates(self):
+        fast = FailureRates().scaled(2.0)
+        assert bdr_mttf(fast).hours == pytest.approx(25_000.0)
+
+
+class TestDRAMTTF:
+    def test_exceeds_bdr(self):
+        assert dra_mttf(DRAConfig(n=3, m=2)).hours > bdr_mttf().hours
+
+    def test_monotone_in_n(self):
+        values = [dra_mttf(DRAConfig(n=n, m=2)).hours for n in (3, 5, 7, 9)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_m(self):
+        values = [dra_mttf(DRAConfig(n=9, m=m)).hours for m in (2, 4, 6, 8)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_improvement_ratio(self):
+        ratio = mttf_improvement(DRAConfig(n=9, m=4))
+        assert 2.0 < ratio < 10.0
+
+    def test_variant_ordering(self):
+        paper = dra_mttf(DRAConfig(n=4, m=2, variant="paper")).hours
+        ext = dra_mttf(DRAConfig(n=4, m=2, variant="extended")).hours
+        assert paper >= ext
+
+    def test_label(self):
+        assert dra_mttf(DRAConfig(n=5, m=3)).label == "DRA(N=5,M=3)"

@@ -1,0 +1,62 @@
+"""Nines-notation tests."""
+
+import pytest
+
+from repro.core.nines import count_nines, from_nines, nines_notation
+
+
+class TestCountNines:
+    @pytest.mark.parametrize(
+        "a, expected",
+        [
+            (0.5, 0),
+            (0.9, 1),
+            (0.95, 1),
+            (0.99, 2),
+            (0.999, 3),
+            (0.9999, 4),
+            (0.99994, 4),
+            (0.99995, 4),
+            (0.999940003600, 4),
+            (0.9999999974, 8),
+            (0.99999999964, 9),
+            (0.0, 0),
+        ],
+    )
+    def test_values(self, a, expected):
+        assert count_nines(a) == expected
+
+    def test_perfect_availability_caps(self):
+        assert count_nines(1.0) == 16
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            count_nines(1.5)
+        with pytest.raises(ValueError):
+            count_nines(-0.1)
+
+    def test_exact_decimal_boundaries(self):
+        # Float representation of 1 - 0.9999 is slightly above 1e-4; the
+        # guard epsilon must still count four nines.
+        for k in range(1, 12):
+            a = float("0." + "9" * k)
+            assert count_nines(a) == k
+
+
+class TestNotation:
+    def test_paper_format(self):
+        assert nines_notation(0.99994) == "9^4"
+        assert nines_notation(0.9999999974) == "9^8"
+
+    def test_degraded_plain_decimal(self):
+        assert nines_notation(0.85) == "0.8500"
+
+
+class TestFromNines:
+    def test_roundtrip(self):
+        for k in range(0, 10):
+            assert count_nines(from_nines(k)) == k
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            from_nines(-1)

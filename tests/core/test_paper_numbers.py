@@ -1,0 +1,131 @@
+"""Regression tests pinning every number the paper quotes.
+
+These are the headline reproduction checks: if any fails, the build no
+longer reproduces the paper.  Each test cites the sentence of Section 5 it
+verifies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DRAConfig,
+    RepairPolicy,
+    bdr_availability,
+    bdr_reliability,
+    dra_availability,
+    dra_reliability,
+)
+
+
+class TestFigure6Claims:
+    def test_bdr_below_half_at_40000_hours(self):
+        """"this is in sharp contrast to BDR whose reliability drops down
+        to less than 0.5" (by the 40,000-hour mark)."""
+        r = bdr_reliability(np.array([40_000.0])).reliability[0]
+        assert r < 0.5
+        assert r == pytest.approx(np.exp(-0.8), rel=1e-9)
+
+    @pytest.mark.parametrize("m", [4, 5, 6, 7, 8])
+    def test_n9_m_ge_4_close_to_one_at_40000_hours(self, m):
+        """"the reliability for N = 9 (and M >= 4) remains close to 1.0
+        for the first 40,000 hours"."""
+        r = dra_reliability(DRAConfig(n=9, m=m), np.array([40_000.0])).reliability[0]
+        assert r > 0.95
+
+    def test_minimal_config_reasonably_large_improvement(self):
+        """"Even for M = 2 and N = 3, DRA offers reasonably large
+        improvement in reliability over a comparable BDR"."""
+        t = np.array([40_000.0])
+        r_dra = dra_reliability(DRAConfig(n=3, m=2), t).reliability[0]
+        r_bdr = bdr_reliability(t).reliability[0]
+        assert r_dra - r_bdr > 0.3  # 0.85 vs 0.45
+
+    def test_gains_shrink_with_m(self):
+        """"gains in R(t) tend to shrink over successively increasing
+        values of M and N" -- M > 4 curves are very close to each other."""
+        t = np.array([40_000.0])
+        r = {
+            m: dra_reliability(DRAConfig(n=9, m=m), t).reliability[0]
+            for m in (2, 4, 6, 8)
+        }
+        gain_2_to_4 = r[4] - r[2]
+        gain_4_to_6 = r[6] - r[4]
+        gain_6_to_8 = r[8] - r[6]
+        assert gain_2_to_4 > gain_4_to_6 > gain_6_to_8 >= 0.0
+        # "values of R(t) for M > 4 are very close to each other"
+        assert r[8] - r[4] < 0.005
+
+    def test_pi_units_matter_more_than_pdlus(self):
+        """"the number of PI units has a greater impact on R(t) than the
+        number of PDLU's"."""
+        t = np.array([60_000.0])
+        # Adding covering PI pools (N up, M fixed):
+        gain_n = (
+            dra_reliability(DRAConfig(n=6, m=2), t).reliability[0]
+            - dra_reliability(DRAConfig(n=4, m=2), t).reliability[0]
+        )
+        # Adding covering PDLUs (M up, N fixed):
+        gain_m = (
+            dra_reliability(DRAConfig(n=9, m=6), t).reliability[0]
+            - dra_reliability(DRAConfig(n=9, m=4), t).reliability[0]
+        )
+        assert gain_n > gain_m
+
+
+class TestFigure7Claims:
+    def test_bdr_nines(self):
+        """BDR: 9^4 at mu = 1/3 and 9^3 at mu = 1/12."""
+        assert bdr_availability(RepairPolicy.three_hours()).nines == 4
+        assert bdr_availability(RepairPolicy.half_day()).nines == 3
+
+    def test_single_coverer_nines(self):
+        """"a single covering LC_inter (M = 2, N = 3) gives an
+        availability figure of 9^8 for mu = 1/3 (or 9^7 for mu = 1/12)"."""
+        cfg = DRAConfig(n=3, m=2)
+        assert dra_availability(cfg, RepairPolicy.three_hours()).nines == 8
+        assert dra_availability(cfg, RepairPolicy.half_day()).nines == 7
+
+    @pytest.mark.parametrize("n, m", [(9, 4), (9, 6), (9, 8), (8, 5)])
+    def test_saturation_nines(self, n, m):
+        """"it saturates at 9^9 (or 9^8) with mu = 1/3 (or mu = 1/12) for
+        all M >= 4"."""
+        cfg = DRAConfig(n=n, m=m)
+        assert dra_availability(cfg, RepairPolicy.three_hours()).nines == 9
+        assert dra_availability(cfg, RepairPolicy.half_day()).nines == 8
+
+    def test_availability_increases_with_m_and_n(self):
+        rp = RepairPolicy.three_hours()
+        a32 = dra_availability(DRAConfig(n=3, m=2), rp).availability
+        a52 = dra_availability(DRAConfig(n=5, m=2), rp).availability
+        a54 = dra_availability(DRAConfig(n=5, m=4), rp).availability
+        assert a32 <= a52 <= a54
+
+
+class TestFigure8Claims:
+    def test_low_load_full_coverage(self):
+        """"for L = 15% ... DRA does not suffer from any performance
+        degradation and is able to completely support up to N - 1 faulty
+        LC's at the required capacity (for N <= 6)"."""
+        from repro.core.performance import PerformanceModel
+
+        for n in (3, 4, 5, 6):
+            m = PerformanceModel(n=n)
+            for x in range(1, n):
+                assert m.degradation_percent(x, 0.15) == pytest.approx(100.0)
+
+    def test_worst_case_under_ten_percent(self):
+        """"for X_faulty = 5 and a load of 70%, less than 10% of the
+        required capacity is available"."""
+        from repro.core.performance import PerformanceModel
+
+        assert PerformanceModel(n=6).degradation_percent(5, 0.70) < 10.0
+
+    def test_larger_n_higher_bandwidth_when_few_faults(self):
+        """"A larger N results in higher values for B_faulty as long as
+        the number of failed LC's is small"."""
+        from repro.core.performance import PerformanceModel
+
+        b6 = PerformanceModel(n=6).bandwidth_to_faulty(1, 0.7)
+        b9 = PerformanceModel(n=9).bandwidth_to_faulty(1, 0.7)
+        assert b9 >= b6

@@ -1,0 +1,86 @@
+"""Parameter dataclass tests."""
+
+import pytest
+
+from repro.core import DRAConfig, FailureRates, RepairPolicy
+
+
+class TestFailureRates:
+    def test_defaults_match_paper(self):
+        r = FailureRates()
+        assert r.lam_lc == 2.0e-5
+        assert r.lam_lpd == 6.0e-6
+        assert r.lam_lpi == 1.4e-5
+        assert r.lam_bc == 1.0e-6
+        assert r.lam_bus == 1.0e-6
+        assert r.lam_pd == 7.0e-6
+        assert r.lam_pi == 1.5e-5
+
+    def test_defaults_pass_consistency(self):
+        FailureRates().validate()
+
+    def test_inconsistent_rates_detected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            FailureRates(lam_lc=1e-5).validate()
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            FailureRates(lam_lc=0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            FailureRates(lam_bus=float("nan"))
+
+    def test_t_prime_rate(self):
+        assert FailureRates().lam_t_prime == pytest.approx(2.0e-6)
+
+    def test_scaled(self):
+        r = FailureRates().scaled(10.0)
+        assert r.lam_lc == pytest.approx(2.0e-4)
+        r.validate()  # scaling preserves consistency
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError, match="positive"):
+            FailureRates().scaled(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FailureRates().lam_lc = 1.0
+
+
+class TestDRAConfig:
+    def test_pool_sizes(self):
+        cfg = DRAConfig(n=9, m=4)
+        assert cfg.n_inter_pi == 7
+        assert cfg.n_inter_pd == 3
+
+    def test_minimum_configuration(self):
+        cfg = DRAConfig(n=3, m=2)
+        assert cfg.n_inter_pi == 1
+        assert cfg.n_inter_pd == 1
+
+    @pytest.mark.parametrize("n, m", [(2, 2), (3, 1), (3, 4), (0, 0)])
+    def test_invalid_configs_rejected(self, n, m):
+        with pytest.raises(ValueError):
+            DRAConfig(n=n, m=m)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="variant"):
+            DRAConfig(n=3, m=2, variant="bogus")
+
+    @pytest.mark.parametrize("variant", DRAConfig.VARIANTS)
+    def test_all_variants_accepted(self, variant):
+        DRAConfig(n=5, m=3, variant=variant)
+
+
+class TestRepairPolicy:
+    def test_paper_policies(self):
+        assert RepairPolicy.three_hours().mu == pytest.approx(1.0 / 3.0)
+        assert RepairPolicy.half_day().mu == pytest.approx(1.0 / 12.0)
+
+    def test_default_is_three_hours(self):
+        assert RepairPolicy().mu == pytest.approx(1.0 / 3.0)
+
+    def test_invalid_mu_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            RepairPolicy(mu=0.0)

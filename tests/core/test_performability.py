@@ -1,0 +1,86 @@
+"""Performability-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import FailureRates, RepairPolicy
+from repro.core.performability import PerformabilityModel
+from repro.core.performance import PerformanceModel
+
+
+def make_model(n=6, repair_style="bulk", mu=1.0 / 3.0):
+    return PerformabilityModel(
+        PerformanceModel(n=n),
+        RepairPolicy(mu=mu),
+        repair_style=repair_style,
+    )
+
+
+class TestChainStructure:
+    def test_states_are_fault_counts(self):
+        m = make_model(n=6)
+        assert m.chain.states == tuple(range(6))
+
+    def test_birth_rates_scale_with_healthy_cards(self):
+        m = make_model(n=6)
+        lam = FailureRates().lam_lc
+        assert m.chain.rate(0, 1) == pytest.approx(6 * lam)
+        assert m.chain.rate(3, 4) == pytest.approx(3 * lam)
+
+    def test_bulk_repair_targets_zero(self):
+        m = make_model(n=5, repair_style="bulk")
+        for k in range(1, 5):
+            assert m.chain.rate(k, 0) == pytest.approx(1.0 / 3.0)
+
+    def test_per_lc_repair_steps_down(self):
+        m = make_model(n=5, repair_style="per-lc")
+        assert m.chain.rate(3, 2) == pytest.approx(3 / 3.0)
+        assert m.chain.rate(3, 0) == 0.0
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            make_model(repair_style="magic")
+
+
+class TestSteadyState:
+    def test_mass_concentrates_on_zero_faults(self):
+        res = make_model().steady_state(0.5)
+        assert res.state_probabilities[0] > 0.999
+        assert res.any_fault_probability < 1e-3
+
+    def test_expected_degradation_near_100(self):
+        """With realistic rates the router almost always delivers fully."""
+        res = make_model().steady_state(0.7)
+        assert res.expected_degradation_percent > 99.9
+
+    def test_low_load_higher_performability(self):
+        m = make_model()
+        assert (
+            m.steady_state(0.15).expected_degradation_percent
+            >= m.steady_state(0.70).expected_degradation_percent
+        )
+
+    def test_slower_repair_hurts(self):
+        fast = make_model(mu=1.0 / 3.0).steady_state(0.7)
+        slow = make_model(mu=1.0 / 12.0).steady_state(0.7)
+        assert slow.expected_degradation_percent < fast.expected_degradation_percent
+        assert slow.any_fault_probability > fast.any_fault_probability
+
+
+class TestTransient:
+    def test_starts_at_full_service(self):
+        m = make_model()
+        out = m.transient(0.7, np.array([0.0]))
+        assert out[0] == pytest.approx(100.0)
+
+    def test_decays_to_steady_state(self):
+        m = make_model()
+        out = m.transient(0.7, np.array([1e6]))
+        ss = m.steady_state(0.7).expected_degradation_percent
+        assert out[0] == pytest.approx(ss, abs=1e-6)
+
+    def test_monotone_decay(self):
+        m = make_model()
+        t = np.array([0.0, 10.0, 100.0, 1000.0])
+        out = m.transient(0.7, t)
+        assert np.all(np.diff(out) <= 1e-9)

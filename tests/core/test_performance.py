@@ -1,0 +1,124 @@
+"""Section 5.3 performance-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.performance import (
+    PerformanceModel,
+    bandwidth_to_faulty,
+    degradation_series,
+    promised_bandwidth,
+)
+
+
+class TestPromisedBandwidth:
+    def test_undersubscribed_passthrough(self):
+        out = promised_bandwidth([1.0, 2.0, 3.0], 10.0)
+        np.testing.assert_allclose(out, [1.0, 2.0, 3.0])
+
+    def test_oversubscribed_proportional(self):
+        out = promised_bandwidth([6.0, 9.0], 10.0)
+        np.testing.assert_allclose(out, [4.0, 6.0])
+
+    def test_conservation_when_oversubscribed(self):
+        out = promised_bandwidth([5.0, 7.0, 11.0], 12.0)
+        assert out.sum() == pytest.approx(12.0)
+
+    def test_exact_fit(self):
+        out = promised_bandwidth([4.0, 6.0], 10.0)
+        np.testing.assert_allclose(out, [4.0, 6.0])
+
+    def test_empty_requests(self):
+        assert promised_bandwidth([], 10.0).size == 0
+
+    def test_negative_request_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            promised_bandwidth([-1.0], 10.0)
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            promised_bandwidth([1.0], 0.0)
+
+
+class TestPerformanceModel:
+    def test_headroom_and_required(self):
+        m = PerformanceModel(n=6, c_lc=10.0)
+        assert m.headroom(0.3) == pytest.approx(7.0)
+        assert m.required(0.3) == pytest.approx(3.0)
+
+    def test_no_faults_full_service(self):
+        m = PerformanceModel(n=6)
+        assert m.degradation_percent(0, 0.5) == pytest.approx(100.0)
+
+    def test_paper_endpoint_low_load(self):
+        """L=15%: full required capacity through X_faulty = N-1 (N=6)."""
+        m = PerformanceModel(n=6)
+        for x in range(1, 6):
+            assert m.degradation_percent(x, 0.15) == pytest.approx(100.0)
+
+    def test_paper_endpoint_worst_case(self):
+        """X_faulty=5, L=70%: less than 10% of required capacity."""
+        m = PerformanceModel(n=6)
+        pct = m.degradation_percent(5, 0.70)
+        assert pct < 10.0
+        assert pct == pytest.approx(100.0 * 3.0 / (5 * 7.0), rel=1e-9)
+
+    def test_degradation_monotone_in_faults(self):
+        m = PerformanceModel(n=6)
+        series = [m.degradation_percent(x, 0.5) for x in range(1, 6)]
+        assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))
+
+    def test_larger_n_helps_at_small_x(self):
+        small = PerformanceModel(n=4).bandwidth_to_faulty(2, 0.7)
+        large = PerformanceModel(n=8).bandwidth_to_faulty(2, 0.7)
+        assert large >= small
+
+    def test_bus_capacity_binds(self):
+        unbound = PerformanceModel(n=6, b_bus=None).bandwidth_to_faulty(1, 0.5)
+        bound = PerformanceModel(n=6, b_bus=2.0).bandwidth_to_faulty(1, 0.5)
+        assert bound == pytest.approx(2.0)
+        assert unbound == pytest.approx(5.0)
+
+    def test_default_bus_is_nonbinding(self):
+        m = PerformanceModel(n=6)
+        assert m.bus_capacity == pytest.approx(60.0)
+
+    def test_x_faulty_out_of_range(self):
+        m = PerformanceModel(n=6)
+        with pytest.raises(ValueError, match="x_faulty"):
+            m.bandwidth_to_faulty(6, 0.3)
+        with pytest.raises(ValueError, match="x_faulty"):
+            m.bandwidth_to_faulty(-1, 0.3)
+
+    def test_invalid_load_rejected(self):
+        m = PerformanceModel(n=6)
+        with pytest.raises(ValueError, match="load"):
+            m.bandwidth_to_faulty(1, 1.0)
+        with pytest.raises(ValueError, match="load"):
+            m.headroom(-0.1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(n=1)
+        with pytest.raises(ValueError):
+            PerformanceModel(n=6, c_lc=0.0)
+        with pytest.raises(ValueError):
+            PerformanceModel(n=6, b_bus=-1.0)
+
+
+class TestModuleFunctions:
+    def test_functional_wrapper(self):
+        assert bandwidth_to_faulty(5, 0.70, n=6) == pytest.approx(0.6)
+
+    def test_degradation_series_shape(self):
+        series = degradation_series([0.15, 0.7], n=6)
+        assert set(series) == {0.15, 0.7}
+        assert all(len(v) == 5 for v in series.values())
+
+    def test_series_values_match_figure8(self):
+        series = degradation_series([0.70], n=6)
+        np.testing.assert_allclose(
+            series[0.70],
+            [100.0, 600.0 / 7.0, 300.0 / 7.0, 150.0 / 7.0, 60.0 / 7.0],
+            rtol=1e-9,
+        )

@@ -1,0 +1,170 @@
+"""Reliability-model tests: chain structure, closed forms, variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import DRAConfig, FailureRates, bdr_reliability, dra_reliability
+from repro.core.reliability import (
+    build_bdr_reliability_chain,
+    build_dra_reliability_chain,
+)
+from repro.core.states import (
+    AllHealthy,
+    BusDown,
+    Failed,
+    InterZoneState,
+    UAPDState,
+    UAPIState,
+)
+from repro.markov import mean_time_to_absorption
+
+
+class TestBDRChain:
+    def test_closed_form(self):
+        t = np.array([0.0, 10_000.0, 40_000.0, 100_000.0])
+        res = bdr_reliability(t)
+        np.testing.assert_allclose(res.reliability, np.exp(-2e-5 * t), rtol=1e-8)
+
+    def test_mttf_is_inverse_rate(self):
+        chain = build_bdr_reliability_chain()
+        assert mean_time_to_absorption(chain) == pytest.approx(1.0 / 2e-5)
+
+
+class TestDRAChainStructure:
+    def test_state_count_paper_variant(self):
+        # (N-2)(M-1) grid + (N-2) i_PI + (M-1) j_PD + T' + F.
+        for n, m in [(3, 2), (6, 3), (9, 8)]:
+            chain = build_dra_reliability_chain(DRAConfig(n=n, m=m))
+            P, D = n - 2, m - 1
+            assert chain.n_states == P * D + P + D + 2
+
+    def test_state_count_extended_variant(self):
+        for n, m in [(3, 2), (6, 3)]:
+            chain = build_dra_reliability_chain(
+                DRAConfig(n=n, m=m, variant="extended")
+            )
+            P, D = n - 2, m - 1
+            assert chain.n_states == (P + 1) * (D + 1) + P + D + 2
+
+    def test_failed_is_unique_absorbing_state(self):
+        chain = build_dra_reliability_chain(DRAConfig(n=6, m=3))
+        assert chain.absorbing_states() == (Failed,)
+
+    def test_transition_rates_n3_m2(self):
+        """Every edge of the minimal paper-variant chain, checked exactly."""
+        r = FailureRates()
+        chain = build_dra_reliability_chain(DRAConfig(n=3, m=2))
+        # From (0,0): no covering transitions (truncated grid).
+        assert chain.rate(AllHealthy, UAPIState(0)) == pytest.approx(r.lam_lpi)
+        assert chain.rate(AllHealthy, UAPDState(0)) == pytest.approx(r.lam_lpd)
+        assert chain.rate(AllHealthy, BusDown) == pytest.approx(r.lam_bus + r.lam_bc)
+        assert chain.rate(AllHealthy, Failed) == 0.0
+        # Zone-LCUA (paper variant): the last covering unit's failure is
+        # fatal; the EIB/bus-controller portion diverts to T'.
+        assert chain.rate(UAPIState(0), Failed) == pytest.approx(r.lam_pi)
+        assert chain.rate(UAPDState(0), Failed) == pytest.approx(r.lam_pd)
+
+    def test_paper_variant_zone_ua_goes_to_t_prime(self):
+        r = FailureRates()
+        chain = build_dra_reliability_chain(DRAConfig(n=3, m=2, variant="paper"))
+        assert chain.rate(UAPIState(0), BusDown) == pytest.approx(r.lam_t_prime)
+        assert chain.rate(UAPIState(0), Failed) == pytest.approx(r.lam_pi)
+
+    def test_strict_variant_zone_ua_goes_to_failed(self):
+        r = FailureRates()
+        chain = build_dra_reliability_chain(DRAConfig(n=3, m=2, variant="strict"))
+        assert chain.rate(UAPIState(0), BusDown) == 0.0
+        assert chain.rate(UAPIState(0), Failed) == pytest.approx(
+            r.lam_pi + r.lam_t_prime
+        )
+
+    def test_covering_pool_rates_scale_with_remaining(self):
+        r = FailureRates()
+        chain = build_dra_reliability_chain(DRAConfig(n=9, m=4))
+        # From (0,0): 7 PI pools and 3 PDLUs at risk.
+        assert chain.rate(AllHealthy, InterZoneState(1, 0)) == pytest.approx(
+            7 * r.lam_pi
+        )
+        assert chain.rate(AllHealthy, InterZoneState(0, 1)) == pytest.approx(
+            3 * r.lam_pd
+        )
+        # Deeper in the grid the multiplicity drops.
+        assert chain.rate(InterZoneState(3, 1), InterZoneState(4, 1)) == pytest.approx(
+            4 * r.lam_pi
+        )
+
+    def test_t_prime_exits_at_lc_rate(self):
+        r = FailureRates()
+        chain = build_dra_reliability_chain(DRAConfig(n=6, m=3))
+        assert chain.rate(BusDown, Failed) == pytest.approx(r.lam_lc)
+
+    def test_extended_variant_exhausted_pool_reachable(self):
+        chain = build_dra_reliability_chain(DRAConfig(n=3, m=2, variant="extended"))
+        r = FailureRates()
+        # (0,0) -> (1,0): the only covering PI pool dies while LCUA healthy.
+        assert chain.rate(AllHealthy, InterZoneState(1, 0)) == pytest.approx(r.lam_pi)
+        # From (1,0) an LCUA PI failure is immediately fatal.
+        assert chain.rate(InterZoneState(1, 0), Failed) == pytest.approx(r.lam_lpi)
+
+
+class TestReliabilityCurves:
+    def test_starts_at_one(self):
+        res = dra_reliability(DRAConfig(n=6, m=3), np.array([0.0]))
+        assert res.reliability[0] == pytest.approx(1.0)
+
+    def test_monotone_nonincreasing(self):
+        t = np.linspace(0.0, 200_000.0, 41)
+        res = dra_reliability(DRAConfig(n=6, m=3), t)
+        assert np.all(np.diff(res.reliability) <= 1e-12)
+
+    def test_dra_beats_bdr_everywhere(self):
+        t = np.linspace(1_000.0, 100_000.0, 20)
+        bdr = bdr_reliability(t).reliability
+        dra = dra_reliability(DRAConfig(n=3, m=2), t).reliability
+        assert np.all(dra > bdr)
+
+    def test_more_linecards_help(self):
+        t = np.array([40_000.0])
+        r_small = dra_reliability(DRAConfig(n=3, m=2), t).reliability[0]
+        r_big = dra_reliability(DRAConfig(n=9, m=2), t).reliability[0]
+        assert r_big > r_small
+
+    def test_more_same_protocol_cards_help(self):
+        t = np.array([60_000.0])
+        r4 = dra_reliability(DRAConfig(n=9, m=4), t).reliability[0]
+        r8 = dra_reliability(DRAConfig(n=9, m=8), t).reliability[0]
+        assert r8 > r4
+
+    def test_variant_ordering(self):
+        """paper >= strict >= extended pointwise (each adds failure paths)."""
+        t = np.linspace(10_000.0, 150_000.0, 8)
+        r_paper = dra_reliability(DRAConfig(n=5, m=3, variant="paper"), t).reliability
+        r_strict = dra_reliability(
+            DRAConfig(n=5, m=3, variant="strict"), t
+        ).reliability
+        r_ext = dra_reliability(
+            DRAConfig(n=5, m=3, variant="extended"), t
+        ).reliability
+        assert np.all(r_paper >= r_strict - 1e-12)
+        assert np.all(r_strict >= r_ext - 1e-12)
+
+    def test_at_interpolation(self):
+        t = np.array([0.0, 10_000.0])
+        res = bdr_reliability(t)
+        mid = res.at(5_000.0)
+        assert res.reliability[1] < mid < 1.0
+
+    def test_custom_rates_flow_through(self):
+        fast = FailureRates().scaled(10.0)
+        t = np.array([10_000.0])
+        r_fast = bdr_reliability(t, fast).reliability[0]
+        r_slow = bdr_reliability(t).reliability[0]
+        assert r_fast < r_slow
+
+    def test_mismatched_result_shapes_rejected(self):
+        from repro.core.reliability import ReliabilityResult
+
+        with pytest.raises(ValueError, match="matching"):
+            ReliabilityResult(
+                times=np.zeros(3), reliability=np.zeros(2), label="bad"
+            )

@@ -1,0 +1,60 @@
+"""State-space type tests."""
+
+import pytest
+
+from repro.core.states import (
+    AllHealthy,
+    BusDown,
+    Failed,
+    InterZoneState,
+    UAPDState,
+    UAPIState,
+    is_operational,
+)
+
+
+class TestStateTypes:
+    def test_all_healthy_is_origin(self):
+        assert AllHealthy == InterZoneState(0, 0)
+
+    def test_states_hashable_and_distinct(self):
+        states = {
+            InterZoneState(0, 0),
+            InterZoneState(1, 0),
+            InterZoneState(0, 1),
+            UAPIState(0),
+            UAPDState(0),
+            BusDown,
+            Failed,
+        }
+        assert len(states) == 7
+
+    def test_ua_states_not_confusable(self):
+        assert UAPIState(1) != UAPDState(1)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValueError):
+            InterZoneState(-1, 0)
+        with pytest.raises(ValueError):
+            UAPIState(-2)
+        with pytest.raises(ValueError):
+            UAPDState(-1)
+
+    def test_string_forms(self):
+        assert str(InterZoneState(2, 1)) == "(2,1)"
+        assert str(UAPIState(3)) == "3_PI"
+        assert str(UAPDState(0)) == "0_PD"
+        assert str(BusDown) == "T'"
+        assert str(Failed) == "F"
+
+
+class TestOperationalPredicate:
+    def test_failed_is_not_operational(self):
+        assert not is_operational(Failed)
+
+    @pytest.mark.parametrize(
+        "state",
+        [AllHealthy, InterZoneState(2, 1), UAPIState(0), UAPDState(1), BusDown],
+    )
+    def test_everything_else_operational(self, state):
+        assert is_operational(state)

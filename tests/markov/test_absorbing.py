@@ -1,0 +1,96 @@
+"""Absorbing-chain analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.markov import (
+    CTMCBuilder,
+    absorption_probabilities,
+    mean_time_to_absorption,
+    phase_type_cdf,
+    transient_distribution,
+)
+from repro.markov.absorbing import split_transient_absorbing
+
+
+def competing_risks(lam1: float, lam2: float):
+    """One transient state, two absorbing states."""
+    b = CTMCBuilder()
+    b.add_transition("alive", "death1", lam1)
+    b.add_transition("alive", "death2", lam2)
+    return b.build()
+
+
+class TestSplit:
+    def test_default_detection(self, absorbing_chain):
+        t_idx, a_idx = split_transient_absorbing(absorbing_chain)
+        assert [absorbing_chain.states[i] for i in a_idx] == ["dead"]
+        assert len(t_idx) == 2
+
+    def test_no_absorbing_rejected(self, two_state_chain):
+        with pytest.raises(ValueError, match="no absorbing"):
+            split_transient_absorbing(two_state_chain)
+
+    def test_explicit_absorbing_set(self, absorbing_chain):
+        t_idx, a_idx = split_transient_absorbing(absorbing_chain, ["dead"])
+        assert len(a_idx) == 1
+
+
+class TestAbsorptionProbabilities:
+    def test_competing_risks_proportions(self):
+        chain = competing_risks(1.0, 3.0)
+        B = absorption_probabilities(chain)
+        np.testing.assert_allclose(B[0], [0.25, 0.75])
+
+    def test_rows_sum_to_one_when_absorption_certain(self, absorbing_chain):
+        B = absorption_probabilities(absorbing_chain)
+        np.testing.assert_allclose(B.sum(axis=1), 1.0, atol=1e-12)
+
+
+class TestMTTA:
+    def test_single_exponential(self):
+        b = CTMCBuilder()
+        b.add_transition("up", "down", 0.25)
+        assert mean_time_to_absorption(b.build()) == pytest.approx(4.0)
+
+    def test_repairable_before_death(self, absorbing_chain):
+        # good -> degraded at 0.5; degraded -> good at 1.0, -> dead at 0.25.
+        # E[T_good] = 1/0.5 + E[T_degraded]
+        # E[T_degraded] = 1/1.25 + (1.0/1.25) E[T_good]  =>  solve exactly.
+        e_deg = (1 / 1.25 + (1.0 / 1.25) * 2.0) / (1 - (1.0 / 1.25) * 1.0)
+        # e_good = 2 + e_deg
+        expected = 2.0 + e_deg
+        assert mean_time_to_absorption(absorbing_chain) == pytest.approx(expected)
+
+    def test_starting_state_label(self, absorbing_chain):
+        m_good = mean_time_to_absorption(absorbing_chain, "good")
+        m_deg = mean_time_to_absorption(absorbing_chain, "degraded")
+        assert m_good > m_deg > 0.0
+
+    def test_initial_distribution_array(self, absorbing_chain):
+        pi0 = absorbing_chain.initial_distribution({"good": 0.5, "degraded": 0.5})
+        m = mean_time_to_absorption(absorbing_chain, pi0)
+        m_good = mean_time_to_absorption(absorbing_chain, "good")
+        m_deg = mean_time_to_absorption(absorbing_chain, "degraded")
+        assert m == pytest.approx(0.5 * m_good + 0.5 * m_deg)
+
+
+class TestPhaseTypeCDF:
+    def test_matches_transient_failure_mass(self, absorbing_chain):
+        t = np.array([0.0, 1.0, 4.0, 16.0])
+        cdf = phase_type_cdf(absorbing_chain, t)
+        pi = transient_distribution(absorbing_chain, t)
+        dead = absorbing_chain.index_of("dead")
+        np.testing.assert_allclose(cdf, pi[:, dead], atol=1e-8)
+
+    def test_monotone_nondecreasing(self, absorbing_chain):
+        t = np.linspace(0.0, 50.0, 26)
+        cdf = phase_type_cdf(absorbing_chain, t)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_exponential_cdf(self):
+        b = CTMCBuilder()
+        b.add_transition("up", "down", 0.5)
+        t = np.array([0.0, 1.0, 3.0])
+        cdf = phase_type_cdf(b.build(), t)
+        np.testing.assert_allclose(cdf, 1.0 - np.exp(-0.5 * t), rtol=1e-8)

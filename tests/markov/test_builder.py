@@ -1,0 +1,76 @@
+"""Unit tests for CTMCBuilder."""
+
+import pytest
+
+from repro.markov import CTMCBuilder
+
+
+class TestBuilder:
+    def test_states_registered_in_order(self):
+        b = CTMCBuilder()
+        b.add_transition("x", "y", 1.0)
+        b.add_state("z")
+        assert b.build().states == ("x", "y", "z")
+
+    def test_add_state_idempotent(self):
+        b = CTMCBuilder()
+        b.add_state("x")
+        b.add_state("x")
+        assert b.n_states == 1
+
+    def test_add_states_bulk(self):
+        b = CTMCBuilder()
+        b.add_states(["a", "b", "c"])
+        assert b.n_states == 3
+
+    def test_parallel_edges_accumulate(self):
+        b = CTMCBuilder()
+        b.add_transition("a", "b", 1.0)
+        b.add_transition("a", "b", 0.5)
+        assert b.build().rate("a", "b") == pytest.approx(1.5)
+
+    def test_zero_rate_dropped(self):
+        b = CTMCBuilder()
+        b.add_transition("a", "b", 0.0)
+        assert b.n_transitions == 0
+        assert b.n_states == 2  # states still registered
+
+    def test_negative_rate_rejected(self):
+        b = CTMCBuilder()
+        with pytest.raises(ValueError, match="negative"):
+            b.add_transition("a", "b", -1.0)
+
+    def test_self_loop_rejected(self):
+        b = CTMCBuilder()
+        with pytest.raises(ValueError, match="self-loop"):
+            b.add_transition("a", "a", 1.0)
+
+    def test_transitions_listing(self):
+        b = CTMCBuilder()
+        b.add_transition("a", "b", 1.0)
+        b.add_transition("b", "a", 2.0)
+        assert set(b.transitions()) == {("a", "b", 1.0), ("b", "a", 2.0)}
+
+    def test_generator_diagonal(self):
+        b = CTMCBuilder()
+        b.add_transition("a", "b", 1.0)
+        b.add_transition("a", "c", 2.0)
+        chain = b.build()
+        Q = chain.generator.toarray()
+        assert Q[0, 0] == pytest.approx(-3.0)
+
+    def test_builder_reusable_after_build(self):
+        b = CTMCBuilder()
+        b.add_transition("a", "b", 1.0)
+        c1 = b.build()
+        b.add_transition("b", "a", 2.0)
+        c2 = b.build()
+        assert c1.rate("b", "a") == 0.0
+        assert c2.rate("b", "a") == 2.0
+
+    def test_to_networkx(self):
+        b = CTMCBuilder()
+        b.add_transition("a", "b", 1.5)
+        g = b.to_networkx()
+        assert g.edges["a", "b"]["rate"] == 1.5
+        assert set(g.nodes) == {"a", "b"}

@@ -1,0 +1,146 @@
+"""Unit tests for the CTMC core object."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.markov import CTMC, CTMCBuilder
+from repro.markov.ctmc import CTMCValidationError
+
+
+def make_chain() -> CTMC:
+    b = CTMCBuilder()
+    b.add_transition("a", "b", 1.0)
+    b.add_transition("b", "a", 2.0)
+    b.add_transition("b", "c", 0.5)
+    b.add_state("c")
+    return b.build()
+
+
+class TestConstruction:
+    def test_states_in_registration_order(self):
+        chain = make_chain()
+        assert chain.states == ("a", "b", "c")
+
+    def test_index_roundtrip(self):
+        chain = make_chain()
+        for i, s in enumerate(chain.states):
+            assert chain.index_of(s) == i
+
+    def test_contains(self):
+        chain = make_chain()
+        assert "a" in chain and "z" not in chain
+
+    def test_len(self):
+        assert len(make_chain()) == 3
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(CTMCValidationError, match="duplicate"):
+            CTMC(["a", "a"], np.zeros((2, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CTMCValidationError, match="shape"):
+            CTMC(["a", "b"], np.zeros((3, 3)))
+
+    def test_negative_offdiagonal_rejected(self):
+        Q = np.array([[1.0, -1.0], [0.0, 0.0]])
+        with pytest.raises(CTMCValidationError, match="negative"):
+            CTMC(["a", "b"], Q)
+
+    def test_nonzero_rowsum_rejected(self):
+        Q = np.array([[-1.0, 2.0], [0.0, 0.0]])
+        with pytest.raises(CTMCValidationError, match="sums to"):
+            CTMC(["a", "b"], Q)
+
+    def test_accepts_sparse_input(self):
+        Q = sp.csr_matrix(np.array([[-1.0, 1.0], [2.0, -2.0]]))
+        chain = CTMC(["a", "b"], Q)
+        assert chain.n_states == 2
+
+
+class TestDerivedQuantities:
+    def test_rate_lookup(self):
+        chain = make_chain()
+        assert chain.rate("a", "b") == 1.0
+        assert chain.rate("b", "c") == 0.5
+        assert chain.rate("a", "c") == 0.0
+
+    def test_exit_rates(self):
+        chain = make_chain()
+        np.testing.assert_allclose(chain.exit_rates(), [1.0, 2.5, 0.0])
+
+    def test_max_exit_rate(self):
+        assert make_chain().max_exit_rate() == 2.5
+
+    def test_absorbing_states(self):
+        assert make_chain().absorbing_states() == ("c",)
+
+    def test_embedded_jump_matrix_rows_stochastic(self):
+        P = make_chain().embedded_jump_matrix()
+        np.testing.assert_allclose(np.asarray(P.sum(axis=1)).ravel(), 1.0)
+
+    def test_embedded_jump_probabilities(self):
+        P = make_chain().embedded_jump_matrix().toarray()
+        assert P[1, 0] == pytest.approx(2.0 / 2.5)
+        assert P[1, 2] == pytest.approx(0.5 / 2.5)
+        assert P[2, 2] == 1.0  # absorbing self-loop
+
+    def test_uniformized_matrix_stochastic(self):
+        P, lam = make_chain().uniformized_matrix()
+        assert lam >= 2.5
+        np.testing.assert_allclose(np.asarray(P.sum(axis=1)).ravel(), 1.0)
+        assert P.toarray().min() >= 0.0
+
+    def test_uniformized_rate_too_small_rejected(self):
+        with pytest.raises(ValueError, match="below max exit rate"):
+            make_chain().uniformized_matrix(rate=1.0)
+
+
+class TestInitialDistribution:
+    def test_default_mass_on_first(self):
+        pi0 = make_chain().initial_distribution()
+        np.testing.assert_allclose(pi0, [1.0, 0.0, 0.0])
+
+    def test_single_state(self):
+        pi0 = make_chain().initial_distribution("b")
+        np.testing.assert_allclose(pi0, [0.0, 1.0, 0.0])
+
+    def test_mapping_normalized(self):
+        pi0 = make_chain().initial_distribution({"a": 1.0, "b": 3.0})
+        np.testing.assert_allclose(pi0, [0.25, 0.75, 0.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            make_chain().initial_distribution({"a": -1.0})
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            make_chain().initial_distribution({"a": 0.0})
+
+
+class TestProbabilityOf:
+    def test_vector(self):
+        chain = make_chain()
+        dist = np.array([0.2, 0.3, 0.5])
+        assert chain.probability_of(dist, ["a", "c"]) == pytest.approx(0.7)
+
+    def test_matrix(self):
+        chain = make_chain()
+        dist = np.array([[0.2, 0.3, 0.5], [0.1, 0.1, 0.8]])
+        out = chain.probability_of(dist, ["c"])
+        np.testing.assert_allclose(out, [0.5, 0.8])
+
+
+class TestRestriction:
+    def test_restricted_chain_is_valid(self):
+        chain = make_chain()
+        sub = chain.restricted_to(["a", "b"])
+        assert sub.states == ("a", "b")
+        assert sub.rate("a", "b") == 1.0
+        assert sub.rate("b", "a") == 2.0
+
+    def test_restriction_drops_escaping_mass(self):
+        chain = make_chain()
+        sub = chain.restricted_to(["a", "b"])
+        # b's exit rate shrinks from 2.5 to 2.0: the 0.5 to c is dropped.
+        np.testing.assert_allclose(sub.exit_rates(), [1.0, 2.0])

@@ -1,0 +1,120 @@
+"""DTMC tests."""
+
+import numpy as np
+import pytest
+
+from repro.markov import CTMCBuilder, stationary_distribution
+from repro.markov.dtmc import DTMC
+
+
+def two_state(p=0.3, q=0.8):
+    return DTMC(["a", "b"], np.array([[1 - p, p], [q, 1 - q]]))
+
+
+class TestConstruction:
+    def test_valid(self):
+        d = two_state()
+        assert d.n_states == 2
+        assert d.probability("a", "b") == pytest.approx(0.3)
+
+    def test_non_stochastic_rejected(self):
+        with pytest.raises(ValueError, match="sums to"):
+            DTMC(["a", "b"], np.array([[0.5, 0.4], [0.0, 1.0]]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            DTMC(["a", "b"], np.array([[1.5, -0.5], [0.0, 1.0]]))
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DTMC(["a", "a"], np.eye(2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            DTMC(["a"], np.eye(2))
+
+
+class TestFromCTMC:
+    def make_ctmc(self):
+        b = CTMCBuilder()
+        b.add_transition("up", "down", 0.2)
+        b.add_transition("down", "up", 2.0)
+        return b.build()
+
+    def test_embedded_chain(self):
+        d = DTMC.embedded_from(self.make_ctmc())
+        assert d.probability("up", "down") == pytest.approx(1.0)
+        assert d.probability("down", "up") == pytest.approx(1.0)
+
+    def test_uniformized_stationary_matches_ctmc(self):
+        chain = self.make_ctmc()
+        d = DTMC.uniformized_from(chain)
+        np.testing.assert_allclose(
+            d.stationary(), stationary_distribution(chain), atol=1e-9
+        )
+
+
+class TestEvolution:
+    def test_step_zero_identity(self):
+        d = two_state()
+        dist = np.array([0.7, 0.3])
+        np.testing.assert_allclose(d.step(dist, 0), dist)
+
+    def test_step_matches_matrix_power(self):
+        d = two_state()
+        dist = np.array([1.0, 0.0])
+        P = d.transition_matrix.toarray()
+        np.testing.assert_allclose(d.step(dist, 5), dist @ np.linalg.matrix_power(P, 5))
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            two_state().step(np.array([1.0, 0.0]), -1)
+
+    def test_stationary_balance(self):
+        d = two_state()
+        pi = d.stationary()
+        np.testing.assert_allclose(pi @ d.transition_matrix.toarray(), pi, atol=1e-10)
+        # Closed form: pi_a = q / (p + q).
+        assert pi[0] == pytest.approx(0.8 / 1.1)
+
+    def test_stationary_periodic_chain(self):
+        """The lazy-chain trick converges even for a period-2 chain."""
+        d = DTMC([0, 1], np.array([[0.0, 1.0], [1.0, 0.0]]))
+        np.testing.assert_allclose(d.stationary(), [0.5, 0.5], atol=1e-9)
+
+    def test_single_state(self):
+        d = DTMC(["x"], np.array([[1.0]]))
+        np.testing.assert_allclose(d.stationary(), [1.0])
+
+
+class TestAbsorbing:
+    def gambler(self):
+        # 0 and 3 absorbing; fair coin between.
+        P = np.array(
+            [
+                [1.0, 0.0, 0.0, 0.0],
+                [0.5, 0.0, 0.5, 0.0],
+                [0.0, 0.5, 0.0, 0.5],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        return DTMC([0, 1, 2, 3], P)
+
+    def test_absorbing_detection(self):
+        assert self.gambler().absorbing_states() == (0, 3)
+
+    def test_fundamental_matrix_visits(self):
+        N, transient = self.gambler().fundamental_matrix()
+        assert transient == [1, 2]
+        # Classic gambler's ruin: N = [[4/3, 2/3], [2/3, 4/3]].
+        np.testing.assert_allclose(N, [[4 / 3, 2 / 3], [2 / 3, 4 / 3]], atol=1e-12)
+
+    def test_expected_steps(self):
+        steps = self.gambler().expected_steps_to_absorption()
+        assert steps[1] == pytest.approx(2.0)
+        assert steps[2] == pytest.approx(2.0)
+        assert steps[0] == 0.0
+
+    def test_no_absorbing_rejected(self):
+        with pytest.raises(ValueError, match="no absorbing"):
+            two_state().fundamental_matrix()

@@ -1,0 +1,73 @@
+"""First-passage analysis tests."""
+
+import pytest
+
+from repro.markov import (
+    CTMCBuilder,
+    expected_first_passage_times,
+    hitting_probabilities,
+    mean_time_to_absorption,
+)
+
+
+class TestExpectedFirstPassage:
+    def test_target_states_are_zero(self, absorbing_chain):
+        m = expected_first_passage_times(absorbing_chain, ["dead"])
+        assert m["dead"] == 0.0
+
+    def test_matches_mtta_for_absorbing_target(self, absorbing_chain):
+        m = expected_first_passage_times(absorbing_chain, ["dead"])
+        assert m["good"] == pytest.approx(mean_time_to_absorption(absorbing_chain, "good"))
+
+    def test_exponential_closed_form(self):
+        b = CTMCBuilder()
+        b.add_transition("a", "b", 0.25)
+        m = expected_first_passage_times(b.build(), ["b"])
+        assert m["a"] == pytest.approx(4.0)
+
+    def test_unreachable_target_is_inf(self):
+        b = CTMCBuilder()
+        b.add_transition("a", "b", 1.0)
+        b.add_state("island")
+        m = expected_first_passage_times(b.build(), ["b"])
+        assert m["island"] == float("inf")
+
+    def test_passage_through_cycle(self, two_state_chain):
+        # up -> down at 0.2: E[T] = 5.
+        m = expected_first_passage_times(two_state_chain, ["down"])
+        assert m["up"] == pytest.approx(5.0)
+
+    def test_empty_target_rejected(self, two_state_chain):
+        with pytest.raises(ValueError):
+            expected_first_passage_times(two_state_chain, [])
+
+
+class TestHittingProbabilities:
+    def test_certain_hit_in_irreducible_chain(self, two_state_chain):
+        h = hitting_probabilities(two_state_chain, ["down"])
+        assert h["up"] == pytest.approx(1.0)
+        assert h["down"] == 1.0
+
+    def test_competing_absorption(self):
+        b = CTMCBuilder()
+        b.add_transition("alive", "win", 3.0)
+        b.add_transition("alive", "lose", 1.0)
+        h = hitting_probabilities(b.build(), ["win"])
+        assert h["alive"] == pytest.approx(0.75)
+        assert h["lose"] == pytest.approx(0.0)  # absorbing elsewhere
+
+    def test_multi_step(self):
+        b = CTMCBuilder()
+        b.add_transition("s", "mid", 1.0)
+        b.add_transition("mid", "win", 1.0)
+        b.add_transition("mid", "lose", 1.0)
+        h = hitting_probabilities(b.build(), ["win"])
+        assert h["s"] == pytest.approx(0.5)
+
+    def test_probabilities_bounded(self, absorbing_chain):
+        h = hitting_probabilities(absorbing_chain, ["dead"])
+        assert all(0.0 <= v <= 1.0 for v in h.values())
+
+    def test_empty_target_rejected(self, two_state_chain):
+        with pytest.raises(ValueError):
+            hitting_probabilities(two_state_chain, [])

@@ -1,0 +1,61 @@
+"""Property-based tests over random chains (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import (
+    stationary_distribution,
+    transient_distribution,
+    uniformized_distribution,
+)
+from tests.conftest import irreducible_chains
+
+
+@settings(max_examples=40, deadline=None)
+@given(chain=irreducible_chains(), t=st.floats(min_value=0.0, max_value=50.0))
+def test_transient_rows_are_distributions(chain, t):
+    pi = transient_distribution(chain, np.array([t]))
+    assert pi.min() >= 0.0
+    assert abs(pi.sum() - 1.0) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(chain=irreducible_chains(), t=st.floats(min_value=0.0, max_value=20.0))
+def test_uniformization_agrees_with_expm(chain, t):
+    times = np.array([t])
+    a = uniformized_distribution(chain, times)
+    b = transient_distribution(chain, times, method="expm")
+    np.testing.assert_allclose(a, b, atol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain=irreducible_chains())
+def test_stationary_satisfies_balance(chain):
+    pi = stationary_distribution(chain)
+    assert pi.min() >= 0.0
+    assert abs(pi.sum() - 1.0) < 1e-9
+    residual = pi @ chain.generator.toarray()
+    assert np.abs(residual).max() < 1e-8
+
+
+@settings(max_examples=15, deadline=None)
+@given(chain=irreducible_chains(), t=st.floats(min_value=2e6, max_value=4e6))
+def test_transient_converges_to_stationary(chain, t):
+    """At long horizons the transient solution approaches the stationary
+    distribution.  A ring of up to 8 states with rates as low as 1e-3 has
+    a spectral gap as small as ~rate/n^2 ~ 1.5e-5, so the horizon must be
+    in the millions; dense expm (scaling-and-squaring) costs the same at
+    any ``t``, where Krylov stepping would grind."""
+    pi_t = transient_distribution(chain, np.array([t]), method="expm")
+    pi_inf = stationary_distribution(chain)
+    np.testing.assert_allclose(pi_t[0], pi_inf, atol=1e-2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(chain=irreducible_chains())
+def test_embedded_chain_is_stochastic(chain):
+    P = chain.embedded_jump_matrix()
+    rows = np.asarray(P.sum(axis=1)).ravel()
+    np.testing.assert_allclose(rows, 1.0, atol=1e-12)
+    assert P.toarray().min() >= 0.0

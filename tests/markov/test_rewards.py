@@ -1,0 +1,91 @@
+"""Markov reward-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.markov import (
+    CTMCBuilder,
+    accumulated_reward,
+    instantaneous_reward,
+    interval_availability,
+    reward_vector,
+    stationary_distribution,
+)
+
+
+class TestRewardVector:
+    def test_mapping_and_default(self, two_state_chain):
+        r = reward_vector(two_state_chain, {"down": 5.0}, default=1.0)
+        np.testing.assert_allclose(r, [1.0, 5.0])
+
+    def test_unknown_state_rejected(self, two_state_chain):
+        with pytest.raises(KeyError):
+            reward_vector(two_state_chain, {"nope": 1.0})
+
+
+class TestInstantaneousReward:
+    def test_matches_distribution_dot_product(self, two_state_chain):
+        r = reward_vector(two_state_chain, {"up": 1.0})
+        out = instantaneous_reward(two_state_chain, r, np.array([0.0, 100.0]))
+        assert out[0] == pytest.approx(1.0)
+        pi_inf = stationary_distribution(two_state_chain)
+        assert out[1] == pytest.approx(pi_inf[0], rel=1e-6)
+
+    def test_shape_validation(self, two_state_chain):
+        with pytest.raises(ValueError, match="shape"):
+            instantaneous_reward(two_state_chain, np.ones(3), np.array([1.0]))
+
+
+class TestAccumulatedReward:
+    def test_constant_reward_is_time(self, two_state_chain):
+        r = np.ones(2)
+        t = np.array([0.0, 3.0, 10.0])
+        acc = accumulated_reward(two_state_chain, r, t)
+        np.testing.assert_allclose(acc, t, rtol=1e-8)
+
+    def test_pure_death_uptime_closed_form(self):
+        # up -> down at rate lam; E[uptime in [0,t]] = (1 - e^{-lam t}) / lam.
+        lam = 0.5
+        b = CTMCBuilder()
+        b.add_transition("up", "down", lam)
+        chain = b.build()
+        r = reward_vector(chain, {"up": 1.0})
+        t = np.array([1.0, 4.0, 20.0])
+        acc = accumulated_reward(chain, r, t)
+        np.testing.assert_allclose(acc, (1 - np.exp(-lam * t)) / lam, rtol=1e-7)
+
+    def test_monotone_for_nonnegative_rewards(self, absorbing_chain):
+        r = reward_vector(absorbing_chain, {"good": 2.0, "degraded": 1.0})
+        t = np.linspace(0.0, 30.0, 7)
+        acc = accumulated_reward(absorbing_chain, r, t)
+        assert np.all(np.diff(acc) >= -1e-12)
+
+    def test_negative_time_rejected(self, two_state_chain):
+        with pytest.raises(ValueError, match="nonnegative"):
+            accumulated_reward(two_state_chain, np.ones(2), np.array([-1.0]))
+
+
+class TestIntervalAvailability:
+    def test_starts_at_one_converges_to_stationary(self, two_state_chain):
+        t = np.array([0.0, 1e4])
+        ia = interval_availability(two_state_chain, ["up"], t)
+        assert ia[0] == pytest.approx(1.0)
+        pi_inf = stationary_distribution(two_state_chain)
+        assert ia[1] == pytest.approx(pi_inf[0], rel=1e-4)
+
+    def test_interval_availability_exceeds_point_availability_early(
+        self, two_state_chain
+    ):
+        """A system starting healthy has spent most of a short window up,
+        so interval availability decays more slowly than pi_up(t)."""
+        from repro.markov import transient_distribution
+
+        t = np.array([2.0])
+        ia = interval_availability(two_state_chain, ["up"], t)[0]
+        point = transient_distribution(two_state_chain, t)[0, 0]
+        assert ia > point
+
+    def test_bounded(self, absorbing_chain):
+        t = np.linspace(0.0, 50.0, 6)
+        ia = interval_availability(absorbing_chain, ["good", "degraded"], t)
+        assert np.all((0.0 <= ia) & (ia <= 1.0))

@@ -1,0 +1,63 @@
+"""Sensitivity estimator tests: finite differences vs the forward ODE."""
+
+import numpy as np
+import pytest
+
+from repro.markov import CTMCBuilder, transient_sensitivity
+from repro.markov.sensitivity import forward_sensitivity
+
+
+def decay_chain(lam: float):
+    b = CTMCBuilder()
+    b.add_transition("up", "down", lam)
+    return b.build()
+
+
+class TestFiniteDifference:
+    def test_exponential_derivative(self):
+        # pi_up(t) = exp(-lam t)  =>  d pi_up / d lam = -t exp(-lam t).
+        lam = 0.3
+        t = np.array([0.5, 1.0, 2.0])
+        s = transient_sensitivity(decay_chain, lam, t)
+        np.testing.assert_allclose(s[:, 0], -t * np.exp(-lam * t), rtol=1e-4)
+
+    def test_probability_conservation(self):
+        # Rows of the sensitivity must sum to zero (total mass is constant).
+        s = transient_sensitivity(decay_chain, 0.3, np.array([1.0, 5.0]))
+        np.testing.assert_allclose(s.sum(axis=1), 0.0, atol=1e-8)
+
+    def test_reordered_states_rejected(self):
+        calls = []
+
+        def factory(theta):
+            b = CTMCBuilder()
+            if calls:
+                b.add_transition("down", "up", theta)
+            else:
+                b.add_transition("up", "down", theta)
+            calls.append(theta)
+            return b.build()
+
+        with pytest.raises(ValueError, match="ordering"):
+            transient_sensitivity(factory, 0.5, np.array([1.0]))
+
+
+class TestForwardODE:
+    def test_matches_finite_difference(self):
+        lam = 0.3
+        t = np.array([0.5, 1.0, 2.0])
+        chain = decay_chain(lam)
+        dQ = np.array([[-1.0, 1.0], [0.0, 0.0]])  # dQ/dlam
+        s_ode = forward_sensitivity(chain, dQ, t)
+        s_fd = transient_sensitivity(decay_chain, lam, t)
+        np.testing.assert_allclose(s_ode, s_fd, rtol=1e-3, atol=1e-8)
+
+    def test_shape_validation(self):
+        chain = decay_chain(0.3)
+        with pytest.raises(ValueError, match="shape"):
+            forward_sensitivity(chain, np.zeros((3, 3)), np.array([1.0]))
+
+    def test_zero_horizon(self):
+        chain = decay_chain(0.3)
+        s = forward_sensitivity(chain, np.zeros((2, 2)), np.array([0.0]))
+        np.testing.assert_allclose(s, 0.0)

@@ -1,0 +1,64 @@
+"""Stationary solver tests: closed forms, cross-method, irreducibility."""
+
+import numpy as np
+import pytest
+
+from repro.markov import CTMCBuilder, stationary_distribution
+from repro.markov.stationary import STATIONARY_METHODS, is_irreducible
+
+
+class TestClosedForm:
+    @pytest.mark.parametrize("method", STATIONARY_METHODS)
+    def test_two_state_balance(self, method, two_state_chain):
+        pi = stationary_distribution(two_state_chain, method=method)
+        np.testing.assert_allclose(pi, [2.0 / 2.2, 0.2 / 2.2], rtol=1e-9)
+
+    @pytest.mark.parametrize("method", STATIONARY_METHODS)
+    def test_symmetric_ring_uniform(self, method):
+        b = CTMCBuilder()
+        n = 5
+        for i in range(n):
+            b.add_transition(i, (i + 1) % n, 1.0)
+            b.add_transition((i + 1) % n, i, 1.0)
+        pi = stationary_distribution(b.build(), method=method)
+        np.testing.assert_allclose(pi, np.full(n, 1.0 / n), atol=1e-10)
+
+
+class TestCrossMethod:
+    def test_methods_agree_on_stiff_chain(self):
+        b = CTMCBuilder()
+        b.add_transition("ok", "bad", 2e-5)
+        b.add_transition("bad", "dead", 1e-4)
+        b.add_transition("bad", "ok", 1.0 / 3.0)
+        b.add_transition("dead", "ok", 1.0 / 3.0)
+        chain = b.build()
+        base = stationary_distribution(chain, method="linear")
+        for method in ("nullspace", "power"):
+            np.testing.assert_allclose(
+                stationary_distribution(chain, method=method), base, rtol=1e-5
+            )
+
+    def test_balance_residual_tiny(self, two_state_chain):
+        pi = stationary_distribution(two_state_chain)
+        residual = pi @ two_state_chain.generator.toarray()
+        np.testing.assert_allclose(residual, 0.0, atol=1e-12)
+
+
+class TestIrreducibility:
+    def test_detects_reducible(self, absorbing_chain):
+        assert not is_irreducible(absorbing_chain)
+        with pytest.raises(ValueError, match="irreducible"):
+            stationary_distribution(absorbing_chain)
+
+    def test_detects_irreducible(self, two_state_chain):
+        assert is_irreducible(two_state_chain)
+
+    def test_single_state_chain(self):
+        b = CTMCBuilder()
+        b.add_state("only")
+        pi = stationary_distribution(b.build())
+        np.testing.assert_allclose(pi, [1.0])
+
+    def test_unknown_method_rejected(self, two_state_chain):
+        with pytest.raises(ValueError, match="unknown method"):
+            stationary_distribution(two_state_chain, method="magic")

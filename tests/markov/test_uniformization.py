@@ -1,0 +1,66 @@
+"""Uniformization tests: truncation point and agreement with expm."""
+
+import numpy as np
+import pytest
+
+from repro.markov import CTMCBuilder, transient_distribution, uniformized_distribution
+from repro.markov.uniformization import poisson_truncation_point
+
+
+class TestTruncationPoint:
+    def test_zero_rate_time(self):
+        assert poisson_truncation_point(0.0, 1e-12) == 0
+
+    def test_tail_below_tolerance(self):
+        from scipy import stats
+
+        for rt in (0.5, 5.0, 50.0):
+            k = poisson_truncation_point(rt, 1e-10)
+            assert stats.poisson.sf(k, rt) <= 1e-10
+
+    def test_grows_with_rate_time(self):
+        assert poisson_truncation_point(100.0, 1e-10) > poisson_truncation_point(
+            1.0, 1e-10
+        )
+
+
+class TestAgreement:
+    def test_matches_expm_on_two_state(self, two_state_chain):
+        t = np.linspace(0.0, 10.0, 11)
+        a = uniformized_distribution(two_state_chain, t)
+        b = transient_distribution(two_state_chain, t, method="expm")
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_matches_expm_on_absorbing(self, absorbing_chain):
+        t = np.array([0.0, 2.0, 8.0, 30.0])
+        a = uniformized_distribution(absorbing_chain, t)
+        b = transient_distribution(absorbing_chain, t, method="expm")
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_rows_are_distributions(self, absorbing_chain):
+        t = np.linspace(0.0, 30.0, 7)
+        pi = uniformized_distribution(absorbing_chain, t)
+        assert pi.min() >= 0.0
+        np.testing.assert_allclose(pi.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_explicit_rate_accepted(self, two_state_chain):
+        t = np.array([1.0])
+        a = uniformized_distribution(two_state_chain, t, rate=10.0)
+        b = uniformized_distribution(two_state_chain, t)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_zero_transition_chain(self):
+        b = CTMCBuilder()
+        b.add_state("frozen")
+        pi = uniformized_distribution(b.build(), np.array([0.0, 5.0]))
+        np.testing.assert_allclose(pi, [[1.0], [1.0]])
+
+
+class TestValidation:
+    def test_negative_times_rejected(self, two_state_chain):
+        with pytest.raises(ValueError, match="nonnegative"):
+            uniformized_distribution(two_state_chain, np.array([-1.0]))
+
+    def test_empty_times(self, two_state_chain):
+        out = uniformized_distribution(two_state_chain, np.array([]))
+        assert out.shape == (0, 2)

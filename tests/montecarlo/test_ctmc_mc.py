@@ -1,0 +1,80 @@
+"""CTMC trajectory-sampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.markov import CTMCBuilder, stationary_distribution, transient_distribution
+from repro.montecarlo import (
+    empirical_availability,
+    empirical_state_probabilities,
+    sample_trajectory,
+)
+
+
+class TestSampleTrajectory:
+    def test_starts_at_initial_state(self, two_state_chain, rng):
+        traj = sample_trajectory(two_state_chain, 10.0, rng)
+        assert traj.states[0] == 0
+        assert traj.times[0] == 0.0
+
+    def test_times_strictly_increasing(self, two_state_chain, rng):
+        traj = sample_trajectory(two_state_chain, 50.0, rng)
+        assert np.all(np.diff(traj.times) > 0)
+
+    def test_absorbing_trajectory_terminates(self, absorbing_chain, rng):
+        traj = sample_trajectory(absorbing_chain, 1e9, rng)
+        assert traj.states[-1] == absorbing_chain.index_of("dead")
+
+    def test_state_at_lookup(self, two_state_chain, rng):
+        traj = sample_trajectory(two_state_chain, 10.0, rng)
+        for k in range(len(traj.times) - 1):
+            mid = 0.5 * (traj.times[k] + traj.times[k + 1])
+            assert traj.state_at(mid) == traj.states[k]
+
+    def test_state_at_negative_time_rejected(self, two_state_chain, rng):
+        traj = sample_trajectory(two_state_chain, 1.0, rng)
+        with pytest.raises(ValueError):
+            traj.state_at(-1.0)
+
+    def test_jumps_follow_generator_support(self, absorbing_chain, rng):
+        allowed = set()
+        Q = absorbing_chain.generator.tocoo()
+        for i, j, q in zip(Q.row, Q.col, Q.data):
+            if i != j and q > 0:
+                allowed.add((i, j))
+        for _ in range(50):
+            traj = sample_trajectory(absorbing_chain, 100.0, rng)
+            for a, b in zip(traj.states, traj.states[1:]):
+                assert (a, b) in allowed
+
+
+class TestEmpiricalTransient:
+    def test_matches_solver_within_error(self, two_state_chain, rng):
+        times = np.array([0.5, 2.0, 10.0])
+        n = 4000
+        emp = empirical_state_probabilities(two_state_chain, times, n, rng)
+        exact = transient_distribution(two_state_chain, times)
+        se = np.sqrt(exact * (1 - exact) / n)
+        assert np.all(np.abs(emp - exact) <= 5 * se + 1e-9)
+
+    def test_rows_are_frequencies(self, absorbing_chain, rng):
+        emp = empirical_state_probabilities(
+            absorbing_chain, np.array([1.0, 5.0]), 300, rng
+        )
+        np.testing.assert_allclose(emp.sum(axis=1), 1.0, atol=1e-12)
+
+
+class TestEmpiricalAvailability:
+    def test_matches_stationary(self, two_state_chain, rng):
+        pi = stationary_distribution(two_state_chain)
+        down_idx = two_state_chain.index_of("down")
+        est, se = empirical_availability(
+            two_state_chain, down_idx, horizon=2000.0, n_samples=60, rng=rng
+        )
+        assert est == pytest.approx(1.0 - pi[down_idx], abs=max(5 * se, 0.01))
+
+    def test_invalid_warmup_rejected(self, two_state_chain, rng):
+        with pytest.raises(ValueError, match="warmup"):
+            empirical_availability(
+                two_state_chain, 1, 10.0, 5, rng, warmup_fraction=1.0
+            )

@@ -1,0 +1,64 @@
+"""Importance-sampling (balanced failure biasing) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import DRAConfig, RepairPolicy, bdr_availability, dra_availability
+from repro.core.availability import (
+    build_bdr_availability_chain,
+    build_dra_availability_chain,
+)
+from repro.core.states import Failed
+from repro.montecarlo import unavailability_importance_sampling
+
+
+class TestOnAnalyticChains:
+    def test_bdr_two_state(self, rng):
+        """Non-rare case: IS must still be unbiased."""
+        rp = RepairPolicy.three_hours()
+        chain = build_bdr_availability_chain(rp)
+        exact = 1.0 - bdr_availability(rp).availability
+        res = unavailability_importance_sampling(chain, Failed, 4000, rng)
+        assert res.consistent_with(exact, z=5.0)
+
+    @pytest.mark.parametrize("n, m", [(3, 2), (4, 2)])
+    def test_dra_rare_event(self, n, m, rng):
+        """The headline capability: verifying ~1e-9 unavailability."""
+        rp = RepairPolicy.three_hours()
+        cfg = DRAConfig(n=n, m=m)
+        chain = build_dra_availability_chain(cfg, rp)
+        exact = 1.0 - dra_availability(cfg, rp).availability
+        assert exact < 1e-8  # genuinely rare
+        res = unavailability_importance_sampling(chain, Failed, 30_000, rng)
+        assert res.consistent_with(exact, z=6.0)
+        assert res.hit_fraction > 0.05  # biasing actually reaches F
+
+    def test_relative_error_small(self, rng):
+        rp = RepairPolicy.three_hours()
+        chain = build_dra_availability_chain(DRAConfig(n=3, m=2), rp)
+        res = unavailability_importance_sampling(chain, Failed, 30_000, rng)
+        assert res.std_error / res.unavailability < 0.15
+
+
+class TestValidation:
+    def test_bias_bounds(self, two_state_chain, rng):
+        with pytest.raises(ValueError, match="bias"):
+            unavailability_importance_sampling(
+                two_state_chain, "down", 100, rng, bias=1.0
+            )
+
+    def test_min_cycles(self, two_state_chain, rng):
+        with pytest.raises(ValueError, match="cycles"):
+            unavailability_importance_sampling(two_state_chain, "down", 1, rng)
+
+    def test_failed_cannot_be_regeneration(self, two_state_chain, rng):
+        with pytest.raises(ValueError, match="anchor"):
+            unavailability_importance_sampling(
+                two_state_chain, "up", 100, rng
+            )
+
+    def test_result_properties(self, two_state_chain, rng):
+        res = unavailability_importance_sampling(two_state_chain, "down", 2000, rng)
+        assert res.availability == pytest.approx(1.0 - res.unavailability)
+        assert res.n_cycles == 2000
+        assert res.mean_cycle_length > 0.0

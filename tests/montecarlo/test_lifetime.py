@@ -1,0 +1,75 @@
+"""Structure-function Monte Carlo tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import DRAConfig, FailureRates, dra_reliability
+from repro.montecarlo import (
+    sample_lc_failure_times,
+    structure_function_reliability,
+)
+
+
+class TestSampling:
+    def test_failure_times_positive(self, rng):
+        times = sample_lc_failure_times(DRAConfig(n=5, m=3), 1000, rng)
+        assert times.shape == (1000,)
+        assert times.min() > 0.0
+
+    def test_deterministic_under_seed(self):
+        cfg = DRAConfig(n=4, m=2)
+        a = sample_lc_failure_times(cfg, 100, np.random.default_rng(3))
+        b = sample_lc_failure_times(cfg, 100, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_more_coverage_longer_lifetimes(self, rng):
+        small = sample_lc_failure_times(DRAConfig(n=3, m=2), 20_000, rng).mean()
+        large = sample_lc_failure_times(DRAConfig(n=9, m=8), 20_000, rng).mean()
+        assert large > small
+
+
+class TestAgreementWithChain:
+    @pytest.mark.parametrize("n, m", [(3, 2), (5, 3), (9, 4)])
+    def test_matches_extended_variant(self, n, m, rng):
+        """The structure function IS the extended chain's absorption time."""
+        cfg = DRAConfig(n=n, m=m, variant="extended")
+        t = np.array([10_000.0, 40_000.0, 100_000.0])
+        exact = dra_reliability(cfg, t).reliability
+        mc = structure_function_reliability(cfg, t, 120_000, rng)
+        assert mc.within(exact, z=4.5), (
+            f"MC {mc.reliability} vs exact {exact} (se {mc.std_error})"
+        )
+
+    def test_diverges_from_paper_variant_eventually(self, rng):
+        """At long horizons the paper variant (truncated grid) is visibly
+        more optimistic than the physical structure function."""
+        cfg_paper = DRAConfig(n=3, m=2, variant="paper")
+        t = np.array([150_000.0])
+        exact_paper = dra_reliability(cfg_paper, t).reliability
+        mc = structure_function_reliability(
+            DRAConfig(n=3, m=2, variant="extended"), t, 120_000, rng
+        )
+        assert exact_paper[0] - mc.reliability[0] > 10 * mc.std_error[0]
+
+    def test_custom_rates(self, rng):
+        cfg = DRAConfig(n=4, m=2, variant="extended")
+        fast = FailureRates().scaled(3.0)
+        t = np.array([20_000.0])
+        exact = dra_reliability(cfg, t, fast).reliability
+        mc = structure_function_reliability(cfg, t, 80_000, rng, fast)
+        assert mc.within(exact, z=4.5)
+
+
+class TestEstimateObject:
+    def test_std_error_shrinks_with_samples(self, rng):
+        cfg = DRAConfig(n=4, m=2)
+        t = np.array([40_000.0])
+        small = structure_function_reliability(cfg, t, 1_000, rng)
+        large = structure_function_reliability(cfg, t, 100_000, rng)
+        assert large.std_error[0] < small.std_error[0]
+
+    def test_within_rejects_distant_curve(self, rng):
+        cfg = DRAConfig(n=4, m=2)
+        t = np.array([40_000.0])
+        mc = structure_function_reliability(cfg, t, 10_000, rng)
+        assert not mc.within(mc.reliability + 0.1)

@@ -1,0 +1,166 @@
+"""Distributed-arbiter tests: the counter mechanism of Section 4."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.router.arbitration import ArbitrationError, DistributedArbiter
+
+
+def arbiter(n=6):
+    return DistributedArbiter(list(range(n)))
+
+
+class TestEstablishment:
+    def test_ids_assigned_in_completion_order(self):
+        arb = arbiter()
+        assert arb.establish(4) == 1
+        assert arb.establish(2) == 2
+        assert arb.establish(0) == 3
+        assert arb.beta == 3
+
+    def test_duplicate_establish_rejected(self):
+        arb = arbiter()
+        arb.establish(1)
+        with pytest.raises(ArbitrationError, match="already holds"):
+            arb.establish(1)
+
+    def test_unknown_lc_rejected(self):
+        with pytest.raises(ArbitrationError, match="not on this bus"):
+            arbiter(3).establish(9)
+
+    def test_newcomer_leads(self):
+        """"the most recently added requesting LC has its first turn"."""
+        arb = arbiter()
+        arb.establish(0)
+        arb.establish(1)
+        assert arb.current_turn() == 1
+
+    def test_coherence_after_establishments(self):
+        arb = arbiter()
+        for lc in (3, 1, 4):
+            arb.establish(lc)
+        arb.check_coherence()
+
+
+class TestTurnTaking:
+    def test_single_lp_loops(self):
+        arb = arbiter()
+        arb.establish(2)
+        for _ in range(4):
+            assert arb.current_turn() == 2
+            arb.finish_turn(2)
+
+    def test_round_robin_descending_ids(self):
+        arb = arbiter()
+        arb.establish(0)  # id 1
+        arb.establish(1)  # id 2
+        arb.establish(2)  # id 3
+        order = []
+        for _ in range(6):
+            lc = arb.current_turn()
+            order.append(lc)
+            arb.finish_turn(lc)
+        # Per round: id 3, 2, 1 -> LCs 2, 1, 0, repeating.
+        assert order == [2, 1, 0, 2, 1, 0]
+
+    def test_fairness_every_lp_once_per_round(self):
+        arb = arbiter()
+        for lc in range(4):
+            arb.establish(lc)
+        seen = []
+        for _ in range(4):
+            lc = arb.current_turn()
+            seen.append(lc)
+            arb.finish_turn(lc)
+        assert sorted(seen) == [0, 1, 2, 3]
+        assert arb.rounds_completed == 1
+
+    def test_finish_out_of_turn_rejected(self):
+        arb = arbiter()
+        arb.establish(0)
+        arb.establish(1)
+        with pytest.raises(ArbitrationError, match="does not hold"):
+            arb.finish_turn(0)
+
+    def test_idle_bus(self):
+        assert arbiter().current_turn() is None
+
+
+class TestRelease:
+    def test_release_compacts_ids(self):
+        arb = arbiter()
+        arb.establish(0)  # id 1
+        arb.establish(1)  # id 2
+        arb.establish(2)  # id 3
+        assert arb.release(1) == 2
+        assert arb.counters(0).ctr_id == 1
+        assert arb.counters(2).ctr_id == 2  # shifted down
+        assert arb.beta == 2
+        arb.check_coherence()
+
+    def test_release_preserves_current_holder_turn(self):
+        arb = arbiter()
+        arb.establish(0)  # id 1
+        arb.establish(1)  # id 2
+        arb.establish(2)  # id 3; turn starts at id 3 = LC 2
+        arb.release(0)  # id 1 goes away; LC2 becomes id 2, LC1 id 1
+        assert arb.current_turn() == 2
+        arb.check_coherence()
+
+    def test_release_own_turn_moves_on(self):
+        arb = arbiter()
+        arb.establish(0)
+        arb.establish(1)  # turn: LC1 (id 2)
+        arb.release(1)
+        assert arb.current_turn() == 0
+        arb.check_coherence()
+
+    def test_release_last_lp_idles(self):
+        arb = arbiter()
+        arb.establish(3)
+        arb.release(3)
+        assert arb.beta == 0
+        assert arb.current_turn() is None
+        arb.check_coherence()
+
+    def test_double_release_rejected(self):
+        arb = arbiter()
+        arb.establish(0)
+        arb.release(0)
+        with pytest.raises(ArbitrationError, match="no LP"):
+            arb.release(0)
+
+    def test_reestablish_after_release(self):
+        arb = arbiter()
+        arb.establish(0)
+        arb.release(0)
+        assert arb.establish(0) == 1
+        assert arb.current_turn() == 0
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(st.integers(min_value=0, max_value=11), max_size=60))
+    def test_random_op_sequences_stay_coherent(self, ops):
+        """Drive random establish/finish/release sequences; the mirrored
+        counters must stay coherent and the ID space dense throughout."""
+        arb = DistributedArbiter(list(range(4)))
+        held = set()
+        for op in ops:
+            lc = op % 4
+            action = op // 4  # 0: establish, 1: release, 2: finish turn
+            if action == 0 and lc not in held:
+                arb.establish(lc)
+                held.add(lc)
+            elif action == 1 and lc in held:
+                arb.release(lc)
+                held.discard(lc)
+            elif action == 2 and held:
+                turn = arb.current_turn()
+                if turn is not None:
+                    arb.finish_turn(turn)
+            arb.check_coherence()
+            assert arb.beta == len(held)
+            if held:
+                assert arb.current_turn() in held

@@ -1,0 +1,85 @@
+"""EIB bandwidth-allocator tests."""
+
+import pytest
+
+from repro.router.bandwidth import EIBBandwidthAllocator
+
+
+class TestAllocator:
+    def test_undersubscribed_full_promise(self):
+        alloc = EIBBandwidthAllocator(10e9)
+        a = alloc.register(1, 3e9)
+        b = alloc.register(2, 4e9)
+        assert a.promised_bps == pytest.approx(3e9)
+        assert b.promised_bps == pytest.approx(4e9)
+        assert not alloc.oversubscribed
+
+    def test_oversubscription_scales_back(self):
+        alloc = EIBBandwidthAllocator(10e9)
+        alloc.register(1, 12e9)
+        alloc.register(2, 8e9)
+        promises = alloc.promises()
+        assert alloc.oversubscribed
+        assert promises[1] == pytest.approx(6e9)
+        assert promises[2] == pytest.approx(4e9)
+        assert sum(promises.values()) == pytest.approx(10e9)
+
+    def test_deregister_restores_promises(self):
+        alloc = EIBBandwidthAllocator(10e9)
+        alloc.register(1, 12e9)
+        alloc.register(2, 8e9)
+        alloc.deregister(1)
+        assert alloc.allocation(2).promised_bps == pytest.approx(8e9)
+
+    def test_update_request(self):
+        alloc = EIBBandwidthAllocator(10e9)
+        alloc.register(1, 2e9)
+        alloc.update_request(1, 14e9)
+        assert alloc.allocation(1).promised_bps == pytest.approx(10e9)
+
+    def test_duplicate_register_rejected(self):
+        alloc = EIBBandwidthAllocator(10e9)
+        alloc.register(1, 1e9)
+        with pytest.raises(ValueError, match="already"):
+            alloc.register(1, 1e9)
+
+    def test_deregister_unknown_rejected(self):
+        with pytest.raises(ValueError, match="not registered"):
+            EIBBandwidthAllocator(10e9).deregister(5)
+
+    def test_negative_request_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            EIBBandwidthAllocator(10e9).register(1, -1.0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            EIBBandwidthAllocator(0.0)
+
+
+class TestPacing:
+    def test_charge_advances_virtual_clock(self):
+        alloc = EIBBandwidthAllocator(10e9)
+        alloc.register(1, 1e9)  # promise: 1 Gbps
+        t0 = alloc.charge(1, 125_000, now=0.0)  # 1 Mb at 1 Gbps = 1 ms
+        t1 = alloc.charge(1, 125_000, now=0.0)
+        assert t0 == pytest.approx(0.0)
+        assert t1 == pytest.approx(1e-3)
+
+    def test_idle_credit_not_banked(self):
+        alloc = EIBBandwidthAllocator(10e9)
+        alloc.register(1, 1e9)
+        alloc.charge(1, 125_000, now=0.0)
+        # Long idle: next packet is eligible immediately at `now`, not earlier.
+        t = alloc.charge(1, 125_000, now=5.0)
+        assert t == pytest.approx(5.0)
+
+    def test_zero_promise_never_eligible(self):
+        alloc = EIBBandwidthAllocator(10e9)
+        alloc.register(1, 0.0)
+        assert alloc.charge(1, 100, now=0.0) == float("inf")
+
+    def test_total_requested(self):
+        alloc = EIBBandwidthAllocator(10e9)
+        alloc.register(1, 1e9)
+        alloc.register(2, 2e9)
+        assert alloc.total_requested_bps == pytest.approx(3e9)

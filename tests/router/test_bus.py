@@ -1,0 +1,183 @@
+"""EIB channel tests: CSMA/CD control lines and TDM data lines."""
+
+import numpy as np
+import pytest
+
+from repro.router.arbitration import DistributedArbiter
+from repro.router.bandwidth import EIBBandwidthAllocator
+from repro.router.bus import EIB, ControlChannel, DataChannel
+from repro.router.packets import ControlKind, ControlPacket
+from repro.sim import Engine
+
+
+def cp(kind=ControlKind.REQ_D, init=0, **kw):
+    return ControlPacket(kind=kind, init_lc=init, **kw)
+
+
+def make_control(eng=None):
+    eng = eng or Engine()
+    return eng, ControlChannel(eng, np.random.default_rng(0))
+
+
+class TestControlChannel:
+    def test_broadcast_reaches_everyone_but_sender(self):
+        eng, chan = make_control()
+        got = {1: [], 2: [], 0: []}
+        for lc in got:
+            chan.attach(lc, lambda p, lc=lc: got[lc].append(p))
+        chan.broadcast(cp(init=0), sender_lc=0)
+        eng.run()
+        assert len(got[1]) == 1 and len(got[2]) == 1
+        assert got[0] == []
+
+    def test_busy_medium_defers(self):
+        eng, chan = make_control()
+        order = []
+        chan.attach(9, lambda p: order.append(p.init_lc))
+        chan.broadcast(cp(init=0), 0)
+        chan.broadcast(cp(init=1), 1)  # same instant: collision/defer path
+        eng.run()
+        assert sorted(order) == [0, 1]  # both eventually delivered
+        assert chan.collisions + chan.deferrals >= 1
+
+    def test_collision_detected_within_window(self):
+        eng, chan = make_control()
+        got = []
+        chan.attach(9, lambda p: got.append(p.init_lc))
+        chan.broadcast(cp(init=0), 0)
+        # Second sender starts inside the (backplane-scale) vulnerability window.
+        eng.schedule(2e-9, lambda: chan.broadcast(cp(init=1), 1))
+        eng.run()
+        assert chan.collisions >= 1
+        assert sorted(got) == [0, 1]  # retries succeed
+
+    def test_dead_bus_drops_silently(self):
+        eng, chan = make_control()
+        got = []
+        chan.attach(1, lambda p: got.append(p))
+        chan.healthy = False
+        chan.broadcast(cp(init=0), 0)
+        eng.run()
+        assert got == []
+
+    def test_sent_counter(self):
+        eng, chan = make_control()
+        chan.attach(1, lambda p: None)
+        chan.broadcast(cp(init=0), 0)
+        eng.run()
+        assert chan.sent == 1
+
+
+def make_data(n=4, capacity=20e9):
+    eng = Engine()
+    arb = DistributedArbiter(list(range(n)))
+    alloc = EIBBandwidthAllocator(capacity)
+    return eng, DataChannel(eng, arb, alloc), arb, alloc
+
+
+class TestDataChannel:
+    def test_transfer_delivers(self):
+        eng, data, _, _ = make_data()
+        data.open_lp(0, 1e9)
+        got = []
+        assert data.enqueue(0, 1000, lambda: got.append(eng.now))
+        eng.run()
+        assert len(got) == 1
+        assert data.transferred_packets == 1
+        assert data.transferred_bytes == 1000
+
+    def test_enqueue_without_lp_drops(self):
+        eng, data, _, _ = make_data()
+        assert not data.enqueue(0, 1000, lambda: None)
+        assert data.dropped_packets == 1
+
+    def test_two_lps_share_round_robin(self):
+        eng, data, arb, _ = make_data()
+        data.open_lp(0, 5e9)
+        data.open_lp(1, 5e9)
+        got = []
+        for _ in range(3):
+            data.enqueue(0, 1000, lambda: got.append(0))
+            data.enqueue(1, 1000, lambda: got.append(1))
+        eng.run()
+        assert sorted(got) == [0, 0, 0, 1, 1, 1]
+        # Interleaved service, not all of one then all of the other.
+        assert got != [0, 0, 0, 1, 1, 1] and got != [1, 1, 1, 0, 0, 0]
+
+    def test_buffer_limit_drops(self):
+        eng = Engine()
+        arb = DistributedArbiter([0, 1])
+        alloc = EIBBandwidthAllocator(20e9)
+        data = DataChannel(eng, arb, alloc, buffer_bytes=1500)
+        data.open_lp(0, 1e9)
+        assert data.enqueue(0, 1000, lambda: None)  # goes straight into service
+        assert data.enqueue(0, 1000, lambda: None)  # buffered (1000 <= 1500)
+        assert not data.enqueue(0, 1000, lambda: None)  # buffer would overflow
+        assert data.dropped_packets == 1
+
+    def test_pacing_respects_promise(self):
+        """An oversubscribed LP is paced to its promise, not the line rate."""
+        eng, data, _, alloc = make_data(capacity=1e9)
+        data.open_lp(0, 2e9)  # promise capped at 1 Gbps
+        done = []
+        n_pkts, size = 10, 125_000  # 1 Mb each -> 1 ms at promise
+        for _ in range(n_pkts):
+            data.enqueue(0, size, lambda: done.append(eng.now))
+        eng.run()
+        assert len(done) == n_pkts
+        # 10 Mb at 1 Gbps promise needs >= ~9 ms (first packet unpaced).
+        assert done[-1] >= 8e-3
+
+    def test_close_lp_waits_for_drain(self):
+        eng, data, arb, _ = make_data()
+        data.open_lp(0, 1e9)
+        closed = []
+        data.enqueue(0, 1000, lambda: None)
+        data.close_lp(0, on_closed=lambda: closed.append(eng.now))
+        assert not closed  # still draining
+        eng.run()
+        assert closed
+        assert arb.beta == 0
+
+    def test_enqueue_after_close_drops(self):
+        eng, data, _, _ = make_data()
+        data.open_lp(0, 1e9)
+        data.close_lp(0)
+        assert not data.enqueue(0, 100, lambda: None)
+
+    def test_reopen_while_draining(self):
+        eng, data, _, _ = make_data()
+        data.open_lp(0, 1e9)
+        data.enqueue(0, 1000, lambda: None)
+        data.close_lp(0)
+        data.open_lp(0, 2e9)  # reopen cancels the close
+        assert data.enqueue(0, 1000, lambda: None)
+        eng.run()
+        assert data.has_lp(0)
+
+    def test_fail_drops_buffers_and_lps(self):
+        eng, data, arb, _ = make_data()
+        data.open_lp(0, 1e9)
+        data.enqueue(0, 1000, lambda: None)
+        data.fail()
+        assert data.dropped_packets >= 1
+        assert arb.beta == 0
+        assert not data.healthy
+        data.repair()
+        assert data.healthy
+
+    def test_open_lp_on_dead_bus_rejected(self):
+        eng, data, _, _ = make_data()
+        data.fail()
+        with pytest.raises(RuntimeError, match="failed EIB"):
+            data.open_lp(0, 1e9)
+
+
+class TestEIBFacade:
+    def test_fail_and_repair(self):
+        eib = EIB(Engine(), [0, 1, 2], np.random.default_rng(0))
+        assert eib.healthy
+        eib.fail()
+        assert not eib.healthy
+        eib.repair()
+        assert eib.healthy

@@ -1,0 +1,83 @@
+"""Property-based tests for the EIB channels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.router.arbitration import DistributedArbiter
+from repro.router.bandwidth import EIBBandwidthAllocator
+from repro.router.bus import ControlChannel, DataChannel
+from repro.router.packets import ControlKind, ControlPacket
+from repro.sim import Engine
+
+
+@st.composite
+def transfer_scripts(draw):
+    """Random open/enqueue/close scripts over 3 LCs."""
+    n_ops = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    for _ in range(n_ops):
+        ops.append(
+            (
+                draw(st.sampled_from(["open", "enqueue", "close"])),
+                draw(st.integers(min_value=0, max_value=2)),
+                draw(st.integers(min_value=64, max_value=5000)),
+            )
+        )
+    return ops
+
+
+@settings(max_examples=50, deadline=None)
+@given(script=transfer_scripts(), seed=st.integers(min_value=0, max_value=99))
+def test_data_channel_conserves_packets(script, seed):
+    """delivered + dropped == enqueued, and the arbiter stays coherent,
+    for arbitrary open/enqueue/close interleavings."""
+    eng = Engine()
+    arb = DistributedArbiter([0, 1, 2])
+    alloc = EIBBandwidthAllocator(10e9)
+    data = DataChannel(eng, arb, alloc, buffer_bytes=20_000)
+    delivered = [0]
+    attempted = 0
+    accepted = 0
+    open_lcs: set[int] = set()
+    for op, lc, size in script:
+        if op == "open" and lc not in open_lcs:
+            data.open_lp(lc, 1e9)
+            open_lcs.add(lc)
+        elif op == "enqueue":
+            attempted += 1
+            if data.enqueue(lc, size, lambda: delivered.__setitem__(0, delivered[0] + 1)):
+                accepted += 1
+        elif op == "close" and lc in open_lcs:
+            data.close_lp(lc)
+            open_lcs.discard(lc)
+        arb.check_coherence()
+    eng.run()
+    arb.check_coherence()
+    assert delivered[0] == accepted
+    assert data.dropped_packets == attempted - accepted
+    assert data.transferred_packets == accepted
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_senders=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_control_channel_delivers_everything(n_senders, seed):
+    """However many stations contend simultaneously, CSMA/CD eventually
+    delivers every broadcast exactly once to every other station."""
+    eng = Engine()
+    chan = ControlChannel(eng, np.random.default_rng(seed))
+    received: dict[int, list[int]] = {lc: [] for lc in range(n_senders + 1)}
+    for lc in received:
+        chan.attach(lc, lambda p, lc=lc: received[lc].append(p.init_lc))
+    for sender in range(n_senders):
+        chan.broadcast(
+            ControlPacket(kind=ControlKind.REQ_D, init_lc=sender), sender
+        )
+    eng.run()
+    assert chan.failures == 0
+    for lc, log in received.items():
+        expected = sorted(s for s in range(n_senders) if s != lc)
+        assert sorted(log) == expected

@@ -1,0 +1,75 @@
+"""Linecard unit-model tests."""
+
+import pytest
+
+from repro.router.components import (
+    LFE,
+    PDLU,
+    PIU,
+    SRU,
+    BusController,
+    ComponentKind,
+    ServiceModel,
+)
+from repro.router.packets import Protocol
+
+
+class TestServiceModel:
+    def test_delay_formula(self):
+        sm = ServiceModel(overhead_s=1e-6, rate_bps=8e9)
+        assert sm.delay(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_delay_monotone_in_size(self):
+        sm = ServiceModel()
+        assert sm.delay(1500) > sm.delay(64)
+
+
+class TestComponentKind:
+    def test_pdlu_is_protocol_dependent(self):
+        assert ComponentKind.PDLU.is_protocol_dependent
+        assert not ComponentKind.SRU.is_protocol_dependent
+
+    def test_pi_unit_grouping(self):
+        assert ComponentKind.SRU.is_pi_unit
+        assert ComponentKind.LFE.is_pi_unit
+        assert not ComponentKind.PDLU.is_pi_unit
+        assert not ComponentKind.PIU.is_pi_unit
+
+
+class TestHealthLifecycle:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: PIU(0),
+            lambda: PDLU(0, Protocol.ETHERNET),
+            lambda: SRU(0),
+            lambda: LFE(0),
+            lambda: BusController(0),
+        ],
+    )
+    def test_fail_and_repair(self, factory):
+        unit = factory()
+        assert unit.healthy
+        unit.fail()
+        assert not unit.healthy
+        unit.repair()
+        assert unit.healthy
+
+    def test_processing_while_failed_raises(self):
+        sru = SRU(3)
+        sru.fail()
+        with pytest.raises(RuntimeError, match="while failed"):
+            sru.process_delay(100)
+
+    def test_processed_counter(self):
+        sru = SRU(0)
+        sru.process_delay(100)
+        sru.process_delay(100)
+        assert sru.processed == 2
+
+    def test_name(self):
+        assert SRU(3).name == "SRU@LC3"
+        assert BusController(1).name == "BC@LC1"
+
+    def test_pdlu_remembers_protocol(self):
+        assert PDLU(0, Protocol.ATM).protocol is Protocol.ATM

@@ -1,0 +1,100 @@
+"""Fault-injector tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import FailureRates
+from repro.router import ComponentKind, FaultInjector, Router, RouterConfig
+from repro.router.faults import ComponentRates
+
+
+class TestComponentRates:
+    def test_from_failure_rates_splits_pi_evenly(self):
+        cr = ComponentRates.from_failure_rates(FailureRates())
+        assert cr.sru == pytest.approx(7e-6)
+        assert cr.lfe == pytest.approx(7e-6)
+        assert cr.pdlu == pytest.approx(6e-6)
+        assert cr.piu == 0.0  # excluded by default, as in the analysis
+
+    def test_acceleration(self):
+        cr = ComponentRates.from_failure_rates(FailureRates(), accel=1000.0)
+        assert cr.pdlu == pytest.approx(6e-3)
+
+    def test_include_piu(self):
+        cr = ComponentRates.from_failure_rates(FailureRates(), include_piu=True)
+        assert cr.piu > 0.0
+
+    def test_rate_of(self):
+        cr = ComponentRates()
+        assert cr.rate_of(ComponentKind.SRU) == cr.sru
+        assert cr.rate_of(ComponentKind.BUS_CONTROLLER) == cr.bus_controller
+
+
+class TestInjector:
+    def test_failures_fire_and_reflect_in_router(self):
+        r = Router(RouterConfig(n_linecards=4, seed=1))
+        # Hugely accelerated: expected dozens of failures within the window.
+        inj = FaultInjector.accelerated(r, np.random.default_rng(0), accel=1e7)
+        inj.start()
+        r.run(until=10.0)
+        assert len(inj.failures()) > 0
+        for ev in inj.failures():
+            if ev.lc_id is not None:
+                assert r.faults.is_failed(ev.lc_id, ev.kind) or any(
+                    rep.lc_id == ev.lc_id and rep.kind == ev.kind
+                    for rep in inj.repairs()
+                )
+
+    def test_no_repair_without_rate(self):
+        r = Router(RouterConfig(n_linecards=4, seed=1))
+        inj = FaultInjector.accelerated(r, np.random.default_rng(0), accel=1e7)
+        inj.start()
+        r.run(until=10.0)
+        assert inj.repairs() == []
+
+    def test_repairs_follow_failures(self):
+        r = Router(RouterConfig(n_linecards=4, seed=2))
+        inj = FaultInjector.accelerated(
+            r, np.random.default_rng(1), accel=1e7, repair_rate=10.0
+        )
+        inj.start()
+        r.run(until=20.0)
+        assert len(inj.repairs()) > 0
+        for rep in inj.repairs():
+            assert any(
+                f.time <= rep.time and f.lc_id == rep.lc_id and f.kind == rep.kind
+                for f in inj.failures()
+            )
+
+    def test_eib_failure_event(self):
+        r = Router(RouterConfig(n_linecards=4, seed=3))
+        rates = ComponentRates(
+            pdlu=0.0, sru=0.0, lfe=0.0, bus_controller=0.0, eib=1.0
+        )
+        inj = FaultInjector(r, rates, np.random.default_rng(2))
+        inj.start()
+        r.run(until=50.0)
+        eib_events = [e for e in inj.log if e.lc_id is None]
+        assert len(eib_events) == 1
+        assert not r.eib.healthy
+
+    def test_zero_rates_fire_nothing(self):
+        r = Router(RouterConfig(n_linecards=4, seed=4))
+        rates = ComponentRates(pdlu=0.0, sru=0.0, lfe=0.0, bus_controller=0.0, eib=0.0)
+        inj = FaultInjector(r, rates, np.random.default_rng(3))
+        inj.start()
+        r.run(until=100.0)
+        assert inj.log == []
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            r = Router(RouterConfig(n_linecards=4, seed=9))
+            inj = FaultInjector.accelerated(
+                r, np.random.default_rng(seed), accel=1e7
+            )
+            inj.start()
+            r.run(until=5.0)
+            return [(e.time, e.lc_id, e.kind) for e in inj.log]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

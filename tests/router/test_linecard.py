@@ -1,0 +1,128 @@
+"""Linecard assembly and coverage-capability tests."""
+
+import pytest
+
+from repro.router.components import ComponentKind
+from repro.router.linecard import Linecard
+from repro.router.packets import Protocol
+
+
+def dra_lc(lc_id=0, protocol=Protocol.ETHERNET, capacity=10e9):
+    return Linecard(lc_id, protocol, dra=True, capacity_bps=capacity)
+
+
+class TestConstruction:
+    def test_dra_unit_set(self):
+        lc = dra_lc()
+        assert lc.pdlu is not None
+        assert lc.bus_controller is not None
+        assert len(lc.units()) == 5
+
+    def test_bdr_unit_set(self):
+        lc = Linecard(0, Protocol.ETHERNET, dra=False)
+        assert lc.pdlu is None
+        assert lc.bus_controller is None
+        assert len(lc.units()) == 3
+
+    def test_unit_lookup(self):
+        lc = dra_lc()
+        assert lc.unit(ComponentKind.SRU) is lc.sru
+        assert lc.unit(ComponentKind.PDLU) is lc.pdlu
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            Linecard(0, Protocol.ETHERNET, capacity_bps=0.0)
+
+
+class TestHealth:
+    def test_fully_healthy(self):
+        lc = dra_lc()
+        assert lc.fully_healthy and lc.datapath_healthy
+
+    def test_failed_kinds(self):
+        lc = dra_lc()
+        lc.sru.fail()
+        lc.lfe.fail()
+        assert lc.failed_kinds() == {ComponentKind.SRU, ComponentKind.LFE}
+
+    def test_bus_controller_not_on_datapath(self):
+        lc = dra_lc()
+        lc.bus_controller.fail()
+        assert not lc.fully_healthy
+        assert lc.datapath_healthy
+
+
+class TestCapacityAccounting:
+    def test_reserve_release(self):
+        lc = dra_lc()
+        assert lc.reserve(4e9)
+        assert lc.headroom_bps == pytest.approx(6e9)
+        lc.release(4e9)
+        assert lc.headroom_bps == pytest.approx(10e9)
+
+    def test_overcommit_rejected(self):
+        lc = dra_lc()
+        assert lc.reserve(8e9)
+        assert not lc.reserve(3e9)
+        assert lc.committed_bps == pytest.approx(8e9)
+
+    def test_release_floor_at_zero(self):
+        lc = dra_lc()
+        lc.release(5e9)
+        assert lc.committed_bps == 0.0
+
+    def test_negative_amounts_rejected(self):
+        lc = dra_lc()
+        with pytest.raises(ValueError):
+            lc.reserve(-1.0)
+        with pytest.raises(ValueError):
+            lc.release(-1.0)
+
+
+class TestCanCover:
+    def test_covers_matching_pdlu_fault(self):
+        lc = dra_lc(protocol=Protocol.ATM)
+        assert lc.can_cover(ComponentKind.PDLU, Protocol.ATM, 1e9)
+
+    def test_protocol_mismatch_blocks_pdlu_coverage(self):
+        lc = dra_lc(protocol=Protocol.ETHERNET)
+        assert not lc.can_cover(ComponentKind.PDLU, Protocol.ATM, 1e9)
+
+    def test_sru_fault_needs_no_protocol_match(self):
+        lc = dra_lc(protocol=Protocol.ETHERNET)
+        assert lc.can_cover(ComponentKind.SRU, Protocol.ATM, 1e9)
+
+    def test_bdr_card_cannot_cover(self):
+        lc = Linecard(0, Protocol.ETHERNET, dra=False)
+        assert not lc.can_cover(ComponentKind.SRU, Protocol.ETHERNET, 1e9)
+
+    def test_dead_bus_controller_blocks(self):
+        lc = dra_lc()
+        lc.bus_controller.fail()
+        assert not lc.can_cover(ComponentKind.SRU, Protocol.ETHERNET, 1e9)
+
+    def test_covering_unit_must_be_healthy(self):
+        lc = dra_lc()
+        lc.sru.fail()
+        assert not lc.can_cover(ComponentKind.SRU, Protocol.ETHERNET, 1e9)
+
+    def test_downstream_units_must_be_healthy_for_pdlu(self):
+        lc = dra_lc()
+        lc.lfe.fail()
+        assert not lc.can_cover(ComponentKind.PDLU, Protocol.ETHERNET, 1e9)
+
+    def test_lfe_coverage_ignores_sru(self):
+        lc = dra_lc()
+        lc.sru.fail()
+        # A pure lookup service needs only the LFE (and bus controller).
+        assert lc.can_cover(ComponentKind.LFE, Protocol.ETHERNET, 0.0)
+
+    def test_piu_fault_never_coverable(self):
+        lc = dra_lc()
+        assert not lc.can_cover(ComponentKind.PIU, Protocol.ETHERNET, 1e9)
+
+    def test_headroom_gates_coverage(self):
+        lc = dra_lc()
+        lc.reserve(9.5e9)
+        assert not lc.can_cover(ComponentKind.SRU, Protocol.ETHERNET, 1e9)
+        assert lc.can_cover(ComponentKind.SRU, Protocol.ETHERNET, 0.4e9)

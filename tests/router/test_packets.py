@@ -1,0 +1,123 @@
+"""Packet / cell / control-packet tests."""
+
+import pytest
+
+from repro.router.packets import (
+    CELL_PAYLOAD_BYTES,
+    Cell,
+    ControlKind,
+    ControlPacket,
+    Packet,
+    Protocol,
+    segment,
+)
+
+
+def make_packet(size=500, src=0, dst=1):
+    return Packet(
+        src_lc=src,
+        dst_lc=dst,
+        dst_addr=0x0A000001,
+        size_bytes=size,
+        protocol=Protocol.ETHERNET,
+        created_at=0.0,
+    )
+
+
+class TestPacket:
+    def test_ids_unique(self):
+        assert make_packet().pkt_id != make_packet().pkt_id
+
+    def test_latency_none_in_flight(self):
+        assert make_packet().latency is None
+
+    def test_latency_after_delivery(self):
+        p = make_packet()
+        p.delivered_at = 1.5
+        assert p.latency == pytest.approx(1.5)
+
+    def test_hop_recording(self):
+        p = make_packet()
+        p.hop("a")
+        p.hop("b")
+        assert p.path == ["a", "b"]
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_packet(size=0)
+
+    def test_invalid_addr_rejected(self):
+        with pytest.raises(ValueError, match="IPv4"):
+            Packet(0, 1, 2**32, 100, Protocol.ETHERNET, 0.0)
+
+
+class TestSegmentation:
+    def test_cell_count_ceiling(self):
+        p = make_packet(size=100)
+        cells = segment(p)
+        assert len(cells) == -(-100 // CELL_PAYLOAD_BYTES)
+
+    def test_payload_conservation(self):
+        p = make_packet(size=1337)
+        cells = segment(p)
+        assert sum(c.payload_bytes for c in cells) == 1337
+
+    def test_exact_multiple(self):
+        p = make_packet(size=CELL_PAYLOAD_BYTES * 3)
+        cells = segment(p)
+        assert len(cells) == 3
+        assert all(c.payload_bytes == CELL_PAYLOAD_BYTES for c in cells)
+
+    def test_sequence_numbers(self):
+        cells = segment(make_packet(size=200))
+        assert [c.seq for c in cells] == list(range(len(cells)))
+        assert all(c.total == len(cells) for c in cells)
+
+    def test_dst_override(self):
+        cells = segment(make_packet(dst=1), dst_lc=4)
+        assert all(c.dst_lc == 4 for c in cells)
+
+    def test_single_byte_packet(self):
+        cells = segment(make_packet(size=1))
+        assert len(cells) == 1
+        assert cells[0].payload_bytes == 1
+
+
+class TestCellValidation:
+    def test_seq_out_of_range(self):
+        with pytest.raises(ValueError, match="seq"):
+            Cell(pkt_id=1, seq=3, total=3, payload_bytes=10, dst_lc=0)
+
+    def test_payload_bounds(self):
+        with pytest.raises(ValueError, match="payload"):
+            Cell(pkt_id=1, seq=0, total=1, payload_bytes=0, dst_lc=0)
+        with pytest.raises(ValueError, match="payload"):
+            Cell(pkt_id=1, seq=0, total=1, payload_bytes=CELL_PAYLOAD_BYTES + 1, dst_lc=0)
+
+
+class TestControlPackets:
+    def test_req_l_requires_address(self):
+        with pytest.raises(ValueError, match="REQ_L"):
+            ControlPacket(kind=ControlKind.REQ_L, init_lc=0)
+
+    def test_rep_l_requires_result(self):
+        with pytest.raises(ValueError, match="REP_L"):
+            ControlPacket(kind=ControlKind.REP_L, init_lc=0)
+
+    def test_rel_d_requires_lp(self):
+        with pytest.raises(ValueError, match="REL_D"):
+            ControlPacket(kind=ControlKind.REL_D, init_lc=0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            ControlPacket(kind=ControlKind.REQ_D, init_lc=0, data_rate=-1.0)
+
+    def test_valid_solicitation(self):
+        cp = ControlPacket(
+            kind=ControlKind.REQ_D,
+            init_lc=2,
+            data_rate=1e9,
+            protocol=Protocol.ATM,
+        )
+        assert cp.rec_lc is None  # broadcast
+        assert cp.SIZE_BYTES == 32

@@ -1,0 +1,236 @@
+"""EIB protocol-engine tests: handshakes, lookup service, releases."""
+
+import numpy as np
+import pytest
+
+from repro.router.bus import EIB
+from repro.router.components import ComponentKind
+from repro.router.linecard import Linecard
+from repro.router.packets import Protocol
+from repro.router.protocol import EIBProtocol, StreamState
+from repro.router.routing import RouteProcessor
+from repro.router.stats import RouterStats
+from repro.sim import Engine
+
+
+def make_world(n=4, protocols=(Protocol.ETHERNET,)):
+    eng = Engine()
+    lcs = {i: Linecard(i, protocols[i % len(protocols)], dra=True) for i in range(n)}
+    rp = RouteProcessor()
+    rp.default_full_mesh(n)
+    for lc in lcs.values():
+        lc.table = rp.distribute()
+    eib = EIB(eng, list(lcs), np.random.default_rng(0))
+    stats = RouterStats()
+    proto = EIBProtocol(eng, eib, lcs, stats, np.random.default_rng(1))
+    return eng, lcs, eib, proto, stats
+
+
+class TestForwardPathSolicitation:
+    def test_stream_established_with_a_covering_lc(self):
+        eng, lcs, eib, proto, stats = make_world()
+        results = []
+        proto.ensure_stream(
+            ("ingress", 0, ComponentKind.SRU), 0, 1e9, results.append,
+            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET,
+        )
+        eng.run(until=0.01)
+        assert len(results) == 1
+        stream = results[0]
+        assert stream is not None
+        assert stream.state is StreamState.ACTIVE
+        assert stream.covering_lc in (1, 2, 3)
+        assert stats.streams_established == 1
+
+    def test_capacity_reserved_on_winner(self):
+        eng, lcs, eib, proto, stats = make_world()
+        results = []
+        proto.ensure_stream(
+            ("ingress", 0, ComponentKind.SRU), 0, 2e9, results.append,
+            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET,
+        )
+        eng.run(until=0.01)
+        winner = results[0].covering_lc
+        assert lcs[winner].committed_bps == pytest.approx(2e9)
+
+    def test_waiters_coalesce_onto_one_stream(self):
+        eng, lcs, eib, proto, stats = make_world()
+        results = []
+        key = ("ingress", 0, ComponentKind.SRU)
+        for _ in range(5):
+            proto.ensure_stream(
+                key, 0, 1e9, results.append,
+                fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET,
+            )
+        eng.run(until=0.01)
+        assert len(results) == 5
+        assert stats.streams_established == 1
+        assert len({id(s) for s in results}) == 1
+
+    def test_no_candidates_fails(self):
+        eng, lcs, eib, proto, stats = make_world()
+        for i in (1, 2, 3):
+            lcs[i].sru.fail()  # nobody can cover an SRU fault
+        results = []
+        proto.ensure_stream(
+            ("ingress", 0, ComponentKind.SRU), 0, 1e9, results.append,
+            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET,
+        )
+        eng.run(until=0.01)
+        assert results == [None]
+        assert stats.streams_failed == 1
+
+    def test_protocol_mismatch_fails(self):
+        eng, lcs, eib, proto, stats = make_world(
+            protocols=(Protocol.ETHERNET, Protocol.SONET_POS, Protocol.ATM, Protocol.FRAME_RELAY)
+        )
+        results = []
+        # Every LC runs a different protocol: no PDLU coverage possible.
+        proto.ensure_stream(
+            ("ingress", 0, ComponentKind.PDLU), 0, 1e9, results.append,
+            fault_kind=ComponentKind.PDLU, protocol=Protocol.ETHERNET,
+        )
+        eng.run(until=0.01)
+        assert results == [None]
+
+    def test_dead_bus_controller_fails_immediately(self):
+        eng, lcs, eib, proto, stats = make_world()
+        lcs[0].bus_controller.fail()
+        results = []
+        proto.ensure_stream(
+            ("ingress", 0, ComponentKind.SRU), 0, 1e9, results.append,
+            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET,
+        )
+        assert results == [None]  # synchronous rejection
+
+    def test_failed_stream_cooldown_then_retry(self):
+        eng, lcs, eib, proto, stats = make_world()
+        for i in (1, 2, 3):
+            lcs[i].sru.fail()
+        key = ("ingress", 0, ComponentKind.SRU)
+        results = []
+        proto.ensure_stream(key, 0, 1e9, results.append,
+                            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET)
+        # Run just past the solicitation timeout (300 us) but well inside
+        # the retry cooldown (1 ms).
+        eng.run(until=0.0005)
+        assert results == [None]
+        # Within cooldown: immediate None without a new solicitation.
+        proto.ensure_stream(key, 0, 1e9, results.append,
+                            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET)
+        assert results == [None, None]
+        # Heal a candidate, pass the cooldown, retry succeeds.
+        lcs[2].sru.repair()
+        eng.run(until=0.02)  # cooldown (1 ms) long past
+        proto.ensure_stream(key, 0, 1e9, results.append,
+                            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET)
+        eng.run(until=0.03)
+        assert results[-1] is not None
+        assert results[-1].covering_lc == 2
+
+
+class TestReversePath:
+    def test_directed_request_answered_by_target(self):
+        eng, lcs, eib, proto, stats = make_world()
+        lcs[2].sru.fail()  # the faulty destination
+        results = []
+        proto.ensure_stream(
+            ("reverse", 0, 2), 0, 1e9, results.append, rec_lc=2,
+        )
+        eng.run(until=0.01)
+        stream = results[0]
+        assert stream is not None
+        assert stream.covering_lc == 2
+        assert stream.sender_lc == 0
+
+    def test_target_with_dead_piu_does_not_answer(self):
+        eng, lcs, eib, proto, stats = make_world()
+        lcs[2].piu.fail()
+        results = []
+        proto.ensure_stream(("reverse", 0, 2), 0, 1e9, results.append, rec_lc=2)
+        eng.run(until=0.01)
+        assert results == [None]
+
+
+class TestLookupService:
+    def test_remote_lookup_served(self):
+        eng, lcs, eib, proto, stats = make_world()
+        lcs[0].lfe.fail()
+        results = []
+        addr = 0x0A000000 + (2 << 16) + 7  # inside LC2's /16
+        proto.request_lookup(0, addr, results.append)
+        eng.run(until=0.01)
+        assert results == [2]
+        assert stats.remote_lookups == 1
+
+    def test_no_healthy_lfe_times_out(self):
+        eng, lcs, eib, proto, stats = make_world()
+        for i in (1, 2, 3):
+            lcs[i].lfe.fail()
+        results = []
+        proto.request_lookup(0, 0x0A000001, results.append)
+        eng.run(until=0.01)
+        assert results == [None]
+
+    def test_lookup_with_dead_eib_fails_fast(self):
+        eng, lcs, eib, proto, stats = make_world()
+        eib.fail()
+        results = []
+        proto.request_lookup(0, 0x0A000001, results.append)
+        assert results == [None]
+
+
+class TestRelease:
+    def test_release_frees_reservation_and_lp(self):
+        eng, lcs, eib, proto, stats = make_world()
+        key = ("ingress", 0, ComponentKind.SRU)
+        results = []
+        proto.ensure_stream(key, 0, 1e9, results.append,
+                            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET)
+        eng.run(until=0.01)
+        winner = results[0].covering_lc
+        proto.release_stream(key)
+        eng.run(until=0.02)
+        assert lcs[winner].committed_bps == 0.0
+        assert not eib.data.has_lp(0)
+        assert proto.stream(key) is None
+
+    def test_release_streams_for_fault(self):
+        eng, lcs, eib, proto, stats = make_world()
+        key = ("ingress", 0, ComponentKind.SRU)
+        done = []
+        proto.ensure_stream(key, 0, 1e9, done.append,
+                            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET)
+        eng.run(until=0.01)
+        proto.release_streams_for_fault(0, ComponentKind.SRU)
+        assert proto.stream(key) is None
+
+    def test_release_unknown_key_is_noop(self):
+        eng, lcs, eib, proto, stats = make_world()
+        proto.release_stream(("nope",))
+
+
+class TestEIBFailure:
+    def test_on_eib_failure_clears_everything(self):
+        eng, lcs, eib, proto, stats = make_world()
+        key = ("ingress", 0, ComponentKind.SRU)
+        results = []
+        proto.ensure_stream(key, 0, 1e9, results.append,
+                            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET)
+        eng.run(until=0.01)
+        winner = results[0].covering_lc
+        eib.fail()
+        proto.on_eib_failure()
+        assert proto.stream(key) is None
+        assert lcs[winner].committed_bps == 0.0
+
+    def test_send_on_inactive_stream_fails(self):
+        eng, lcs, eib, proto, stats = make_world()
+        key = ("ingress", 0, ComponentKind.SRU)
+        results = []
+        proto.ensure_stream(key, 0, 1e9, results.append,
+                            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET)
+        eng.run(until=0.01)
+        stream = results[0]
+        proto.release_stream(key)
+        assert not proto.send_on_stream(stream, 100, lambda: None)

@@ -1,0 +1,168 @@
+"""EIB protocol conformance: the exact message sequences of Section 4.
+
+Taps the control channel of a small router and asserts the packet
+sequences the paper prescribes for each communication pattern:
+
+* forward path:  REQ_D (broadcast) -> REP_D (winner) -> data -> REL_D
+* reverse path:  REQ_D (directed) -> REP_D (from the faulty LC)
+* lookup:        REQ_L -> REP_L, entirely over the control lines
+* stand-down:    losing candidates emit no REP_D after hearing the winner
+"""
+
+import pytest
+
+from repro.router import ComponentKind, Router, RouterConfig
+from repro.router.packets import ControlKind, Packet, Protocol
+from repro.router.routing import ipv4
+
+
+class ControlTap:
+    """Records every delivered control packet in order."""
+
+    def __init__(self, router: Router) -> None:
+        self.log: list[tuple[float, ControlKind, int, int | None]] = []
+        control = router.eib.control
+        original = control._deliver
+
+        def spy(packet, sender_lc):
+            self.log.append(
+                (router.engine.now, packet.kind, sender_lc, packet.rec_lc)
+            )
+            original(packet, sender_lc)
+
+        control._deliver = spy
+
+    def kinds(self) -> list[ControlKind]:
+        return [kind for _, kind, _, _ in self.log]
+
+    def of_kind(self, kind: ControlKind):
+        return [entry for entry in self.log if entry[1] is kind]
+
+
+def make_router(n=4, **kw):
+    return Router(RouterConfig(n_linecards=n, seed=13, **kw))
+
+
+def send(router, src=0, dst=1, size=400):
+    packet = Packet(
+        src_lc=src,
+        dst_lc=dst,
+        dst_addr=ipv4("10.0.0.0") + (dst << 16) + 9,
+        size_bytes=size,
+        protocol=router.linecards[src].protocol,
+        created_at=router.engine.now,
+    )
+    router.inject(packet)
+    return packet
+
+
+class TestForwardPath:
+    def test_req_rep_data_sequence(self):
+        router = make_router()
+        tap = ControlTap(router)
+        router.set_offered_load(0, 1e9)
+        router.inject_fault(0, ComponentKind.SRU)
+        send(router, src=0, dst=1)
+        router.run(until=0.002)
+        kinds = tap.kinds()
+        assert kinds[0] is ControlKind.REQ_D
+        assert ControlKind.REP_D in kinds
+        assert kinds.index(ControlKind.REQ_D) < kinds.index(ControlKind.REP_D)
+        # The solicitation is a broadcast (no addressed receiver).
+        assert tap.of_kind(ControlKind.REQ_D)[0][3] is None
+
+    def test_exactly_one_winner_replies(self):
+        """All three healthy candidates could cover; the first REP_D on the
+        wire stands the others down -- exactly one reply appears."""
+        router = make_router(n=6)
+        tap = ControlTap(router)
+        router.set_offered_load(0, 1e9)
+        router.inject_fault(0, ComponentKind.SRU)
+        send(router, src=0, dst=1)
+        router.run(until=0.002)
+        assert len(tap.of_kind(ControlKind.REP_D)) == 1
+
+    def test_rel_d_on_repair(self):
+        router = make_router()
+        tap = ControlTap(router)
+        router.set_offered_load(0, 1e9)
+        router.inject_fault(0, ComponentKind.SRU)
+        send(router, src=0, dst=1)
+        router.run(until=0.002)
+        router.repair_fault(0, ComponentKind.SRU)
+        router.run(until=0.003)
+        rel = tap.of_kind(ControlKind.REL_D)
+        assert len(rel) == 1
+        assert rel[0][2] == 0  # released by the (formerly) faulty LC_init
+
+    def test_no_control_traffic_without_faults(self):
+        """"The EIB is never invoked if no traffic flow encounters a
+        failure" (Section 3.2)."""
+        router = make_router()
+        tap = ControlTap(router)
+        send(router, src=0, dst=1)
+        router.run(until=0.002)
+        assert tap.log == []
+
+
+class TestReversePath:
+    def test_directed_req_answered_by_target(self):
+        router = make_router()
+        tap = ControlTap(router)
+        router.set_offered_load(0, 1e9)
+        router.inject_fault(1, ComponentKind.SRU)  # faulty destination
+        send(router, src=0, dst=1)
+        router.run(until=0.002)
+        req = tap.of_kind(ControlKind.REQ_D)
+        rep = tap.of_kind(ControlKind.REP_D)
+        assert req and rep
+        assert req[0][3] == 1  # addressed at the faulty LC_out
+        assert rep[0][2] == 1  # answered by the faulty LC_out itself
+
+
+class TestLookupService:
+    def test_req_l_rep_l_only(self):
+        """The lookup service runs entirely over the control lines: no
+        REQ_D/REP_D, no data-line logical path."""
+        router = make_router()
+        tap = ControlTap(router)
+        router.inject_fault(0, ComponentKind.LFE)
+        send(router, src=0, dst=2)
+        router.run(until=0.002)
+        kinds = set(tap.kinds())
+        assert ControlKind.REQ_L in kinds
+        assert ControlKind.REP_L in kinds
+        assert ControlKind.REQ_D not in kinds
+        assert router.eib.arbiter.beta == 0  # no LP was ever established
+
+    def test_one_reply_per_lookup(self):
+        router = make_router(n=6)
+        tap = ControlTap(router)
+        router.inject_fault(0, ComponentKind.LFE)
+        send(router, src=0, dst=2)
+        router.run(until=0.002)
+        assert len(tap.of_kind(ControlKind.REQ_L)) == 1
+        assert len(tap.of_kind(ControlKind.REP_L)) == 1
+
+
+class TestProtocolMatching:
+    def test_wrong_protocol_candidates_stay_silent(self):
+        """For a PDLU fault only same-protocol LCs may reply (Section 3.1);
+        with no protocol peer present, no REP_D ever appears."""
+        router = make_router(
+            n=4,
+            protocols=(
+                Protocol.ETHERNET,
+                Protocol.SONET_POS,
+                Protocol.ATM,
+                Protocol.FRAME_RELAY,
+            ),
+        )
+        tap = ControlTap(router)
+        router.set_offered_load(0, 1e9)
+        router.inject_fault(0, ComponentKind.PDLU)
+        send(router, src=0, dst=1)
+        router.run(until=0.002)
+        assert tap.of_kind(ControlKind.REQ_D)  # solicited
+        assert not tap.of_kind(ControlKind.REP_D)  # nobody qualified
+        assert router.stats.drops["no_coverage"] >= 1

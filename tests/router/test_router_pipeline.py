@@ -1,0 +1,228 @@
+"""End-to-end packet-pipeline tests on the assembled router."""
+
+import pytest
+
+from repro.router import ComponentKind, Router, RouterConfig, RouterMode
+from repro.router.packets import Packet, Protocol
+from repro.router.recovery import DropReason
+from repro.router.routing import ipv4
+
+
+def make_router(n=4, mode=RouterMode.DRA, protocols=(Protocol.ETHERNET,), seed=0):
+    return Router(RouterConfig(n_linecards=n, mode=mode, protocols=protocols, seed=seed))
+
+
+def send(router, src=0, dst=1, size=500):
+    pkt = Packet(
+        src_lc=src,
+        dst_lc=dst,
+        dst_addr=ipv4("10.0.0.0") + (dst << 16) + 7,
+        size_bytes=size,
+        protocol=router.linecards[src].protocol,
+        created_at=router.engine.now,
+    )
+    router.inject(pkt)
+    return pkt
+
+
+class TestHealthyPipeline:
+    @pytest.mark.parametrize("mode", [RouterMode.DRA, RouterMode.BDR])
+    def test_packet_delivered(self, mode):
+        r = make_router(mode=mode)
+        pkt = send(r)
+        r.run(until=0.01)
+        assert r.stats.delivered == 1
+        assert pkt.delivered_at is not None
+        assert pkt.latency > 0.0
+
+    def test_path_records_stages(self):
+        r = make_router()
+        pkt = send(r)
+        r.run(until=0.01)
+        joined = " ".join(pkt.path)
+        for marker in ("in@LC0", "pdlu@LC0", "sru@LC0", "lookup@LC0->LC1",
+                       "fabric->1", "sru@LC1", "pdlu@LC1", "out@LC1"):
+            assert marker in joined, f"missing {marker} in {pkt.path}"
+
+    def test_lookup_routes_by_address(self):
+        """The LFE lookup, not the packet's dst field, selects the port."""
+        r = make_router()
+        pkt = Packet(0, 1, ipv4("10.0.0.0") + (2 << 16) + 1, 500,
+                     Protocol.ETHERNET, 0.0)
+        r.inject(pkt)
+        r.run(until=0.01)
+        assert r.stats.delivered_by_lc[2] == 1
+
+    def test_unroutable_address_dropped(self):
+        r = make_router()
+        pkt = Packet(0, 1, ipv4("192.168.0.1"), 500, Protocol.ETHERNET, 0.0)
+        r.inject(pkt)
+        r.run(until=0.01)
+        assert r.stats.drops[DropReason.NO_ROUTE] == 1
+
+    def test_bdr_has_no_eib(self):
+        r = make_router(mode=RouterMode.BDR)
+        assert r.eib is None
+        with pytest.raises(RuntimeError, match="no EIB"):
+            r.fail_eib()
+
+
+class TestIngressCoverage:
+    @pytest.mark.parametrize("kind", [ComponentKind.PDLU, ComponentKind.SRU])
+    def test_fault_covered_via_eib(self, kind):
+        r = make_router()
+        r.set_offered_load(0, 1e9)
+        r.inject_fault(0, kind)
+        pkt = send(r, src=0, dst=1)
+        r.run(until=0.01)
+        assert r.stats.delivered == 1
+        assert any(h.startswith("eib:LC0->") for h in pkt.path)
+        assert r.stats.covered_deliveries == 1
+
+    def test_lfe_fault_served_by_remote_lookup(self):
+        r = make_router()
+        r.inject_fault(0, ComponentKind.LFE)
+        pkt = send(r, src=0, dst=2)
+        r.run(until=0.01)
+        assert r.stats.delivered == 1
+        assert r.stats.remote_lookups == 1
+        assert any(h.startswith("req_l") for h in pkt.path)
+        # Data still crossed the fabric (only the lookup went remote).
+        assert any(h.startswith("fabric->") for h in pkt.path)
+
+    def test_piu_fault_uncoverable(self):
+        r = make_router()
+        r.inject_fault(0, ComponentKind.PIU)
+        send(r, src=0)
+        r.run(until=0.01)
+        assert r.stats.drops[DropReason.PIU_IN] == 1
+
+    def test_coverage_unavailable_drops(self):
+        r = make_router(n=3)
+        r.inject_fault(0, ComponentKind.SRU)
+        r.inject_fault(2, ComponentKind.SRU)
+        # LC1 could still answer the broadcast (nothing in the protocol
+        # stops LC_out from covering); take out its bus controller so no
+        # candidate remains at all.
+        r.inject_fault(1, ComponentKind.BUS_CONTROLLER)
+        send(r, src=0, dst=1)
+        r.run(until=0.01)
+        assert r.stats.drops[DropReason.NO_COVERAGE] == 1
+
+
+class TestEgressCoverage:
+    def test_dst_sru_fault_direct_eib(self):
+        r = make_router()
+        r.set_offered_load(0, 1e9)
+        r.inject_fault(1, ComponentKind.SRU)
+        pkt = send(r, src=0, dst=1)
+        r.run(until=0.01)
+        assert r.stats.delivered == 1
+        assert any("direct" in h for h in pkt.path)
+        # The packet must NOT have passed dst's SRU.
+        assert "sru@LC1" not in pkt.path
+
+    def test_dst_pdlu_same_protocol_direct(self):
+        r = make_router()
+        r.set_offered_load(0, 1e9)
+        r.inject_fault(1, ComponentKind.PDLU)
+        pkt = send(r, src=0, dst=1)
+        r.run(until=0.01)
+        assert r.stats.delivered == 1
+        assert "pdlu@LC1" not in pkt.path
+        assert any("direct" in h for h in pkt.path)
+
+    def test_dst_pdlu_cross_protocol_via_inter(self):
+        r = make_router(n=6, protocols=(Protocol.ETHERNET, Protocol.SONET_POS))
+        r.set_offered_load(0, 1e9)
+        r.inject_fault(1, ComponentKind.PDLU)  # LC1: SONET
+        pkt = send(r, src=0, dst=1)  # LC0: Ethernet
+        r.run(until=0.01)
+        assert r.stats.delivered == 1
+        inters = [h for h in pkt.path if h.startswith("inter@LC")]
+        assert len(inters) == 1
+        inter_lc = int(inters[0].split("LC")[1])
+        assert r.linecards[inter_lc].protocol is Protocol.SONET_POS
+
+    def test_dst_piu_fault_drops(self):
+        r = make_router()
+        r.inject_fault(1, ComponentKind.PIU)
+        send(r, src=0, dst=1)
+        r.run(until=0.01)
+        assert r.stats.drops[DropReason.PIU_OUT] == 1
+
+
+class TestBDRBehaviour:
+    @pytest.mark.parametrize(
+        "kind", [ComponentKind.SRU, ComponentKind.LFE, ComponentKind.PIU]
+    )
+    def test_any_src_fault_downs_the_lc(self, kind):
+        r = make_router(mode=RouterMode.BDR)
+        r.inject_fault(0, kind)
+        send(r, src=0, dst=1)
+        r.run(until=0.01)
+        assert r.stats.delivered == 0
+        assert r.stats.drops[DropReason.BDR_LC_DOWN_IN] == 1
+
+    def test_dst_fault_downs_the_lc(self):
+        r = make_router(mode=RouterMode.BDR)
+        r.inject_fault(1, ComponentKind.SRU)
+        send(r, src=0, dst=1)
+        r.run(until=0.01)
+        assert r.stats.drops[DropReason.BDR_LC_DOWN_OUT] == 1
+
+    def test_bdr_lc_has_no_pdlu_to_fail(self):
+        r = make_router(mode=RouterMode.BDR)
+        with pytest.raises(ValueError, match="no PDLU"):
+            r.inject_fault(0, ComponentKind.PDLU)
+
+
+class TestRepair:
+    def test_repair_restores_normal_path(self):
+        r = make_router()
+        r.set_offered_load(0, 1e9)
+        r.inject_fault(0, ComponentKind.SRU)
+        send(r, src=0, dst=1)
+        r.run(until=0.01)
+        r.repair_fault(0, ComponentKind.SRU)
+        pkt = send(r, src=0, dst=1)
+        r.run(until=0.02)
+        assert r.stats.delivered == 2
+        assert not any(h.startswith("eib:") for h in pkt.path)
+
+    def test_eib_repair_reenables_coverage(self):
+        r = make_router()
+        r.set_offered_load(0, 1e9)
+        r.inject_fault(0, ComponentKind.SRU)
+        r.fail_eib()
+        send(r, src=0, dst=1)
+        r.run(until=0.002)
+        assert r.stats.drops[DropReason.NO_COVERAGE] == 1
+        r.repair_eib()
+        r.run(until=0.004)  # let the failed-stream cooldown expire
+        send(r, src=0, dst=1)
+        r.run(until=0.02)
+        assert r.stats.delivered == 1
+
+
+class TestLoadAccounting:
+    def test_offered_load_consumes_headroom(self):
+        r = make_router()
+        r.set_offered_load(2, 6e9)
+        assert r.linecards[2].headroom_bps == pytest.approx(4e9)
+
+    def test_offered_load_replaces_previous(self):
+        r = make_router()
+        r.set_offered_load(2, 6e9)
+        r.set_offered_load(2, 1e9)
+        assert r.linecards[2].headroom_bps == pytest.approx(9e9)
+
+    def test_excessive_load_rejected(self):
+        r = make_router()
+        with pytest.raises(ValueError, match="exceeds"):
+            r.set_offered_load(0, 20e9)
+
+    def test_negative_load_rejected(self):
+        r = make_router()
+        with pytest.raises(ValueError, match="negative"):
+            r.set_offered_load(0, -1.0)

@@ -1,0 +1,140 @@
+"""Routing table / LPM / route processor tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.router.routing import (
+    RoutePrefix,
+    RouteProcessor,
+    RoutingTable,
+    format_ipv4,
+    ipv4,
+)
+
+
+class TestAddressing:
+    def test_parse_roundtrip(self):
+        for dotted in ("0.0.0.0", "10.0.0.1", "255.255.255.255", "192.168.1.77"):
+            assert format_ipv4(ipv4(dotted)) == dotted
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            ipv4("10.0.0")
+        with pytest.raises(ValueError):
+            ipv4("10.0.0.256")
+        with pytest.raises(ValueError):
+            format_ipv4(-1)
+
+
+class TestRoutePrefix:
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError, match="host bits"):
+            RoutePrefix(ipv4("10.0.0.1"), 16, 0)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            RoutePrefix(0, 33, 0)
+
+    def test_matches(self):
+        r = RoutePrefix(ipv4("10.1.0.0"), 16, 3)
+        assert r.matches(ipv4("10.1.2.3"))
+        assert not r.matches(ipv4("10.2.0.1"))
+
+    def test_default_route_matches_everything(self):
+        r = RoutePrefix(0, 0, 1)
+        assert r.matches(0) and r.matches(2**32 - 1)
+
+
+class TestRoutingTable:
+    def make_table(self):
+        t = RoutingTable()
+        t.insert(RoutePrefix(ipv4("10.0.0.0"), 8, 1))
+        t.insert(RoutePrefix(ipv4("10.1.0.0"), 16, 2))
+        t.insert(RoutePrefix(ipv4("10.1.2.0"), 24, 3))
+        return t
+
+    def test_longest_prefix_wins(self):
+        t = self.make_table()
+        assert t.lookup(ipv4("10.1.2.9")) == 3
+        assert t.lookup(ipv4("10.1.9.9")) == 2
+        assert t.lookup(ipv4("10.9.9.9")) == 1
+
+    def test_no_match(self):
+        assert self.make_table().lookup(ipv4("11.0.0.1")) is None
+
+    def test_default_route_fallback(self):
+        t = self.make_table()
+        t.insert(RoutePrefix(0, 0, 9))
+        assert t.lookup(ipv4("11.0.0.1")) == 9
+        assert t.lookup(ipv4("10.1.2.3")) == 3  # still longest-prefix
+
+    def test_replace_route(self):
+        t = self.make_table()
+        t.insert(RoutePrefix(ipv4("10.1.0.0"), 16, 7))
+        assert t.lookup(ipv4("10.1.9.9")) == 7
+        assert len(t) == 3
+
+    def test_remove(self):
+        t = self.make_table()
+        assert t.remove(ipv4("10.1.0.0"), 16)
+        assert t.lookup(ipv4("10.1.9.9")) == 1  # falls back to the /8
+        assert not t.remove(ipv4("10.1.0.0"), 16)  # second withdraw is a no-op
+
+    def test_lookup_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.make_table().lookup(2**32)
+
+    def test_routes_listing(self):
+        routes = self.make_table().routes()
+        assert len(routes) == 3
+        assert {r.next_hop_lc for r in routes} == {1, 2, 3}
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        routes=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=32),
+                st.integers(min_value=0, max_value=15),
+            ),
+            max_size=20,
+        ),
+        addr=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_trie_matches_linear_scan(self, routes, addr):
+        """Property: the trie LPM equals the brute-force oracle."""
+        t = RoutingTable()
+        for prefix, length, hop in routes:
+            mask = ((1 << length) - 1) << (32 - length) if length else 0
+            t.insert(RoutePrefix(prefix & mask, length, hop))
+        assert t.lookup(addr) == t.lookup_linear(addr)
+
+
+class TestRouteProcessor:
+    def test_distribute_copies_are_independent(self):
+        rp = RouteProcessor()
+        rp.announce(RoutePrefix(ipv4("10.0.0.0"), 8, 0))
+        copy = rp.distribute()
+        rp.announce(RoutePrefix(ipv4("11.0.0.0"), 8, 1))
+        # The earlier copy is stale until redistributed.
+        assert copy.lookup(ipv4("11.0.0.1")) is None
+        assert rp.distribute().lookup(ipv4("11.0.0.1")) == 1
+
+    def test_version_bumps(self):
+        rp = RouteProcessor()
+        v0 = rp.version
+        rp.announce(RoutePrefix(ipv4("10.0.0.0"), 8, 0))
+        assert rp.version == v0 + 1
+        rp.withdraw(ipv4("10.0.0.0"), 8)
+        assert rp.version == v0 + 2
+        rp.withdraw(ipv4("10.0.0.0"), 8)  # absent: no bump
+        assert rp.version == v0 + 2
+
+    def test_full_mesh_topology(self):
+        rp = RouteProcessor()
+        rp.default_full_mesh(4)
+        table = rp.distribute()
+        for lc in range(4):
+            addr = ipv4("10.0.0.0") + (lc << 16) + 5
+            assert table.lookup(addr) == lc

@@ -1,0 +1,50 @@
+"""Stats accumulator tests."""
+
+import pytest
+
+from repro.router.stats import LatencyAccumulator, RouterStats
+
+
+class TestLatencyAccumulator:
+    def test_streaming_moments(self):
+        acc = LatencyAccumulator()
+        for v in (1.0, 2.0, 3.0):
+            acc.add(v)
+        assert acc.count == 3
+        assert acc.mean == pytest.approx(2.0)
+        assert acc.min_value == 1.0
+        assert acc.max_value == 3.0
+
+    def test_empty_mean_is_zero(self):
+        assert LatencyAccumulator().mean == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyAccumulator().add(-1.0)
+
+
+class TestRouterStats:
+    def test_delivery_ratio(self):
+        s = RouterStats()
+        s.offered = 10
+        s.delivered = 7
+        assert s.delivery_ratio == pytest.approx(0.7)
+
+    def test_delivery_ratio_no_traffic(self):
+        assert RouterStats().delivery_ratio == 1.0
+
+    def test_drop_accounting(self):
+        s = RouterStats()
+        s.drop("x")
+        s.drop("x")
+        s.drop("y")
+        assert s.dropped == 3
+        assert s.drops["x"] == 2
+
+    def test_summary_mentions_counts(self):
+        s = RouterStats()
+        s.offered = 5
+        s.delivered = 4
+        s.drop("no_route")
+        text = s.summary()
+        assert "offered" in text and "no_route" in text

@@ -1,0 +1,150 @@
+"""Simulation-kernel tests."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(3.0, lambda: fired.append(3))
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(2.0, lambda: fired.append(2))
+        eng.run()
+        assert fired == [1, 2, 3]
+
+    def test_ties_broken_by_priority_then_insertion(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append("late"), priority=5)
+        eng.schedule(1.0, lambda: fired.append("a"))
+        eng.schedule(1.0, lambda: fired.append("b"))
+        eng.run()
+        assert fired == ["a", "b", "late"]
+
+    def test_clock_advances_to_event_time(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(2.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [2.5]
+        assert eng.now == 2.5
+
+    def test_schedule_in_relative(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_in(1.0, lambda: eng.schedule_in(2.0, lambda: seen.append(eng.now)))
+        eng.run()
+        assert seen == [3.0]
+
+    def test_scheduling_in_past_rejected(self):
+        eng = Engine()
+        eng.schedule(5.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError, match="before current time"):
+            eng.schedule(1.0, lambda: None)
+
+    def test_scheduling_at_now_allowed(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, lambda: eng.schedule(1.0, lambda: fired.append(eng.now)))
+        eng.run()
+        assert fired == [1.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError, match="negative"):
+            Engine().schedule_in(-1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_exactly(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(10.0, lambda: fired.append(10))
+        eng.run(until=5.0)
+        assert fired == [1]
+        assert eng.now == 5.0
+        eng.run()
+        assert fired == [1, 10]
+
+    def test_event_at_until_boundary_fires(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(5.0, lambda: fired.append(5))
+        eng.run(until=5.0)
+        assert fired == [5]
+
+    def test_max_events_guard(self):
+        eng = Engine()
+
+        def storm():
+            eng.schedule_in(0.0, storm, label="storm")
+
+        eng.schedule(0.0, storm)
+        with pytest.raises(SimulationError, match="event storm"):
+            eng.run(max_events=100)
+
+    def test_reentrant_run_rejected(self):
+        eng = Engine()
+
+        def recurse():
+            eng.run()
+
+        eng.schedule(1.0, recurse)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            eng.run()
+
+    def test_step(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(1.0, lambda: fired.append(1))
+        eng.schedule(2.0, lambda: fired.append(2))
+        assert eng.step()
+        assert fired == [1]
+        assert eng.step()
+        assert not eng.step()
+
+    def test_events_processed_counter(self):
+        eng = Engine()
+        for k in range(5):
+            eng.schedule(float(k), lambda: None)
+        eng.run()
+        assert eng.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = Engine()
+        fired = []
+        handle = eng.schedule(1.0, lambda: fired.append("no"))
+        eng.schedule(2.0, lambda: fired.append("yes"))
+        handle.cancel()
+        eng.run()
+        assert fired == ["yes"]
+
+    def test_cancel_idempotent(self):
+        eng = Engine()
+        handle = eng.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_peek_time_skips_cancelled(self):
+        eng = Engine()
+        h = eng.schedule(1.0, lambda: None)
+        eng.schedule(2.0, lambda: None)
+        h.cancel()
+        assert eng.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert Engine().peek_time() is None
+
+    def test_handle_exposes_metadata(self):
+        eng = Engine()
+        h = eng.schedule(4.0, lambda: None, label="thing")
+        assert h.time == 4.0
+        assert h.label == "thing"
+        assert not h.cancelled

@@ -1,0 +1,64 @@
+"""CLI smoke tests (everything short of the slow validate run)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--points", "0,40000", "--configs", "3:2"]) == 0
+        out = capsys.readouterr().out
+        assert "BDR" in out and "DRA(N=3,M=2)" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--configs", "3:2"]) == 0
+        assert "9^8" in capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8", "--loads", "0.7"]) == 0
+        assert "%" in capsys.readouterr().out
+
+    def test_fig8_with_bound_bus(self, capsys):
+        assert main(["fig8", "--loads", "0.7", "--b-bus", "5"]) == 0
+
+    def test_mttf(self, capsys):
+        assert main(["mttf", "--configs", "9:4"]) == 0
+        assert "DRA(N=9,M=4)" in capsys.readouterr().out
+
+    def test_cost(self, capsys):
+        assert main(["cost", "--n", "6", "--protocols", "2"]) == 0
+        assert "sparing" in capsys.readouterr().out
+
+    def test_importance(self, capsys):
+        assert main(["importance", "--n", "5", "--m", "3"]) == 0
+        assert "lam_lpi" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig7.csv"
+        assert main(["fig7", "--configs", "3:2", "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        assert "label,x,value" in csv_path.read_text()
+
+    def test_validate_quick(self, capsys):
+        assert main(["validate", "--cycles", "6000", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "MISMATCH" not in out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+    def test_fig6_variant_flag(self, capsys):
+        assert main(["fig6", "--configs", "3:2", "--points", "40000",
+                     "--variant", "extended"]) == 0
+        out = capsys.readouterr().out
+        assert "DRA(N=3,M=2)" in out
+
+    def test_fig6_invalid_variant_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--variant", "bogus"])

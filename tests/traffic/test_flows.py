@@ -1,0 +1,92 @@
+"""Traffic-matrix and flow tests."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import FlowSpec, TrafficMatrix
+
+
+class TestFlowSpec:
+    def test_packet_rate(self):
+        f = FlowSpec(0, 1, rate_bps=4e6, mean_packet_bytes=500)
+        assert f.packets_per_second == pytest.approx(1000.0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            FlowSpec(0, 1, rate_bps=-1.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FlowSpec(0, 1, rate_bps=1.0, mean_packet_bytes=0)
+
+
+class TestUniformMatrix:
+    def test_offered_load_per_lc(self):
+        m = TrafficMatrix.uniform(6, 0.3, capacity_bps=10e9)
+        for lc in range(6):
+            assert m.offered_at(lc) == pytest.approx(3e9)
+
+    def test_diagonal_zero(self):
+        m = TrafficMatrix.uniform(4, 0.5)
+        for i in range(4):
+            assert m.demand(i, i) == 0.0
+
+    def test_even_split(self):
+        m = TrafficMatrix.uniform(4, 0.3, capacity_bps=9e9)
+        assert m.demand(0, 1) == pytest.approx(0.9e9)
+        assert m.demand(0, 2) == m.demand(0, 3)
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix.uniform(4, 1.0)
+
+    def test_flows_enumeration(self):
+        m = TrafficMatrix.uniform(3, 0.3)
+        flows = m.flows()
+        assert len(flows) == 6  # n(n-1)
+        assert all(f.rate_bps > 0 for f in flows)
+
+
+class TestHotspotMatrix:
+    def test_hot_destination_dominates(self):
+        m = TrafficMatrix.hotspot(5, 0.4, hot_lc=2, hot_fraction=0.6)
+        for src in range(5):
+            if src == 2:
+                continue
+            cold = [m.demand(src, j) for j in range(5) if j not in (src, 2)]
+            assert m.demand(src, 2) > max(cold)
+
+    def test_total_load_preserved(self):
+        m = TrafficMatrix.hotspot(5, 0.4, hot_lc=2, capacity_bps=10e9)
+        for src in range(5):
+            assert m.offered_at(src) == pytest.approx(4e9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix.hotspot(4, 0.3, hot_lc=9)
+        with pytest.raises(ValueError):
+            TrafficMatrix.hotspot(4, 0.3, hot_lc=0, hot_fraction=1.5)
+
+
+class TestValidation:
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            TrafficMatrix(np.zeros((2, 3)))
+
+    def test_negative_rejected(self):
+        d = np.zeros((3, 3))
+        d[0, 1] = -1.0
+        with pytest.raises(ValueError, match="nonnegative"):
+            TrafficMatrix(d)
+
+    def test_self_demand_rejected(self):
+        d = np.zeros((3, 3))
+        d[1, 1] = 5.0
+        with pytest.raises(ValueError, match="self-directed"):
+            TrafficMatrix(d)
+
+    def test_as_array_is_copy(self):
+        m = TrafficMatrix.uniform(3, 0.2)
+        arr = m.as_array()
+        arr[0, 1] = 0.0
+        assert m.demand(0, 1) > 0.0

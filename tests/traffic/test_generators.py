@@ -1,0 +1,126 @@
+"""Traffic-source tests."""
+
+import numpy as np
+import pytest
+
+from repro.router import Router, RouterConfig
+from repro.traffic import (
+    CBRSource,
+    FlowSpec,
+    OnOffSource,
+    PoissonSource,
+    wire_uniform_load,
+)
+
+
+def make_router(n=4, seed=0):
+    return Router(RouterConfig(n_linecards=n, seed=seed))
+
+
+def run_source(source_cls, rate_bps=8e6, horizon=1.0, **kw):
+    r = make_router()
+    flow = FlowSpec(0, 1, rate_bps=rate_bps, mean_packet_bytes=500)
+    src = source_cls(r, flow, np.random.default_rng(5), **kw)
+    src.start()
+    r.run(until=horizon)
+    return r, src
+
+
+class TestCBRSource:
+    def test_exact_packet_count(self):
+        # 8 Mbps at 500 B = 2000 pkt/s -> 2000 packets in 1 s.
+        r, src = run_source(CBRSource)
+        assert src.emitted == pytest.approx(2000, abs=2)
+
+    def test_all_packets_offered(self):
+        r, src = run_source(CBRSource)
+        assert r.stats.offered == src.emitted
+
+
+class TestPoissonSource:
+    def test_mean_rate_approximately_met(self):
+        r, src = run_source(PoissonSource)
+        assert src.emitted == pytest.approx(2000, rel=0.15)
+
+    def test_sizes_within_ethernet_bounds(self):
+        r = make_router()
+        flow = FlowSpec(0, 1, rate_bps=8e6, mean_packet_bytes=500)
+        src = PoissonSource(r, flow, np.random.default_rng(5))
+        sizes = [src._packet_size() for _ in range(200)]
+        assert all(64 <= s <= 1500 for s in sizes)
+
+
+class TestOnOffSource:
+    def test_long_run_rate_approximates_mean(self):
+        r, src = run_source(OnOffSource, horizon=2.0)
+        assert src.emitted == pytest.approx(4000, rel=0.35)
+
+    def test_burstiness_validation(self):
+        r = make_router()
+        flow = FlowSpec(0, 1, rate_bps=1e6)
+        with pytest.raises(ValueError, match="burstiness"):
+            OnOffSource(r, flow, np.random.default_rng(0), burstiness=0.5)
+
+
+class TestStop:
+    def test_stop_halts_emission(self):
+        r = make_router()
+        flow = FlowSpec(0, 1, rate_bps=8e6, mean_packet_bytes=500)
+        src = CBRSource(r, flow, np.random.default_rng(5))
+        src.start()
+        r.run(until=0.5)
+        count = src.emitted
+        src.stop()
+        r.run(until=1.0)
+        assert src.emitted <= count + 1
+
+
+class TestWireUniformLoad:
+    def test_sources_cover_all_pairs(self):
+        r = make_router(n=4)
+        sources = wire_uniform_load(r, 0.2, start=False)
+        assert len(sources) == 12  # n(n-1)
+
+    def test_offered_loads_declared(self):
+        r = make_router(n=4)
+        wire_uniform_load(r, 0.2, start=False)
+        for lc in range(4):
+            assert r.offered_load(lc) == pytest.approx(2e9)
+
+    def test_started_sources_emit(self):
+        r = make_router(n=4)
+        wire_uniform_load(r, 0.2)
+        r.run(until=0.001)
+        assert r.stats.offered > 0
+
+
+class TestTraceSource:
+    def test_exact_replay(self):
+        from repro.traffic import TraceSource
+
+        r = make_router()
+        trace = [(0.001, 0, 1, 500), (0.002, 1, 2, 800), (0.0005, 2, 3, 64)]
+        src = TraceSource(r, trace)
+        src.start()
+        r.run(until=0.01)
+        assert src.emitted == 3
+        assert r.stats.offered == 3
+        assert r.stats.delivered == 3
+
+    def test_trace_sorted_on_construction(self):
+        from repro.traffic import TraceSource
+
+        r = make_router()
+        src = TraceSource(r, [(0.002, 0, 1, 100), (0.001, 0, 1, 100)])
+        assert src.trace[0][0] == 0.001
+
+    def test_malformed_entries_rejected(self):
+        from repro.traffic import TraceSource
+
+        r = make_router()
+        with pytest.raises(ValueError):
+            TraceSource(r, [(-1.0, 0, 1, 100)])
+        with pytest.raises(ValueError):
+            TraceSource(r, [(0.0, 0, 1, 0)])
+        with pytest.raises(ValueError):
+            TraceSource(r, [(0.0, 0, 99, 100)])
