@@ -8,7 +8,6 @@ Expected shape (asserted): BDR < 0.5 at 40k h; DRA(9, >=4) > 0.95 at
 40k h; every DRA curve above BDR.
 """
 
-import numpy as np
 
 from repro.analysis import format_reliability_table, reliability_sweep
 from repro.analysis.sweep import FIG6_CONFIGS, FIG6_TIME_GRID

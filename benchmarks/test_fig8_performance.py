@@ -5,7 +5,6 @@ X_faulty <= 5; monotone degradation with load and fault count; < 10% at
 the worst case (X_faulty = 5, L = 70%).
 """
 
-import numpy as np
 
 from repro.analysis import format_performance_table, performance_sweep
 from repro.analysis.sweep import FIG8_LOADS

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core import DRAConfig, RepairPolicy, dra_availability
 from repro.core.availability import build_dra_availability_chain
-from repro.core.states import AllHealthy, Failed
+from repro.core.states import Failed
 from repro.montecarlo import (
     sample_trajectory,
     unavailability_importance_sampling,

@@ -6,6 +6,12 @@ source of ``EXPERIMENTS.md``.  Running it is the one-command check that
 the reproduction still holds end to end:
 
     python -m repro.analysis.report > EXPERIMENTS_regenerated.md
+
+The figure sweeps run through the :mod:`repro.runtime` layer, so
+``generate_report(jobs=..., cache=...)`` (or ``python -m repro report
+--jobs N --cache``) fans the chain solves out over a process pool and/or
+skips chains already solved in the content-addressed cache; the closing
+"Runtime" section reports wall time and throughput per stage either way.
 """
 
 from __future__ import annotations
@@ -14,12 +20,7 @@ import io
 
 import numpy as np
 
-from repro.analysis.sweep import (
-    FIG6_CONFIGS,
-    availability_sweep,
-    performance_sweep,
-    reliability_sweep,
-)
+from repro.analysis.sweep import FIG6_CONFIGS
 from repro.analysis.tables import (
     format_availability_table,
     format_performance_table,
@@ -47,8 +48,28 @@ _FIG6_SHOWN = (
 )
 
 
-def generate_report() -> str:
-    """Regenerate every experiment and render the Markdown report."""
+def generate_report(*, jobs: int = 1, cache: "ResultCache | None" = None) -> str:
+    """Regenerate every experiment and render the Markdown report.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for the figure sweeps (0 = all cores, 1 = serial;
+        the record values are identical either way).
+    cache:
+        Optional :class:`repro.runtime.ResultCache`; already-solved chains
+        are loaded instead of re-solved, and the hit/miss tally appears in
+        the Runtime section.
+    """
+    from repro.runtime import (
+        RuntimeMetrics,
+        Stopwatch,
+        parallel_availability_sweep,
+        parallel_performance_sweep,
+        parallel_reliability_sweep,
+    )
+
+    metrics = RuntimeMetrics()
     out = io.StringIO()
     w = out.write
 
@@ -58,32 +79,42 @@ def generate_report() -> str:
 
     # Figure 6.
     w("## Figure 6 — LC reliability R(t)\n\n```\n")
-    recs = reliability_sweep(times=np.array(_LANDMARKS), configs=FIG6_CONFIGS)
+    recs = parallel_reliability_sweep(
+        times=np.array(_LANDMARKS), configs=FIG6_CONFIGS,
+        jobs=jobs, cache=cache, metrics=metrics,
+    )
     shown = [r for r in recs if r.label in _FIG6_SHOWN]
     w(format_reliability_table(shown, time_points=_LANDMARKS))
     w("\n```\n\n")
 
     # Figure 7.
     w("## Figure 7 — steady-state availability\n\n```\n")
-    arecs = availability_sweep(
-        configs=[(3, 2), (5, 2), (9, 2), (9, 4), (9, 6), (9, 8)]
+    arecs = parallel_availability_sweep(
+        configs=[(3, 2), (5, 2), (9, 2), (9, 4), (9, 6), (9, 8)],
+        jobs=jobs, cache=cache, metrics=metrics,
     )
     w(format_availability_table(arecs))
     w("\n```\n\n")
 
     # Figure 8.
     w("## Figure 8 — bandwidth available to faulty LCs (N = 6)\n\n```\n")
-    w(format_performance_table(performance_sweep()))
+    w(format_performance_table(
+        parallel_performance_sweep(jobs=jobs, cache=cache, metrics=metrics)
+    ))
     w("\n```\n\n")
 
     # MTTF extension.
     w("## Extension — MTTF per configuration\n\n```\n")
     w(f"{'config':>14} {'MTTF (h)':>12} {'vs BDR':>8}\n")
-    base = bdr_mttf()
-    w(f"{'BDR':>14} {base.hours:>12.0f} {'1.00x':>8}\n")
-    for n, m in [(3, 2), (6, 2), (9, 2), (9, 4), (9, 8)]:
-        res = dra_mttf(DRAConfig(n=n, m=m))
-        w(f"{res.label:>14} {res.hours:>12.0f} {res.hours / base.hours:>7.2f}x\n")
+    with Stopwatch() as sw:
+        base = bdr_mttf()
+        w(f"{'BDR':>14} {base.hours:>12.0f} {'1.00x':>8}\n")
+        mttf_configs = [(3, 2), (6, 2), (9, 2), (9, 4), (9, 8)]
+        for n, m in mttf_configs:
+            res = dra_mttf(DRAConfig(n=n, m=m))
+            w(f"{res.label:>14} {res.hours:>12.0f} {res.hours / base.hours:>7.2f}x\n")
+    metrics.record("MTTF extension", sw.elapsed,
+                   items=len(mttf_configs) + 1, unit="points")
     w("```\n\n")
 
     # Elasticities extension.
@@ -96,6 +127,15 @@ def generate_report() -> str:
     w("## Extension — cost vs availability (LC cost = 1.0, mu = 1/3)\n\n```\n")
     for d in compare_designs(8, 2, RepairPolicy.three_hours()):
         w(f"  {d.label:<24} cost {d.cost:6.2f}   A = {d.availability:.12f}\n")
+    w("```\n\n")
+
+    # Runtime instrumentation (wall time / throughput per stage above).
+    w("## Runtime — wall time per stage\n\n```\n")
+    w(metrics.format_table())
+    w("\n")
+    if cache is not None:
+        w(f"\ncache: {cache.hits} hit(s), {cache.misses} miss(es) "
+          f"at {cache.root}\n")
     w("```\n")
 
     return out.getvalue()

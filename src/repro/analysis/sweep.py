@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.availability import bdr_availability, dra_availability
 from repro.core.parameters import DRAConfig, FailureRates, RepairPolicy
-from repro.core.performance import PerformanceModel
+from repro.core.performance import DEFAULT_LC_CAPACITY_GBPS, PerformanceModel
 from repro.core.reliability import bdr_reliability, dra_reliability
 
 __all__ = [
@@ -140,7 +140,7 @@ def performance_sweep(
     loads: Sequence[float] | None = None,
     *,
     n: int = 6,
-    c_lc: float = 10e0,
+    c_lc: float = DEFAULT_LC_CAPACITY_GBPS,
     b_bus: float | None = None,
 ) -> list[SweepRecord]:
     """Bandwidth-degradation records (Figure 8).

@@ -2,18 +2,24 @@
 
 Usage::
 
-    python -m repro fig6 [--points t1,t2,...] [--csv out.csv]
-    python -m repro fig7 [--configs 3:2,9:4] [--csv out.csv]
+    python -m repro fig6 [--points t1,t2,...] [--csv out.csv] [--jobs N] [--cache]
+    python -m repro fig7 [--configs 3:2,9:4] [--csv out.csv] [--jobs N] [--cache]
     python -m repro fig8 [--n 6] [--loads 0.15,0.7] [--b-bus 20]
     python -m repro mttf [--configs 3:2,9:4]
     python -m repro cost [--n 8] [--protocols 2]
     python -m repro importance [--n 9] [--m 4]
-    python -m repro validate [--cycles 30000] [--seed 0]
-    python -m repro report
+    python -m repro validate [--cycles 30000] [--seed 0] [--jobs N]
+    python -m repro bench [--target mc|fig6|validate] [--jobs-list 1,2,4]
+    python -m repro report [--jobs N] [--cache]
 
 ``validate`` runs the rare-event importance-sampling check against the
 exact Figure 7 values and exits nonzero on disagreement -- usable as a
-CI gate.
+CI gate.  ``--jobs`` fans the work out over a process pool (0 = all
+cores); Monte Carlo results are bit-identical for a given ``--seed``
+regardless of ``--jobs``.  ``--cache`` enables the content-addressed
+result cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dra``); ``bench``
+measures parallel scaling.  See ``docs/cli.md`` and
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -24,13 +30,11 @@ import sys
 import numpy as np
 
 from repro.analysis import (
-    availability_sweep,
     format_availability_table,
     format_performance_table,
     format_reliability_table,
     performance_sweep,
     records_to_csv,
-    reliability_sweep,
 )
 from repro.analysis.sweep import FIG6_CONFIGS
 from repro.core import (
@@ -59,15 +63,34 @@ def _parse_floats(text: str) -> list[float]:
     return [float(x) for x in text.split(",")]
 
 
+def _parse_ints(text: str) -> list[int]:
+    return [int(x) for x in text.split(",")]
+
+
+def _result_cache(args: argparse.Namespace):
+    """The content-addressed cache when ``--cache`` was given, else None."""
+    if not getattr(args, "cache", False):
+        return None
+    from repro.runtime import ResultCache
+
+    return ResultCache()
+
+
 def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.runtime import parallel_reliability_sweep
+
     points = (
         _parse_floats(args.points)
         if args.points
         else [0.0, 20_000.0, 40_000.0, 60_000.0, 80_000.0, 100_000.0]
     )
     configs = _parse_configs(args.configs) if args.configs else FIG6_CONFIGS
-    recs = reliability_sweep(
-        times=np.asarray(points), configs=configs, variant=args.variant
+    recs = parallel_reliability_sweep(
+        times=np.asarray(points),
+        configs=configs,
+        variant=args.variant,
+        jobs=args.jobs,
+        cache=_result_cache(args),
     )
     if args.csv:
         records_to_csv(recs, args.csv)
@@ -77,8 +100,15 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.runtime import parallel_availability_sweep
+
     configs = _parse_configs(args.configs) if args.configs else FIG6_CONFIGS
-    recs = availability_sweep(configs=configs, variant=args.variant)
+    recs = parallel_availability_sweep(
+        configs=configs,
+        variant=args.variant,
+        jobs=args.jobs,
+        cache=_result_cache(args),
+    )
     if args.csv:
         records_to_csv(recs, args.csv)
         print(f"wrote {args.csv}")
@@ -133,20 +163,19 @@ def _cmd_claims(_args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    from repro.core.availability import build_dra_availability_chain
-    from repro.core.states import Failed
-    from repro.montecarlo import unavailability_importance_sampling
+    from repro.runtime import parallel_unavailability_importance_sampling
 
     ok = True
-    for (n, m), repair, mu_label in [
-        ((3, 2), RepairPolicy.three_hours(), "1/3"),
-        ((3, 2), RepairPolicy.half_day(), "1/12"),
-    ]:
+    for check_idx, ((n, m), repair, mu_label) in enumerate(
+        [
+            ((3, 2), RepairPolicy.three_hours(), "1/3"),
+            ((3, 2), RepairPolicy.half_day(), "1/12"),
+        ]
+    ):
         cfg = DRAConfig(n=n, m=m)
-        chain = build_dra_availability_chain(cfg, repair)
         exact = 1.0 - dra_availability(cfg, repair).availability
-        res = unavailability_importance_sampling(
-            chain, Failed, args.cycles, np.random.default_rng(args.seed)
+        res = parallel_unavailability_importance_sampling(
+            cfg, repair, args.cycles, [args.seed, check_idx], jobs=args.jobs
         )
         good = res.consistent_with(exact, z=6.0)
         ok = ok and good
@@ -158,10 +187,62 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def _cmd_report(_args: argparse.Namespace) -> int:
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Measure parallel scaling of one bulk workload over a jobs ladder."""
+    from repro.runtime import (
+        Stopwatch,
+        parallel_reliability_sweep,
+        parallel_structure_function_reliability,
+        parallel_unavailability_importance_sampling,
+    )
+
+    jobs_list = _parse_ints(args.jobs_list) if args.jobs_list else [1, 2, 4]
+    times = np.linspace(0.0, 100_000.0, 11)
+    cfg = DRAConfig(n=9, m=4)
+    rows: list[tuple[int, float, float]] = []
+    reference = None
+    for jobs in jobs_list:
+        with Stopwatch() as sw:
+            if args.target == "mc":
+                est = parallel_structure_function_reliability(
+                    cfg, times, args.trials, args.seed, jobs=jobs
+                )
+                payload = est.reliability
+                items = args.trials
+            elif args.target == "validate":
+                res = parallel_unavailability_importance_sampling(
+                    DRAConfig(3, 2),
+                    RepairPolicy.three_hours(),
+                    args.cycles,
+                    args.seed,
+                    jobs=jobs,
+                )
+                payload = np.array([res.unavailability, res.std_error])
+                items = args.cycles
+            else:  # fig6
+                recs = parallel_reliability_sweep(jobs=jobs)
+                payload = np.array([r.value for r in recs])
+                items = len(recs)
+        if reference is None:
+            reference = payload
+        elif not np.array_equal(reference, payload):
+            print(f"ERROR: jobs={jobs} changed the result")
+            return 1
+        rows.append((jobs, sw.elapsed, items / sw.elapsed if sw.elapsed else 0.0))
+
+    unit = {"mc": "trials", "validate": "cycles", "fig6": "points"}[args.target]
+    base = rows[0][1]
+    print(f"target={args.target}  results identical across jobs: yes\n")
+    print(f"{'jobs':>5} {'wall (s)':>10} {unit + '/s':>14} {'speedup':>8}")
+    for jobs, wall, rate in rows:
+        print(f"{jobs:>5} {wall:>10.3f} {rate:>14,.0f} {base / wall:>7.2f}x")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
-    print(generate_report())
+    print(generate_report(jobs=args.jobs, cache=_result_cache(args)))
     return 0
 
 
@@ -172,6 +253,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_runtime_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (0 = all cores; default 1 = serial)")
+        p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="content-addressed result cache "
+                            "($REPRO_CACHE_DIR or ~/.cache/repro-dra)")
+
     p = sub.add_parser("fig6", help="Figure 6 reliability table")
     p.add_argument("--points", help="comma-separated hours")
     p.add_argument("--configs", help="N:M pairs, e.g. 3:2,9:4")
@@ -179,6 +268,7 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["paper", "strict", "extended"],
                    help="model-interpretation variant (see DESIGN.md)")
     p.add_argument("--csv", help="also write records to CSV")
+    add_runtime_flags(p)
     p.set_defaults(func=_cmd_fig6)
 
     p = sub.add_parser("fig7", help="Figure 7 availability table")
@@ -187,6 +277,7 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["paper", "strict", "extended"],
                    help="model-interpretation variant (see DESIGN.md)")
     p.add_argument("--csv")
+    add_runtime_flags(p)
     p.set_defaults(func=_cmd_fig7)
 
     p = sub.add_parser("fig8", help="Figure 8 degradation table")
@@ -215,10 +306,27 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("validate", help="rare-event MC check of Figure 7")
     p.add_argument("--cycles", type=int, default=30_000)
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed; results are identical for any --jobs")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = all cores; default 1 = serial)")
     p.set_defaults(func=_cmd_validate)
 
+    p = sub.add_parser("bench", help="parallel-scaling benchmark")
+    p.add_argument("--target", default="mc", choices=["mc", "fig6", "validate"],
+                   help="workload: structure-function MC batch, the Figure 6 "
+                        "sweep, or the importance-sampling check")
+    p.add_argument("--jobs-list", dest="jobs_list",
+                   help="comma-separated worker counts (default 1,2,4)")
+    p.add_argument("--trials", type=int, default=1_000_000,
+                   help="MC trials for --target mc")
+    p.add_argument("--cycles", type=int, default=30_000,
+                   help="cycles for --target validate")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bench)
+
     p = sub.add_parser("report", help="full Markdown evaluation report")
+    add_runtime_flags(p)
     p.set_defaults(func=_cmd_report)
 
     args = parser.parse_args(argv)

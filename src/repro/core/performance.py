@@ -34,11 +34,17 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = [
+    "DEFAULT_LC_CAPACITY_GBPS",
     "PerformanceModel",
     "bandwidth_to_faulty",
     "degradation_series",
     "promised_bandwidth",
 ]
+
+#: Per-linecard capacity ``c_LC`` in Gb/s.  The paper's Section 5.3
+#: evaluation (Figure 8) assumes OC-192-class 10 Gb/s linecards; every
+#: ``c_lc`` default in the analysis layer refers back to this constant.
+DEFAULT_LC_CAPACITY_GBPS = 10.0
 
 
 def promised_bandwidth(
@@ -89,7 +95,7 @@ class PerformanceModel:
     """
 
     n: int
-    c_lc: float = 10.0
+    c_lc: float = DEFAULT_LC_CAPACITY_GBPS
     b_bus: float | None = None
 
     def __post_init__(self) -> None:
@@ -143,7 +149,7 @@ def bandwidth_to_faulty(
     load: float,
     *,
     n: int,
-    c_lc: float = 10.0,
+    c_lc: float = DEFAULT_LC_CAPACITY_GBPS,
     b_bus: float | None = None,
 ) -> float:
     """Functional wrapper over :meth:`PerformanceModel.bandwidth_to_faulty`."""
@@ -156,7 +162,7 @@ def degradation_series(
     loads: Iterable[float],
     *,
     n: int = 6,
-    c_lc: float = 10.0,
+    c_lc: float = DEFAULT_LC_CAPACITY_GBPS,
     b_bus: float | None = None,
 ) -> Mapping[float, np.ndarray]:
     """Figure 8 data: for each load, the percentage series over

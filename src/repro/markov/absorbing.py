@@ -13,7 +13,6 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable
 
 import numpy as np
-import scipy.sparse as sp
 import scipy.sparse.linalg
 
 from repro.markov.ctmc import CTMC

@@ -19,7 +19,6 @@ from typing import Any
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg
 
 from repro.markov.ctmc import CTMC
 

@@ -20,7 +20,10 @@ from repro.montecarlo.ctmc_mc import (
     sample_trajectory,
 )
 from repro.montecarlo.importance import (
+    CycleStatistics,
     ImportanceSamplingResult,
+    collect_cycle_statistics,
+    result_from_statistics,
     unavailability_importance_sampling,
 )
 from repro.montecarlo.lifetime import (
@@ -37,6 +40,9 @@ __all__ = [
     "LifetimeEstimate",
     "sample_lc_failure_times",
     "structure_function_reliability",
+    "CycleStatistics",
     "ImportanceSamplingResult",
+    "collect_cycle_statistics",
+    "result_from_statistics",
     "unavailability_importance_sampling",
 ]

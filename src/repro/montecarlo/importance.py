@@ -32,7 +32,47 @@ import numpy as np
 
 from repro.markov.ctmc import CTMC
 
-__all__ = ["ImportanceSamplingResult", "unavailability_importance_sampling"]
+__all__ = [
+    "CycleStatistics",
+    "ImportanceSamplingResult",
+    "collect_cycle_statistics",
+    "result_from_statistics",
+    "unavailability_importance_sampling",
+]
+
+
+@dataclass(frozen=True)
+class CycleStatistics:
+    """Sufficient statistics of a batch of regenerative cycles.
+
+    Everything the estimator needs reduces to sums, so batches simulated
+    independently (e.g. on different worker processes with spawned RNG
+    streams) merge exactly: field-wise addition loses nothing.  This is
+    what makes the parallel driver in :mod:`repro.runtime.montecarlo`
+    deterministic -- per-chunk statistics are identical wherever the chunk
+    runs, and merging in chunk order fixes the floating-point summation
+    order.
+    """
+
+    n_plain: int
+    length_sum: float
+    length_sumsq: float
+    n_biased: int
+    downtime_sum: float
+    downtime_sumsq: float
+    hits: int
+
+    def merge(self, other: "CycleStatistics") -> "CycleStatistics":
+        """Combine two independent batches (field-wise addition)."""
+        return CycleStatistics(
+            n_plain=self.n_plain + other.n_plain,
+            length_sum=self.length_sum + other.length_sum,
+            length_sumsq=self.length_sumsq + other.length_sumsq,
+            n_biased=self.n_biased + other.n_biased,
+            downtime_sum=self.downtime_sum + other.downtime_sum,
+            downtime_sumsq=self.downtime_sumsq + other.downtime_sumsq,
+            hits=self.hits + other.hits,
+        )
 
 
 @dataclass(frozen=True)
@@ -116,6 +156,39 @@ def unavailability_importance_sampling(
     repair_threshold:
         Rate ratio separating repair from failure transitions.
     """
+    return result_from_statistics(
+        collect_cycle_statistics(
+            chain,
+            failed_state,
+            n_cycles,
+            rng,
+            regeneration_state=regeneration_state,
+            bias=bias,
+            repair_threshold=repair_threshold,
+            max_jumps_per_cycle=max_jumps_per_cycle,
+        )
+    )
+
+
+def collect_cycle_statistics(
+    chain: CTMC,
+    failed_state: object,
+    n_cycles: int,
+    rng: np.random.Generator,
+    *,
+    regeneration_state: object | None = None,
+    bias: float = 0.5,
+    repair_threshold: float = 100.0,
+    max_jumps_per_cycle: int = 100_000,
+) -> CycleStatistics:
+    """Simulate ``n_cycles`` cycles and return their sufficient statistics.
+
+    Half the cycles run plain (for the denominator's cycle lengths), half
+    biased (for the numerator's likelihood-weighted downtimes) -- exactly
+    the split :func:`unavailability_importance_sampling` has always used;
+    that function is now a thin wrapper over this one.  Independent
+    batches combine via :meth:`CycleStatistics.merge`.
+    """
     if not 0.0 < bias < 1.0:
         raise ValueError(f"bias must lie in (0, 1), got {bias}")
     if n_cycles < 2:
@@ -143,12 +216,34 @@ def unavailability_importance_sampling(
         downtimes[c] = downtime
         hits += hit
 
-    mean_len = float(lengths.mean())
-    mean_down = float(downtimes.mean())
-    u = mean_down / mean_len
+    return CycleStatistics(
+        n_plain=n_plain,
+        length_sum=float(lengths.sum()),
+        length_sumsq=float(np.square(lengths).sum()),
+        n_biased=n_biased,
+        downtime_sum=float(downtimes.sum()),
+        downtime_sumsq=float(np.square(downtimes).sum()),
+        hits=hits,
+    )
+
+
+def result_from_statistics(stats: CycleStatistics) -> ImportanceSamplingResult:
+    """Turn (possibly merged) cycle statistics into the point estimate.
+
+    Uses the same renewal-reward ratio and delta-method standard error as
+    the original single-batch estimator, with sample variances recovered
+    from the sums via ``var = (sumsq - n * mean^2) / (n - 1)``.
+    """
+    if stats.n_plain < 1 or stats.n_biased < 1:
+        raise ValueError("need at least one plain and one biased cycle")
+    mean_len = stats.length_sum / stats.n_plain
+    mean_down = stats.downtime_sum / stats.n_biased
+    u = mean_down / mean_len if mean_len > 0 else float("inf")
     # Delta-method standard error for a ratio of independent means.
-    var_len = float(lengths.var(ddof=1)) / n_plain
-    var_down = float(downtimes.var(ddof=1)) / n_biased
+    var_len = _sample_variance(stats.length_sum, stats.length_sumsq, stats.n_plain)
+    var_down = _sample_variance(stats.downtime_sum, stats.downtime_sumsq, stats.n_biased)
+    var_len /= stats.n_plain
+    var_down /= stats.n_biased
     se = (
         np.sqrt(var_down / mean_len**2 + (mean_down**2 / mean_len**4) * var_len)
         if mean_len > 0
@@ -157,10 +252,18 @@ def unavailability_importance_sampling(
     return ImportanceSamplingResult(
         unavailability=u,
         std_error=float(se),
-        n_cycles=n_cycles,
+        n_cycles=stats.n_plain + stats.n_biased,
         mean_cycle_length=mean_len,
-        hit_fraction=hits / n_biased,
+        hit_fraction=stats.hits / stats.n_biased,
     )
+
+
+def _sample_variance(total: float, total_sq: float, n: int) -> float:
+    """Unbiased sample variance from sum and sum of squares (ddof=1)."""
+    if n < 2:
+        return 0.0
+    mean = total / n
+    return max(total_sq - n * mean * mean, 0.0) / (n - 1)
 
 
 def _plain_cycle_length(

@@ -16,7 +16,7 @@ leg over the EIB according to Section 3.2's cases.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.router.bus import EIB
 from repro.router.components import ComponentKind

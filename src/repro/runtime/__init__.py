@@ -1,0 +1,54 @@
+"""Parallel execution runtime: process pools, result caching, timing.
+
+The analysis layer (:mod:`repro.analysis`) and the Monte Carlo estimators
+(:mod:`repro.montecarlo`) are pure functions of their configuration; this
+package supplies the execution substrate that makes bulk evaluation fast
+without touching their semantics:
+
+* :mod:`~repro.runtime.executor` -- an order-preserving, chunked
+  ``ProcessPoolExecutor`` map with a serial fast path at ``jobs=1``;
+* :mod:`~repro.runtime.sweeps` -- parallel drop-in equivalents of the
+  Figure 6/7/8 sweeps that fan configuration points out over workers and
+  merge records back in serial order;
+* :mod:`~repro.runtime.montecarlo` -- parallel Monte Carlo drivers whose
+  results are **bit-identical for a given root seed regardless of the
+  worker count** (fixed chunking + ``SeedSequence.spawn`` streams +
+  order-independent reductions);
+* :mod:`~repro.runtime.cache` -- a content-addressed on-disk result cache
+  keyed on a stable hash of the configuration dataclasses, array inputs
+  and the code version;
+* :mod:`~repro.runtime.timing` -- wall-time / throughput instrumentation
+  surfaced through ``repro.analysis.report`` and the ``bench`` CLI
+  subcommand.
+
+See ``docs/performance.md`` for the worker model, the determinism
+guarantee and benchmarking instructions.
+"""
+
+from repro.runtime.cache import ResultCache, stable_hash
+from repro.runtime.executor import effective_jobs, parallel_map
+from repro.runtime.montecarlo import (
+    parallel_structure_function_reliability,
+    parallel_unavailability_importance_sampling,
+)
+from repro.runtime.sweeps import (
+    parallel_availability_sweep,
+    parallel_performance_sweep,
+    parallel_reliability_sweep,
+)
+from repro.runtime.timing import RuntimeMetrics, StageTiming, Stopwatch
+
+__all__ = [
+    "ResultCache",
+    "stable_hash",
+    "effective_jobs",
+    "parallel_map",
+    "parallel_structure_function_reliability",
+    "parallel_unavailability_importance_sampling",
+    "parallel_reliability_sweep",
+    "parallel_availability_sweep",
+    "parallel_performance_sweep",
+    "RuntimeMetrics",
+    "StageTiming",
+    "Stopwatch",
+]

@@ -1,0 +1,184 @@
+"""Content-addressed on-disk result cache for solved chains and sweeps.
+
+A cache entry is addressed purely by *what* is being computed -- never by
+when or where -- so repeated ``report``/``claims``/figure runs skip every
+already-solved chain.  The key is a SHA-256 over a canonical byte
+encoding of:
+
+* a ``kind`` tag naming the computation (``"reliability_sweep"``, ...),
+* every input that affects the result: configuration dataclasses
+  (``DRAConfig``, ``FailureRates``, ``RepairPolicy``, ...), rate and
+  time-grid arrays (shape + dtype + raw bytes), scalars and strings,
+* the package version (:data:`repro.__version__`) and a cache schema
+  version, so upgrading the code or the entry layout invalidates every
+  stale entry automatically.
+
+Values are stored as pickle files under ``<root>/<kk>/<key>.pkl`` (two-
+level fan-out keeps directories small); writes go through a temp file +
+``os.replace`` so concurrent workers never observe a torn entry, and any
+unreadable entry is treated as a miss and overwritten.
+
+The cache root defaults to ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro-dra``; pass an explicit ``root`` for hermetic use in
+tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["CACHE_SCHEMA_VERSION", "ResultCache", "stable_hash"]
+
+#: Bump when the entry layout or the key composition changes.
+CACHE_SCHEMA_VERSION = 1
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def _encode(obj: Any, out: list[bytes]) -> None:
+    """Append a canonical byte encoding of ``obj`` to ``out``.
+
+    Every branch prefixes a type tag so differently-typed values with the
+    same repr can never collide (``1`` vs ``1.0`` vs ``"1"``).
+    """
+    if obj is None:
+        out.append(b"N;")
+    elif isinstance(obj, bool):
+        out.append(b"b%d;" % obj)
+    elif isinstance(obj, int):
+        out.append(b"i%d;" % obj)
+    elif isinstance(obj, float):
+        out.append(b"f" + obj.hex().encode() + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode()
+        out.append(b"s%d:" % len(raw) + raw + b";")
+    elif isinstance(obj, bytes):
+        out.append(b"y%d:" % len(obj) + obj + b";")
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        out.append(b"a" + str(arr.shape).encode() + arr.dtype.str.encode() + b":")
+        out.append(arr.tobytes())
+        out.append(b";")
+    elif isinstance(obj, np.generic):
+        _encode(obj.item(), out)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out.append(b"d" + type(obj).__qualname__.encode() + b"{")
+        for field in dataclasses.fields(obj):
+            _encode(field.name, out)
+            _encode(getattr(obj, field.name), out)
+        out.append(b"};")
+    elif isinstance(obj, (tuple, list)):
+        out.append(b"l[")
+        for item in obj:
+            _encode(item, out)
+        out.append(b"];")
+    elif isinstance(obj, dict):
+        out.append(b"m{")
+        for key in sorted(obj, key=repr):
+            _encode(key, out)
+            _encode(obj[key], out)
+        out.append(b"};")
+    else:
+        raise TypeError(
+            f"cannot canonically hash {type(obj).__name__!r}; pass dataclasses, "
+            "arrays, containers or scalars"
+        )
+
+
+def stable_hash(*parts: Any) -> str:
+    """Hex SHA-256 of the canonical encoding of ``parts``.
+
+    Stable across processes and sessions (unlike ``hash()``, which is
+    salted) and across container types carrying equal leaves.
+    """
+    out: list[bytes] = []
+    _encode(tuple(parts), out)
+    return hashlib.sha256(b"".join(out)).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed pickle store with hit/miss accounting."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get(_ENV_VAR) or Path.home() / ".cache" / "repro-dra"
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, kind: str, **parts: Any) -> str:
+        """Cache key for computation ``kind`` with keyword inputs ``parts``.
+
+        The package version and :data:`CACHE_SCHEMA_VERSION` are always
+        mixed in, so a code upgrade can never serve stale results.
+        """
+        from repro import __version__
+
+        return stable_hash(kind, __version__, CACHE_SCHEMA_VERSION, parts)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss.
+
+        A corrupt or unreadable entry counts as a miss (it will be
+        rewritten by the next :meth:`put`).
+        """
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically (temp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get_or_compute(self, key: str, compute: Any) -> Any:
+        """Return the cached value, or run ``compute()`` and store it."""
+        hit, value = self.get(key)
+        if hit:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> int:
+        """Delete every entry under the root; returns the count removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*/*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache(root={str(self.root)!r}, hits={self.hits}, misses={self.misses})"

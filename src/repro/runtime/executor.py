@@ -1,0 +1,83 @@
+"""Order-preserving process-pool map with a serial fast path.
+
+All parallel execution in the runtime layer funnels through
+:func:`parallel_map` so the policy lives in exactly one place:
+
+* ``jobs <= 1`` runs the plain serial loop in-process -- no pickling, no
+  fork, identical stack traces -- which keeps the parallel code paths
+  trivially debuggable and makes ``--jobs 1`` a true baseline;
+* ``jobs > 1`` fans the items out over a ``ProcessPoolExecutor`` whose
+  ``map`` already guarantees result order matches submission order, with
+  a chunk size that amortises inter-process pickling over several items.
+
+Worker functions must be module-level (picklable) and must not depend on
+mutable global state; every task in :mod:`repro.runtime.sweeps` and
+:mod:`repro.runtime.montecarlo` carries its full configuration in its
+argument tuple.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+__all__ = ["effective_jobs", "parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def effective_jobs(jobs: int | None) -> int:
+    """Resolve a user-facing ``--jobs`` value to a worker count.
+
+    ``None`` or ``0`` means "use every core" (``os.cpu_count()``);
+    negative values are rejected.  The result is always >= 1.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = all cores), got {jobs}")
+    return jobs
+
+
+def default_chunksize(n_items: int, jobs: int) -> int:
+    """Chunk size splitting ``n_items`` into ~4 waves per worker.
+
+    Small enough to load-balance uneven task costs (large-N chains take
+    longer than small ones), large enough to amortise pickling.
+    """
+    return max(1, n_items // (4 * jobs))
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    *,
+    jobs: int = 1,
+    chunksize: int | None = None,
+) -> list[_R]:
+    """Apply ``fn`` to every item, preserving order.
+
+    Parameters
+    ----------
+    fn:
+        Module-level (picklable) function of one argument.
+    items:
+        The work list; results come back in the same order.
+    jobs:
+        Worker processes; ``<= 1`` runs serially in-process, ``0``/``None``
+        is resolved by :func:`effective_jobs` before calling.
+    chunksize:
+        Items handed to a worker per dispatch; defaults to
+        :func:`default_chunksize`.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(jobs, len(items))
+    if chunksize is None:
+        chunksize = default_chunksize(len(items), workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

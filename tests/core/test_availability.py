@@ -1,6 +1,5 @@
 """Availability-model tests."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -10,8 +10,6 @@ the global invariants that must hold regardless of the scenario:
 * a BDR router under the same seed never out-delivers DRA.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

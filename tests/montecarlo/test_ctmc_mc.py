@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.markov import CTMCBuilder, stationary_distribution, transient_distribution
+from repro.markov import stationary_distribution, transient_distribution
 from repro.montecarlo import (
     empirical_availability,
     empirical_state_probabilities,

@@ -1,6 +1,5 @@
 """Importance-sampling (balanced failure biasing) tests."""
 
-import numpy as np
 import pytest
 
 from repro.core import DRAConfig, RepairPolicy, bdr_availability, dra_availability

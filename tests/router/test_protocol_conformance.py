@@ -9,7 +9,6 @@ sequences the paper prescribes for each communication pattern:
 * stand-down:    losing candidates emit no REP_D after hearing the winner
 """
 
-import pytest
 
 from repro.router import ComponentKind, Router, RouterConfig
 from repro.router.packets import ControlKind, Packet, Protocol

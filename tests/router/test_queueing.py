@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.router import ComponentKind, Router, RouterConfig
+from repro.router import Router, RouterConfig
 from repro.router.components import SRU, ServiceModel
 from repro.traffic import wire_uniform_load
 

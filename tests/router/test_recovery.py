@@ -1,6 +1,5 @@
 """Fault-map and coverage-planner tests (Section 3.2 case logic)."""
 
-import pytest
 
 from repro.router.components import ComponentKind
 from repro.router.linecard import Linecard

@@ -1,0 +1,93 @@
+"""Content-addressed cache tests: key stability, storage, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DRAConfig, FailureRates, RepairPolicy
+from repro.runtime import ResultCache, stable_hash
+from repro.runtime.cache import CACHE_SCHEMA_VERSION
+
+
+class TestStableHash:
+    def test_equal_inputs_equal_hash(self):
+        a = stable_hash(DRAConfig(n=5, m=3), FailureRates(), np.linspace(0, 1, 5))
+        b = stable_hash(DRAConfig(n=5, m=3), FailureRates(), np.linspace(0, 1, 5))
+        assert a == b
+
+    def test_dataclass_field_changes_hash(self):
+        assert stable_hash(DRAConfig(n=5, m=3)) != stable_hash(DRAConfig(n=5, m=4))
+        assert stable_hash(RepairPolicy.three_hours()) != stable_hash(
+            RepairPolicy.half_day()
+        )
+
+    def test_array_contents_and_shape_matter(self):
+        flat = np.zeros(4)
+        assert stable_hash(flat) != stable_hash(np.zeros(5))
+        assert stable_hash(flat) != stable_hash(flat.reshape(2, 2))
+        bumped = flat.copy()
+        bumped[0] = 1e-300
+        assert stable_hash(flat) != stable_hash(bumped)
+
+    def test_type_tags_prevent_cross_type_collisions(self):
+        assert stable_hash(1) != stable_hash(1.0)
+        assert stable_hash(1) != stable_hash("1")
+        assert stable_hash(True) != stable_hash(1)
+        assert stable_hash(None) != stable_hash("None")
+
+    def test_container_shape_matters(self):
+        assert stable_hash([1, 2], [3]) != stable_hash([1], [2, 3])
+
+    def test_unhashable_object_rejected(self):
+        with pytest.raises(TypeError, match="cannot canonically hash"):
+            stable_hash(object())
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("unit", config=DRAConfig(n=3, m=2))
+        assert cache.get(key) == (False, None)
+        cache.put(key, {"answer": 42})
+        hit, value = cache.get(key)
+        assert hit and value == {"answer": 42}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_key_mixes_version_and_schema(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        base = cache.key("unit", n=1)
+        monkeypatch.setattr("repro.__version__", "0.0.0-test")
+        assert cache.key("unit", n=1) != base
+        # The schema version participates too (a manual recomputation).
+        assert stable_hash("unit", "0.0.0-test", CACHE_SCHEMA_VERSION, {"n": 1}) == (
+            cache.key("unit", n=1)
+        )
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("unit", n=1)
+        cache.put(key, [1, 2, 3])
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, value = cache.get(key)
+        assert not hit and value is None
+
+    def test_get_or_compute_computes_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("unit", n=2)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute(key, lambda: calls.append(1) or "result")
+        assert value == "result"
+        assert len(calls) == 1
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for n in range(4):
+            cache.put(cache.key("unit", n=n), n)
+        assert cache.clear() == 4
+        assert cache.get(cache.key("unit", n=0)) == (False, None)
+
+    def test_env_var_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envroot"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "envroot"

@@ -1,0 +1,44 @@
+"""Process-pool map tests."""
+
+import pytest
+
+from repro.runtime import effective_jobs, parallel_map
+from repro.runtime.executor import default_chunksize
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestEffectiveJobs:
+    def test_explicit_passthrough(self):
+        assert effective_jobs(3) == 3
+
+    def test_zero_and_none_mean_all_cores(self):
+        assert effective_jobs(0) >= 1
+        assert effective_jobs(None) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            effective_jobs(-2)
+
+
+class TestParallelMap:
+    def test_serial_path_preserves_order(self):
+        assert parallel_map(_square, range(7), jobs=1) == [x * x for x in range(7)]
+
+    def test_pool_path_preserves_order(self):
+        assert parallel_map(_square, range(13), jobs=2) == [x * x for x in range(13)]
+
+    def test_single_item_stays_in_process(self):
+        # One item never justifies a pool, whatever jobs says.
+        local = []
+        parallel_map(local.append, [5], jobs=8)
+        assert local == [5]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_chunksize_floor(self):
+        assert default_chunksize(1, 8) == 1
+        assert default_chunksize(100, 2) == 12

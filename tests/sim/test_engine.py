@@ -115,6 +115,53 @@ class TestRunControl:
         assert eng.events_processed == 5
 
 
+class TestErrorText:
+    """The guard-rail messages are operator-facing; pin their contents."""
+
+    def test_max_events_message_names_limit_time_and_culprit(self):
+        eng = Engine()
+
+        def storm():
+            eng.schedule_in(0.0, storm, label="storm")
+
+        eng.schedule(0.0, storm, label="storm")
+        with pytest.raises(SimulationError) as excinfo:
+            eng.run(max_events=50)
+        message = str(excinfo.value)
+        assert "exceeded max_events=50" in message
+        assert "t=0.0" in message
+        assert "'storm'" in message
+        assert "likely an event storm" in message
+
+    def test_reentrant_message_and_recovery(self):
+        eng = Engine()
+        seen = []
+
+        def recurse():
+            with pytest.raises(
+                SimulationError, match=r"already running \(re-entrant run call\)"
+            ):
+                eng.run()
+            seen.append("caught")
+
+        eng.schedule(1.0, recurse)
+        eng.run()
+        assert seen == ["caught"]
+        # The guard must not leave the engine wedged: a fresh run works.
+        eng.schedule(2.0, lambda: seen.append("after"))
+        eng.run()
+        assert seen == ["caught", "after"]
+
+    def test_run_resumes_after_event_storm_error(self):
+        eng = Engine()
+        for k in range(5):
+            eng.schedule(float(k), lambda: None)
+        with pytest.raises(SimulationError, match="event storm"):
+            eng.run(max_events=2)
+        eng.run()  # drains the remaining three events
+        assert eng.events_processed == 5
+
+
 class TestCancellation:
     def test_cancelled_event_skipped(self):
         eng = Engine()

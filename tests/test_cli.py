@@ -62,3 +62,54 @@ class TestCLI:
     def test_fig6_invalid_variant_exits(self):
         with pytest.raises(SystemExit):
             main(["fig6", "--variant", "bogus"])
+
+
+class TestRuntimeFlags:
+    """The --jobs/--seed/--cache wiring added with repro.runtime."""
+
+    def test_fig6_jobs(self, capsys):
+        assert main(["fig6", "--points", "0,40000", "--configs", "3:2",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "BDR" in out and "DRA(N=3,M=2)" in out
+
+    def test_fig7_cache_warm_run_identical(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fig7", "--configs", "3:2", "--cache"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["fig7", "--configs", "3:2", "--cache"]) == 0
+        assert capsys.readouterr().out == cold
+        assert any(tmp_path.glob("*/*.pkl"))
+
+    def test_validate_jobs_byte_identical(self, capsys):
+        # The acceptance criterion: same --seed => byte-identical output
+        # whatever --jobs says.
+        assert main(["validate", "--cycles", "4000", "--seed", "3",
+                     "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["validate", "--cycles", "4000", "--seed", "3",
+                     "--jobs", "4"]) == 0
+        assert capsys.readouterr().out == serial
+        assert "OK" in serial and "MISMATCH" not in serial
+
+    def test_bench_smoke(self, capsys):
+        assert main(["bench", "--target", "mc", "--trials", "20000",
+                     "--jobs-list", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "results identical across jobs: yes" in out
+        assert "trials/s" in out and "speedup" in out
+
+    def test_bench_fig6_smoke(self, capsys):
+        assert main(["bench", "--target", "fig6", "--jobs-list", "1"]) == 0
+        assert "points/s" in capsys.readouterr().out
+
+    def test_report_runtime_section(self, capsys):
+        assert main(["report", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Runtime — wall time per stage" in out
+        assert "reliability sweep (Figure 6)" in out
+
+    def test_report_cache_stats_line(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["report", "--cache"]) == 0
+        assert "miss(es)" in capsys.readouterr().out
