@@ -11,8 +11,11 @@ Run:
     python examples/capacity_planning.py
 """
 
+from repro.obs.logging_setup import example_logger
 from repro.core import DRAConfig, RepairPolicy, bdr_availability, dra_availability
 
+
+log = example_logger("capacity_planning")
 
 def cheapest_config(target_nines: int, repair: RepairPolicy) -> DRAConfig | None:
     """Smallest-N (then smallest-M) configuration meeting the target."""
@@ -30,32 +33,32 @@ def main() -> None:
         ("half-day repair (mu=1/12)", RepairPolicy.half_day()),
     ]
 
-    print("Baseline (BDR, no linecard coverage):")
+    log.info("Baseline (BDR, no linecard coverage):")
     for label, rp in policies:
         res = bdr_availability(rp)
-        print(
+        log.info(
             f"  {label:<28} {res.notation:>5}  "
             f"(~{res.downtime_minutes_per_year:.1f} min downtime/yr)"
         )
 
-    print("\nCheapest DRA configuration per availability target:")
-    print(f"{'target':>8} {'3-hour repair':>16} {'half-day repair':>17}")
+    log.info("\nCheapest DRA configuration per availability target:")
+    log.info(f"{'target':>8} {'3-hour repair':>16} {'half-day repair':>17}")
     for target in (5, 6, 7, 8, 9):
         row = []
         for _, rp in policies:
             cfg = cheapest_config(target, rp)
             row.append(f"N={cfg.n},M={cfg.m}" if cfg else "unreachable")
-        print(f"{'9^' + str(target):>8} {row[0]:>16} {row[1]:>17}")
+        log.info(f"{'9^' + str(target):>8} {row[0]:>16} {row[1]:>17}")
 
-    print("\nDowntime of the paper's flagship configuration (N=9, M=4):")
+    log.info("\nDowntime of the paper's flagship configuration (N=9, M=4):")
     for label, rp in policies:
         res = dra_availability(DRAConfig(n=9, m=4), rp)
-        print(
+        log.info(
             f"  {label:<28} {res.notation:>5}  "
             f"(~{res.downtime_minutes_per_year * 60:.2f} s downtime/yr)"
         )
 
-    print(
+    log.info(
         "\nReading: a single covering linecard already buys four orders of"
         "\nmagnitude over BDR; beyond M=4 the EIB itself (not the covering"
         "\npool) limits availability, which is why the paper reports"

@@ -17,8 +17,11 @@ Run:
     python examples/fault_injection_sim.py
 """
 
+from repro.obs.logging_setup import example_logger
 from repro.router import ComponentKind, Router, RouterConfig, RouterMode
 from repro.traffic import wire_uniform_load
+
+log = example_logger("fault_injection_sim")
 
 LOAD = 0.3
 N_LC = 6
@@ -47,7 +50,7 @@ def apply_event(router: Router, event) -> None:
 def run(mode: RouterMode) -> None:
     router = Router(RouterConfig(n_linecards=N_LC, mode=mode, seed=42))
     wire_uniform_load(router, LOAD)
-    print(f"\n--- {mode.value.upper()} router, N={N_LC}, uniform load {LOAD:.0%} ---")
+    log.info(f"\n--- {mode.value.upper()} router, N={N_LC}, uniform load {LOAD:.0%} ---")
     prev_offered = prev_delivered = 0
     for label, until, event in PHASES:
         if event is not None:
@@ -57,16 +60,16 @@ def run(mode: RouterMode) -> None:
         delivered = router.stats.delivered - prev_delivered
         prev_offered, prev_delivered = router.stats.offered, router.stats.delivered
         ratio = delivered / offered if offered else 1.0
-        print(f"  {label:<24} delivery ratio {ratio:7.2%}")
-    print("  totals:")
+        log.info(f"  {label:<24} delivery ratio {ratio:7.2%}")
+    log.info("  totals:")
     for line in router.stats.summary().splitlines():
-        print(f"    {line}")
+        log.info(f"    {line}")
 
 
 def main() -> None:
     run(RouterMode.DRA)
     run(RouterMode.BDR)
-    print(
+    log.info(
         "\nThe DRA router keeps near-100% delivery through both faults by"
         "\nchanneling traffic over the EIB; the BDR router silently drops"
         "\neverything to or from a linecard with any failed component."

@@ -16,6 +16,8 @@ Run:
 
 import numpy as np
 
+from repro.obs.logging_setup import example_logger
+
 from repro.core.hetero import HeterogeneousPerformanceModel
 from repro.core.parameters import RepairPolicy
 from repro.core.performability import PerformabilityModel
@@ -23,6 +25,8 @@ from repro.core.performance import PerformanceModel
 from repro.router import ComponentKind, Router, RouterConfig
 from repro.traffic import TrafficMatrix
 from repro.traffic.generators import PoissonSource
+
+log = example_logger("heterogeneous_loads")
 
 #: Analytic study: a small, hot chassis where the headroom pool binds.
 HOT_LOADS = (0.90, 0.90, 0.70, 0.70)
@@ -33,35 +37,35 @@ LOADS = (0.70, 0.70, 0.45, 0.45, 0.35, 0.35)
 
 def analytic_study() -> None:
     model = HeterogeneousPerformanceModel(HOT_LOADS)
-    print("Analytic single-fault outcomes (hot chassis, loads:",
-          ", ".join(f"{l:.0%}" for l in HOT_LOADS), "):")
-    print(f"{'faulty LC':>10} {'load':>6} {'required':>9} {'delivered':>10} {'service':>8}")
+    log.info("Analytic single-fault outcomes (hot chassis, loads: %s ):",
+             ", ".join(f"{l:.0%}" for l in HOT_LOADS))
+    log.info(f"{'faulty LC':>10} {'load':>6} {'required':>9} {'delivered':>10} {'service':>8}")
     for lc in range(len(HOT_LOADS)):
         d = model.degradation([lc])
-        print(
+        log.info(
             f"{lc:>10} {HOT_LOADS[lc]:>6.0%} {d.required[0]:>8.1f}G "
             f"{d.delivered[0]:>9.1f}G {d.aggregate_percent:>7.1f}%"
         )
     worst_lc, worst_pct = model.worst_single_fault()
-    print(f"  worst single fault: LC{worst_lc} ({HOT_LOADS[worst_lc]:.0%} load) "
+    log.info(f"  worst single fault: LC{worst_lc} ({HOT_LOADS[worst_lc]:.0%} load) "
           f"at {worst_pct:.1f}% of required -- losing a *cooler* card is"
           "\n  worse than losing the hottest one: the binding quantity is the"
           "\n  headroom of the survivors, not the faulty card's own demand.\n")
 
-    print("Double faults on the two hot cards vs two cool cards:")
+    log.info("Double faults on the two hot cards vs two cool cards:")
     hot = model.degradation([0, 1])
     cool = model.degradation([2, 3])
-    print(f"  hot pair : {hot.aggregate_percent:6.1f}% of required")
-    print(f"  cool pair: {cool.aggregate_percent:6.1f}% of required\n")
+    log.info(f"  hot pair : {hot.aggregate_percent:6.1f}% of required")
+    log.info(f"  cool pair: {cool.aggregate_percent:6.1f}% of required\n")
 
 
 def performability_study() -> None:
     perf = PerformabilityModel(PerformanceModel(n=6), RepairPolicy.half_day())
     res = perf.steady_state(0.65)  # the mean of the skewed loads
-    print("Performability at the mean load (65%, mu=1/12):")
-    print(f"  P(any LC down)            {res.any_fault_probability:.2e}")
+    log.info("Performability at the mean load (65%, mu=1/12):")
+    log.info(f"  P(any LC down)            {res.any_fault_probability:.2e}")
     shortfall = 100.0 - res.expected_degradation_percent
-    print(f"  expected delivery shortfall {shortfall:.2e}% of required\n")
+    log.info(f"  expected delivery shortfall {shortfall:.2e}% of required\n")
 
 
 def des_study() -> None:
@@ -74,12 +78,12 @@ def des_study() -> None:
     router.run(until=0.001)
     router.inject_fault(0, ComponentKind.SRU)  # a hot card fails
     router.run(until=0.005)
-    print("Executable router, hot card (70% load) SRU fault:")
-    print(f"  delivery ratio      {router.stats.delivery_ratio:.2%}")
-    print(f"  covered deliveries  {router.stats.covered_deliveries}")
+    log.info("Executable router, hot card (70% load) SRU fault:")
+    log.info(f"  delivery ratio      {router.stats.delivery_ratio:.2%}")
+    log.info(f"  covered deliveries  {router.stats.covered_deliveries}")
     util = router.linecards[1].sru.utilization(router.engine.now)
-    print(f"  surviving hot card SRU utilization {util:.0%}")
-    print(
+    log.info(f"  surviving hot card SRU utilization {util:.0%}")
+    log.info(
         "  note: the DES covers each fault with ONE LC (a 7 Gbps stream"
         "\n  needs one card with 7 Gbps of headroom), while the Section 5.3"
         "\n  analysis pools headroom across all survivors -- the paper calls"

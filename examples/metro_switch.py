@@ -20,6 +20,8 @@ Run:
 
 import numpy as np
 
+from repro.obs.logging_setup import example_logger
+
 from repro.core import (
     DRAConfig,
     RepairPolicy,
@@ -32,6 +34,8 @@ from repro.core.performance import PerformanceModel
 from repro.router import ComponentKind, Router, RouterConfig
 from repro.router.packets import Protocol
 from repro.traffic import wire_uniform_load
+
+log = example_logger("metro_switch")
 
 N_SLOTS = 16
 PROTOCOLS = (
@@ -46,26 +50,26 @@ def main() -> None:
     cfg = DRAConfig(n=N_SLOTS, m=N_SLOTS // len(PROTOCOLS))
     repair = RepairPolicy.half_day()
 
-    print(f"Metro switch: {N_SLOTS} slots, {len(PROTOCOLS)} protocols "
+    log.info(f"Metro switch: {N_SLOTS} slots, {len(PROTOCOLS)} protocols "
           f"({cfg.m} linecards each), repairs within half a day\n")
 
     # 1. Dependability.
     t = np.array([40_000.0, 100_000.0])
     rel = dra_reliability(cfg, t)
     avail = dra_availability(cfg, repair)
-    print("Linecard dependability:")
-    print(f"  R(40,000 h) = {rel.reliability[0]:.4f}, "
+    log.info("Linecard dependability:")
+    log.info(f"  R(40,000 h) = {rel.reliability[0]:.4f}, "
           f"R(100,000 h) = {rel.reliability[1]:.4f}")
-    print(f"  steady-state availability {avail.notation} "
+    log.info(f"  steady-state availability {avail.notation} "
           f"(~{avail.downtime_minutes_per_year * 60:.2f} s downtime/yr)")
-    print(f"  MTTF improvement over an unprotected card: "
+    log.info(f"  MTTF improvement over an unprotected card: "
           f"{mttf_improvement(cfg):.2f}x\n")
 
     # 2. Economics.
-    print("Cost vs availability (LC cost = 1.0):")
+    log.info("Cost vs availability (LC cost = 1.0):")
     for d in compare_designs(N_SLOTS, len(PROTOCOLS), repair):
-        print(f"  {d.label:<24} cost {d.cost:6.2f}   A = {d.availability:.12f}")
-    print()
+        log.info(f"  {d.label:<24} cost {d.cost:6.2f}   A = {d.availability:.12f}")
+    log.info("")
 
     # 3. Executable check with the protocol mix.
     router = Router(
@@ -83,26 +87,26 @@ def main() -> None:
     router.run(until=0.002)
     stream = router.protocol.stream(("ingress", victim, ComponentKind.PDLU))
     coverer = stream.covering_lc if stream else None
-    print("Executable-model check (PDLU fault on a SONET card):")
-    print(f"  delivery ratio {router.stats.delivery_ratio:.2%}, "
+    log.info("Executable-model check (PDLU fault on a SONET card):")
+    log.info(f"  delivery ratio {router.stats.delivery_ratio:.2%}, "
           f"covered deliveries {router.stats.covered_deliveries}")
     if coverer is not None:
-        print(f"  covering LC = {coverer} "
+        log.info(f"  covering LC = {coverer} "
               f"({router.linecards[coverer].protocol.value}) -- protocol match "
               f"{'OK' if router.linecards[coverer].protocol is PROTOCOLS[1] else 'VIOLATION'}")
-    print()
+    log.info("")
 
     # 4. Graceful degradation at metro loads.
     model = PerformanceModel(n=N_SLOTS)
-    print("Bandwidth available to faulty LCs (% of required):")
-    print(f"{'X_faulty':>9} {'L=25%':>8} {'L=50%':>8} {'L=70%':>8}")
+    log.info("Bandwidth available to faulty LCs (% of required):")
+    log.info(f"{'X_faulty':>9} {'L=25%':>8} {'L=50%':>8} {'L=70%':>8}")
     for x in (1, 2, 4, 8, 12, 15):
-        print(
+        log.info(
             f"{x:>9} {model.degradation_percent(x, 0.25):>7.1f}% "
             f"{model.degradation_percent(x, 0.50):>7.1f}% "
             f"{model.degradation_percent(x, 0.70):>7.1f}%"
         )
-    print(
+    log.info(
         "\nReading: at metro scale the bigger covering pool keeps full"
         "\nservice deeper into multi-failure scenarios than the N=6 router"
         "\nof Figure 8, while 1:1 sparing costs four extra linecards."

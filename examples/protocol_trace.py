@@ -1,88 +1,104 @@
 #!/usr/bin/env python
 """EIB protocol trace: watch the Section 4 machinery work.
 
-Instruments the control channel of a small DRA router, injects an SRU
-fault, and prints every control packet (REQ_D solicitation, the winning
-REP_D, REL_D on repair) plus the arbiter counter state as logical paths
-come and go -- the counter dance of the paper's Figure 4.
+Runs a small DRA router under the structured tracer
+(:mod:`repro.obs.trace`), injects an SRU fault, and renders every
+``bus.ctl.deliver`` event (REQ_D solicitation, the winning REP_D, REL_D
+on repair) plus the arbiter counter state as logical paths come and go
+-- the counter dance of the paper's Figure 4.  The same events reach a
+file via ``python -m repro fig8 --trace out.jsonl``; here we keep them
+in memory and pretty-print as each stage settles.
 
 Run:
     python examples/protocol_trace.py
 """
 
+from repro.obs import Tracer, tracing
+from repro.obs.logging_setup import example_logger
 from repro.router import ComponentKind, Router, RouterConfig
-from repro.router.packets import ControlPacket, Packet, Protocol
+from repro.router.packets import Packet, Protocol
 from repro.router.routing import ipv4
+
+log = example_logger("protocol_trace")
 
 
 def main() -> None:
     router = Router(RouterConfig(n_linecards=4, seed=7))
     router.set_offered_load(0, 2e9)
-
-    # Tap the control lines: print every broadcast with its tier fields.
     control = router.eib.control
-    original_deliver = control._deliver
 
-    def tap(packet: ControlPacket, sender_lc: int) -> None:
-        t_us = router.engine.now * 1e6
-        fields = [f"{packet.kind.value} from LC{sender_lc}"]
-        if packet.rec_lc is not None:
-            fields.append(f"to LC{packet.rec_lc}")
-        if packet.data_rate:
-            fields.append(f"rate {packet.data_rate / 1e9:.1f} Gbps")
-        if packet.faulty_component is not None:
-            fields.append(f"fault {packet.faulty_component.value}")
-        if packet.protocol is not None:
-            fields.append(f"protocol {packet.protocol.value}")
-        print(f"  [{t_us:9.2f} us] ctl: " + ", ".join(fields))
-        original_deliver(packet, sender_lc)
+    with tracing(Tracer()) as tracer:
+        shown = 0
 
-    control._deliver = tap
+        def show_control() -> None:
+            """Render control-packet deliveries since the last call."""
+            nonlocal shown
+            for ev in tracer.events[shown:]:
+                if ev.kind != "bus.ctl.deliver":
+                    continue
+                d = ev.data
+                fields = [f"{d['packet']} from LC{d['sender_lc']}"]
+                if d["rec_lc"] is not None:
+                    fields.append(f"to LC{d['rec_lc']}")
+                if d["data_rate"]:
+                    fields.append(f"rate {d['data_rate'] / 1e9:.1f} Gbps")
+                if d["fault"] is not None:
+                    fields.append(f"fault {d['fault']}")
+                if d["protocol"] is not None:
+                    fields.append(f"protocol {d['protocol']}")
+                log.info("  [%9.2f us] ctl: %s", ev.t * 1e6, ", ".join(fields))
+            shown = len(tracer.events)
 
-    def show_arbiter(note: str) -> None:
-        arb = router.eib.arbiter
-        holders = {lc: arb.counters(lc).ctr_id for lc in router.linecards
-                   if arb.counters(lc).ctr_id is not None}
-        print(
-            f"  arbiter[{note}]: beta={arb.beta} round_ctr={arb.round_counter} "
-            f"ids={holders} turns={arb.turns_taken}"
-        )
+        def show_arbiter(note: str) -> None:
+            arb = router.eib.arbiter
+            holders = {lc: arb.counters(lc).ctr_id for lc in router.linecards
+                       if arb.counters(lc).ctr_id is not None}
+            log.info(
+                "  arbiter[%s]: beta=%s round_ctr=%s ids=%s turns=%s",
+                note, arb.beta, arb.round_counter, holders, arb.turns_taken,
+            )
 
-    def send_packet(src: int, dst: int) -> Packet:
-        pkt = Packet(
-            src_lc=src,
-            dst_lc=dst,
-            dst_addr=ipv4("10.0.0.0") + (dst << 16) + 1,
-            size_bytes=800,
-            protocol=Protocol.ETHERNET,
-            created_at=router.engine.now,
-        )
-        router.inject(pkt)
-        return pkt
+        def send_packet(src: int, dst: int) -> Packet:
+            pkt = Packet(
+                src_lc=src,
+                dst_lc=dst,
+                dst_addr=ipv4("10.0.0.0") + (dst << 16) + 1,
+                size_bytes=800,
+                protocol=Protocol.ETHERNET,
+                created_at=router.engine.now,
+            )
+            router.inject(pkt)
+            return pkt
 
-    print("1. Fail LC0's SRU and offer a packet (triggers REQ_D/REP_D):")
-    router.inject_fault(0, ComponentKind.SRU)
-    pkt = send_packet(0, 1)
-    router.run(until=0.001)
-    show_arbiter("after coverage stream setup")
-    print(f"  packet path: {' -> '.join(pkt.path)}")
+        log.info("1. Fail LC0's SRU and offer a packet (triggers REQ_D/REP_D):")
+        router.inject_fault(0, ComponentKind.SRU)
+        pkt = send_packet(0, 1)
+        router.run(until=0.001)
+        show_control()
+        show_arbiter("after coverage stream setup")
+        log.info("  packet path: %s", " -> ".join(pkt.path))
 
-    print("\n2. Fail LC2's LFE and offer a packet (lookup over REQ_L/REP_L):")
-    router.inject_fault(2, ComponentKind.LFE)
-    pkt2 = send_packet(2, 3)
-    router.run(until=0.002)
-    print(f"  packet path: {' -> '.join(pkt2.path)}")
+        log.info("")
+        log.info("2. Fail LC2's LFE and offer a packet (lookup over REQ_L/REP_L):")
+        router.inject_fault(2, ComponentKind.LFE)
+        pkt2 = send_packet(2, 3)
+        router.run(until=0.002)
+        show_control()
+        log.info("  packet path: %s", " -> ".join(pkt2.path))
 
-    print("\n3. Repair LC0's SRU (REL_D releases the logical path):")
-    router.repair_fault(0, ComponentKind.SRU)
-    router.run(until=0.003)
-    show_arbiter("after release")
+        log.info("")
+        log.info("3. Repair LC0's SRU (REL_D releases the logical path):")
+        router.repair_fault(0, ComponentKind.SRU)
+        router.run(until=0.003)
+        show_control()
+        show_arbiter("after release")
 
     s = router.stats
-    print(
-        f"\ndelivered={s.delivered} covered={s.covered_deliveries} "
-        f"remote_lookups={s.remote_lookups} "
-        f"control packets sent={control.sent} collisions={control.collisions}"
+    log.info(
+        "\ndelivered=%s covered=%s remote_lookups=%s "
+        "control packets sent=%s collisions=%s",
+        s.delivered, s.covered_deliveries, s.remote_lookups,
+        control.sent, control.collisions,
     )
 
 

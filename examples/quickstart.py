@@ -11,6 +11,8 @@ Run:
 
 import numpy as np
 
+from repro.obs.logging_setup import example_logger
+
 from repro.core import (
     DRAConfig,
     RepairPolicy,
@@ -22,6 +24,8 @@ from repro.core import (
 from repro.core.performance import PerformanceModel
 
 
+log = example_logger("quickstart")
+
 def main() -> None:
     # --- Reliability (Figure 6) ------------------------------------------
     hours = np.array([10_000.0, 40_000.0, 100_000.0])
@@ -29,16 +33,16 @@ def main() -> None:
     dra_small = dra_reliability(DRAConfig(n=3, m=2), hours)  # one covering LC
     dra_big = dra_reliability(DRAConfig(n=9, m=4), hours)
 
-    print("LC reliability R(t):")
-    print(f"{'t (hours)':>12} {'BDR':>8} {'DRA 3/2':>9} {'DRA 9/4':>9}")
+    log.info("LC reliability R(t):")
+    log.info(f"{'t (hours)':>12} {'BDR':>8} {'DRA 3/2':>9} {'DRA 9/4':>9}")
     for k, t in enumerate(hours):
-        print(
+        log.info(
             f"{t:>12.0f} {bdr.reliability[k]:>8.4f} "
             f"{dra_small.reliability[k]:>9.4f} {dra_big.reliability[k]:>9.4f}"
         )
 
     # --- Availability (Figure 7) ------------------------------------------
-    print("\nSteady-state availability (paper notation):")
+    log.info("\nSteady-state availability (paper notation):")
     for rp, label in ((RepairPolicy.three_hours(), "mu=1/3"),
                       (RepairPolicy.half_day(), "mu=1/12")):
         row = [
@@ -46,14 +50,14 @@ def main() -> None:
             f"DRA(3,2) {dra_availability(DRAConfig(n=3, m=2), rp).notation}",
             f"DRA(9,4) {dra_availability(DRAConfig(n=9, m=4), rp).notation}",
         ]
-        print(f"  {label:>8}: " + "   ".join(row))
+        log.info(f"  {label:>8}: " + "   ".join(row))
 
     # --- Performance under faults (Figure 8) -------------------------------
     model = PerformanceModel(n=6)
-    print("\nBandwidth available to faulty LCs (N=6, % of required):")
-    print(f"{'X_faulty':>9} {'L=15%':>8} {'L=50%':>8} {'L=70%':>8}")
+    log.info("\nBandwidth available to faulty LCs (N=6, % of required):")
+    log.info(f"{'X_faulty':>9} {'L=15%':>8} {'L=50%':>8} {'L=70%':>8}")
     for x in range(1, 6):
-        print(
+        log.info(
             f"{x:>9} {model.degradation_percent(x, 0.15):>7.1f}% "
             f"{model.degradation_percent(x, 0.50):>7.1f}% "
             f"{model.degradation_percent(x, 0.70):>7.1f}%"

@@ -14,6 +14,8 @@ Run:
 
 import time
 
+from repro.obs.logging_setup import example_logger
+
 import numpy as np
 
 from repro.core import DRAConfig, RepairPolicy, dra_availability
@@ -24,6 +26,8 @@ from repro.montecarlo import (
     unavailability_importance_sampling,
 )
 
+
+log = example_logger("rare_event_validation")
 
 def naive_attempt(chain, horizon_hours: float, rng) -> float:
     """Plain trajectory sampling: count downtime (it will find none)."""
@@ -41,19 +45,19 @@ def main() -> None:
     repair = RepairPolicy.three_hours()
     chain = build_dra_availability_chain(cfg, repair)
     exact_u = 1.0 - dra_availability(cfg, repair).availability
-    print(f"Configuration: DRA N={cfg.n}, M={cfg.m}, mu=1/3")
-    print(f"Exact unavailability (stationary solve): {exact_u:.3e}\n")
+    log.info(f"Configuration: DRA N={cfg.n}, M={cfg.m}, mu=1/3")
+    log.info(f"Exact unavailability (stationary solve): {exact_u:.3e}\n")
 
     rng = np.random.default_rng(0)
     horizon = 1_000_000.0  # over a century of simulated operation
     t0 = time.time()
     downtime = naive_attempt(chain, horizon, rng)
-    print(
+    log.info(
         f"Naive simulation of {horizon:.0f} hours "
         f"({horizon / 8766:.0f} years): observed downtime = {downtime:.1f} h "
         f"({time.time() - t0:.1f}s)"
     )
-    print(
+    log.info(
         "  -> expected downtime at 1e-9 unavailability is ~0.001 h per"
         " century;\n     the naive estimator returns 0 almost surely."
         " It cannot check Figure 7.\n"
@@ -64,15 +68,15 @@ def main() -> None:
         chain, Failed, n_cycles=40_000, rng=np.random.default_rng(1)
     )
     elapsed = time.time() - t0
-    print("Balanced failure biasing over 40,000 regenerative cycles:")
-    print(f"  estimate      {res.unavailability:.3e}  (exact {exact_u:.3e})")
-    print(f"  std error     {res.std_error:.1e}")
-    print(f"  rare-state hit rate under biasing: {res.hit_fraction:.1%}")
-    print(f"  wall time     {elapsed:.1f}s")
-    print(f"  consistent with exact at 5 sigma: {res.consistent_with(exact_u)}")
+    log.info("Balanced failure biasing over 40,000 regenerative cycles:")
+    log.info(f"  estimate      {res.unavailability:.3e}  (exact {exact_u:.3e})")
+    log.info(f"  std error     {res.std_error:.1e}")
+    log.info(f"  rare-state hit rate under biasing: {res.hit_fraction:.1%}")
+    log.info(f"  wall time     {elapsed:.1f}s")
+    log.info(f"  consistent with exact at 5 sigma: {res.consistent_with(exact_u)}")
 
-    print("\nAcross the paper's quoted configurations:")
-    print(f"{'config':>14} {'mu':>6} {'exact':>11} {'IS estimate':>12} {'rel err':>8}")
+    log.info("\nAcross the paper's quoted configurations:")
+    log.info(f"{'config':>14} {'mu':>6} {'exact':>11} {'IS estimate':>12} {'rel err':>8}")
     for (n, m), rp, label in [
         ((3, 2), RepairPolicy.three_hours(), "1/3"),
         ((3, 2), RepairPolicy.half_day(), "1/12"),
@@ -85,7 +89,7 @@ def main() -> None:
             ch, Failed, 30_000, np.random.default_rng(2)
         )
         rel = abs(est.unavailability - exact) / exact
-        print(
+        log.info(
             f"{f'N={n},M={m}':>14} {label:>6} {exact:>11.3e} "
             f"{est.unavailability:>12.3e} {rel:>7.1%}"
         )

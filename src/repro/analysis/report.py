@@ -61,15 +61,23 @@ def generate_report(*, jobs: int = 1, cache: "ResultCache | None" = None) -> str
         are loaded instead of re-solved, and the hit/miss tally appears in
         the Runtime section.
     """
+    from repro.obs import MetricsRegistry, collecting
+    from repro.runtime import RuntimeMetrics
+
+    metrics = RuntimeMetrics()
+    registry = MetricsRegistry()
+    with collecting(registry):
+        return _render(metrics, registry, jobs, cache)
+
+
+def _render(metrics, registry, jobs: int, cache) -> str:
     from repro.runtime import (
-        RuntimeMetrics,
         Stopwatch,
         parallel_availability_sweep,
         parallel_performance_sweep,
         parallel_reliability_sweep,
     )
 
-    metrics = RuntimeMetrics()
     out = io.StringIO()
     w = out.write
 
@@ -136,7 +144,14 @@ def generate_report(*, jobs: int = 1, cache: "ResultCache | None" = None) -> str
     if cache is not None:
         w(f"\ncache: {cache.hits} hit(s), {cache.misses} miss(es) "
           f"at {cache.root}\n")
-    w("```\n")
+    w("```\n\n")
+
+    # Observability: solver/model counters collected while the sections
+    # above ran (merged across workers when jobs > 1; identical content
+    # for any jobs value -- see docs/observability.md).
+    w("## Observability — collected metrics\n\n```\n")
+    w(registry.format_table() if len(registry) else "(no metrics recorded)")
+    w("\n```\n")
 
     return out.getvalue()
 

@@ -11,6 +11,7 @@ Usage::
     python -m repro validate [--cycles 30000] [--seed 0] [--jobs N]
     python -m repro bench [--target mc|fig6|validate] [--jobs-list 1,2,4]
     python -m repro report [--jobs N] [--cache]
+    python -m repro trace FILE [--kind PREFIX] [--limit N] [--json]
 
 ``validate`` runs the rare-event importance-sampling check against the
 exact Figure 7 values and exits nonzero on disagreement -- usable as a
@@ -18,14 +19,19 @@ CI gate.  ``--jobs`` fans the work out over a process pool (0 = all
 cores); Monte Carlo results are bit-identical for a given ``--seed``
 regardless of ``--jobs``.  ``--cache`` enables the content-addressed
 result cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dra``); ``bench``
-measures parallel scaling.  See ``docs/cli.md`` and
-``docs/performance.md``.
+measures parallel scaling and writes a schema-versioned
+``BENCH_runtime.json``.  Every subcommand accepts ``--trace PATH`` to
+record a JSONL event trace (``docs/observability.md``); ``trace``
+summarizes, filters and schema-checks such a file.  See ``docs/cli.md``
+and ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from collections import Counter
 
 import numpy as np
 
@@ -116,6 +122,58 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traced_fig8_crosscheck(n: int) -> None:
+    """Exercise the executable model under the active tracer.
+
+    The Figure 8 table itself is closed-form algebra and emits nothing,
+    so when ``--trace`` is given we also run the behavioural counterparts
+    of the same degradation story: a short DES run with an SRU fault
+    (coverage planning plus the REQ_D/REP_D control exchange), a
+    two-station probe that forces a CSMA/CD collision, and the two Markov
+    solvers (uniformization and a stationary solve).  The trace then
+    carries control-packet, collision, coverage-case and solver events
+    next to the analytic table.
+    """
+    from repro.core.parameters import FailureRates
+    from repro.core.reliability import build_dra_reliability_chain
+    from repro.markov import uniformized_distribution
+    from repro.router import ComponentKind, Router, RouterConfig, RouterMode
+    from repro.router.bus import ControlChannel
+    from repro.router.packets import ControlKind, ControlPacket
+    from repro.sim import Engine
+    from repro.traffic import wire_uniform_load
+
+    # DES leg: an LC0 SRU fault forces coverage plans onto the EIB.
+    router = Router(
+        RouterConfig(n_linecards=max(4, min(n, 8)), mode=RouterMode.DRA, seed=2)
+    )
+    wire_uniform_load(router, 0.3)
+    router.run(until=0.001)
+    router.inject_fault(0, ComponentKind.SRU)
+    router.run(until=0.0025)
+
+    # Collision leg: two stations start inside the vulnerability window,
+    # so both abort and back off (classic CSMA/CD).
+    engine = Engine()
+    bus = ControlChannel(engine, np.random.default_rng(0))
+    for lc in range(3):
+        bus.attach(lc, lambda _pkt: None)
+    for lc in range(2):
+        pkt = ControlPacket(kind=ControlKind.REQ_D, init_lc=lc, data_rate=1.0)
+        engine.schedule(
+            0.0,
+            lambda p=pkt, s=lc: bus.broadcast(p, s),
+            label=f"collision-probe-{lc}",
+        )
+    engine.run(until=1e-3)
+
+    # Solver leg: Jensen's uniformization plus a stationary solve.
+    cfg = DRAConfig(n=3, m=2)
+    chain = build_dra_reliability_chain(cfg, FailureRates())
+    uniformized_distribution(chain, np.array([1_000.0, 10_000.0]))
+    dra_availability(cfg, RepairPolicy.three_hours())
+
+
 def _cmd_fig8(args: argparse.Namespace) -> int:
     loads = _parse_floats(args.loads) if args.loads else [0.15, 0.30, 0.50, 0.70]
     recs = performance_sweep(loads=loads, n=args.n, b_bus=args.b_bus)
@@ -123,6 +181,10 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
         records_to_csv(recs, args.csv)
         print(f"wrote {args.csv}")
     print(format_performance_table(recs))
+    from repro.obs import get_tracer
+
+    if get_tracer() is not None:
+        _traced_fig8_crosscheck(args.n)
     return 0
 
 
@@ -199,7 +261,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     jobs_list = _parse_ints(args.jobs_list) if args.jobs_list else [1, 2, 4]
     times = np.linspace(0.0, 100_000.0, 11)
     cfg = DRAConfig(n=9, m=4)
-    rows: list[tuple[int, float, float]] = []
+    rows: list[tuple[int, float, float, int]] = []
     reference = None
     for jobs in jobs_list:
         with Stopwatch() as sw:
@@ -228,14 +290,81 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         elif not np.array_equal(reference, payload):
             print(f"ERROR: jobs={jobs} changed the result")
             return 1
-        rows.append((jobs, sw.elapsed, items / sw.elapsed if sw.elapsed else 0.0))
+        rows.append((jobs, sw.elapsed, items / sw.elapsed if sw.elapsed else 0.0, items))
 
     unit = {"mc": "trials", "validate": "cycles", "fig6": "points"}[args.target]
     base = rows[0][1]
     print(f"target={args.target}  results identical across jobs: yes\n")
     print(f"{'jobs':>5} {'wall (s)':>10} {unit + '/s':>14} {'speedup':>8}")
-    for jobs, wall, rate in rows:
+    for jobs, wall, rate, _items in rows:
         print(f"{jobs:>5} {wall:>10.3f} {rate:>14,.0f} {base / wall:>7.2f}x")
+
+    if args.json_out:
+        payload = {
+            "schema": "repro-bench",
+            "v": 1,
+            "target": args.target,
+            "unit": unit,
+            "stages": [
+                {
+                    "stage": f"{args.target} jobs={jobs}",
+                    "jobs": jobs,
+                    "wall_s": wall,
+                    "items": items,
+                    "unit": unit,
+                    "throughput_per_s": rate,
+                    "speedup_vs_first": base / wall if wall else 0.0,
+                }
+                for jobs, wall, rate, items in rows
+            ],
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Summarize, filter and schema-check a ``--trace`` JSONL file."""
+    from repro.obs import read_trace
+
+    try:
+        events = read_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"trace error: {exc}", file=sys.stderr)
+        return 1
+    if args.kind:
+        events = [ev for ev in events if ev.kind.startswith(args.kind)]
+    by_kind = Counter(ev.kind for ev in events)
+    stamps = [ev.t for ev in events if ev.t is not None]
+    span = (min(stamps), max(stamps)) if stamps else None
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "file": args.file,
+                    "v": 1,
+                    "events": len(events),
+                    "kinds": dict(sorted(by_kind.items())),
+                    "time_span_s": list(span) if span else None,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    if args.limit:
+        for ev in events[: args.limit]:
+            print(ev.to_json())
+        print()
+    print(f"{args.file}: {len(events)} events, {len(by_kind)} kinds (schema v1 ok)")
+    if span:
+        print(f"sim-time span: {span[0]:.6g} s .. {span[1]:.6g} s")
+    if by_kind:
+        width = max(len(k) for k in by_kind)
+        for kind, count in sorted(by_kind.items(), key=lambda kv: (-kv[1], kv[0])):
+            print(f"  {kind:<{width}}  {count:>8}")
     return 0
 
 
@@ -261,6 +390,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="content-addressed result cache "
                             "($REPRO_CACHE_DIR or ~/.cache/repro-dra)")
 
+    def add_trace_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="record a JSONL event trace to PATH "
+                            "(see docs/observability.md)")
+
     p = sub.add_parser("fig6", help="Figure 6 reliability table")
     p.add_argument("--points", help="comma-separated hours")
     p.add_argument("--configs", help="N:M pairs, e.g. 3:2,9:4")
@@ -269,6 +403,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="model-interpretation variant (see DESIGN.md)")
     p.add_argument("--csv", help="also write records to CSV")
     add_runtime_flags(p)
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_fig6)
 
     p = sub.add_parser("fig7", help="Figure 7 availability table")
@@ -278,6 +413,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="model-interpretation variant (see DESIGN.md)")
     p.add_argument("--csv")
     add_runtime_flags(p)
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_fig7)
 
     p = sub.add_parser("fig8", help="Figure 8 degradation table")
@@ -285,23 +421,28 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--loads", help="comma-separated loads in [0,1)")
     p.add_argument("--b-bus", type=float, default=None, dest="b_bus")
     p.add_argument("--csv")
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_fig8)
 
     p = sub.add_parser("mttf", help="MTTF table")
     p.add_argument("--configs", help="N:M pairs")
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_mttf)
 
     p = sub.add_parser("cost", help="cost-effectiveness comparison")
     p.add_argument("--n", type=int, default=8)
     p.add_argument("--protocols", type=int, default=2)
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_cost)
 
     p = sub.add_parser("importance", help="rate-elasticity tornado")
     p.add_argument("--n", type=int, default=9)
     p.add_argument("--m", type=int, default=4)
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_importance)
 
     p = sub.add_parser("claims", help="check every quoted paper claim")
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_claims)
 
     p = sub.add_parser("validate", help="rare-event MC check of Figure 7")
@@ -310,6 +451,7 @@ def main(argv: list[str] | None = None) -> int:
                    help="root seed; results are identical for any --jobs")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (0 = all cores; default 1 = serial)")
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_validate)
 
     p = sub.add_parser("bench", help="parallel-scaling benchmark")
@@ -323,13 +465,37 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--cycles", type=int, default=30_000,
                    help="cycles for --target validate")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json-out", dest="json_out", default="BENCH_runtime.json",
+                   metavar="PATH",
+                   help="machine-readable per-stage timings "
+                        "(default BENCH_runtime.json; empty string disables)")
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("report", help="full Markdown evaluation report")
     add_runtime_flags(p)
+    add_trace_flag(p)
     p.set_defaults(func=_cmd_report)
 
+    p = sub.add_parser("trace", help="summarize/filter a --trace JSONL file")
+    p.add_argument("file", help="trace file written by --trace PATH")
+    p.add_argument("--kind", metavar="PREFIX",
+                   help="only events whose kind starts with PREFIX")
+    p.add_argument("--limit", type=int, default=0, metavar="N",
+                   help="also print the first N matching events as JSONL")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary instead of the table")
+    p.set_defaults(func=_cmd_trace)
+
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from repro.obs import tracing
+
+        with tracing(trace_path):
+            rc = args.func(args)
+        print(f"wrote trace {trace_path}", file=sys.stderr)
+        return rc
     return args.func(args)
 
 

@@ -18,6 +18,8 @@ import scipy.sparse as sp
 import scipy.sparse.linalg
 
 from repro.markov.ctmc import CTMC
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 __all__ = ["stationary_distribution", "STATIONARY_METHODS", "is_irreducible"]
 
@@ -64,13 +66,35 @@ def stationary_distribution(
         raise ValueError(
             "chain is not irreducible; stationary distribution is not unique"
         )
+    iterations = 0
     if method == "linear":
-        return _solve_linear(chain)
-    if method == "nullspace":
-        return _solve_nullspace(chain)
-    if method == "power":
-        return _solve_power(chain, tol=tol, max_iter=max_iter)
-    raise ValueError(f"unknown method {method!r}; choose from {STATIONARY_METHODS}")
+        pi = _solve_linear(chain)
+    elif method == "nullspace":
+        pi = _solve_nullspace(chain)
+    elif method == "power":
+        pi, iterations = _solve_power(chain, tol=tol, max_iter=max_iter)
+    else:
+        raise ValueError(f"unknown method {method!r}; choose from {STATIONARY_METHODS}")
+    if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+        # The balance residual max|pi Q| is one sparse matvec -- cheap
+        # relative to any of the solves, and only computed when observed.
+        residual = float(np.abs(pi @ chain.generator).max())
+        if _metrics.REGISTRY is not None:
+            reg = _metrics.REGISTRY
+            reg.counter("solver.stationary.solves").inc()
+            reg.counter(f"solver.stationary.solves.{method}").inc()
+            if iterations:
+                reg.counter("solver.stationary.iterations").inc(iterations)
+            reg.gauge("solver.stationary.residual").set(residual)
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "solver.stationary",
+                n_states=chain.n_states,
+                method=method,
+                iterations=iterations,
+                residual=residual,
+            )
+    return pi
 
 
 def _solve_linear(chain: CTMC) -> np.ndarray:
@@ -95,15 +119,15 @@ def _solve_nullspace(chain: CTMC) -> np.ndarray:
     return _clean(pi)
 
 
-def _solve_power(chain: CTMC, *, tol: float, max_iter: int) -> np.ndarray:
+def _solve_power(chain: CTMC, *, tol: float, max_iter: int) -> tuple[np.ndarray, int]:
     P, _lam = chain.uniformized_matrix()
     PT = P.T.tocsr()
     pi = np.full(chain.n_states, 1.0 / chain.n_states)
-    for _ in range(max_iter):
+    for iteration in range(1, max_iter + 1):
         nxt = PT @ pi
         nxt /= nxt.sum()
         if np.abs(nxt - pi).max() < tol:
-            return _clean(nxt)
+            return _clean(nxt), iteration
         pi = nxt
     raise RuntimeError(
         f"power iteration did not converge in {max_iter} iterations"

@@ -19,6 +19,8 @@ import numpy as np
 from scipy import stats
 
 from repro.markov.ctmc import CTMC
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 __all__ = ["uniformized_distribution", "poisson_truncation_point"]
 
@@ -82,6 +84,21 @@ def uniformized_distribution(
     PT = P.T.tocsr()
     t_max = float(t.max())
     K = poisson_truncation_point(lam * t_max, tolerance)
+    if _metrics.REGISTRY is not None:
+        reg = _metrics.REGISTRY
+        reg.counter("solver.uniformization.solves").inc()
+        reg.counter("solver.uniformization.iterations").inc(K)
+        reg.gauge("solver.uniformization.truncation_k").set(K)
+    if _trace.TRACER is not None:
+        _trace.TRACER.emit(
+            "solver.uniformization",
+            n_states=chain.n_states,
+            rate=lam,
+            rate_time=lam * t_max,
+            truncation_k=K,
+            tolerance=tolerance,
+            n_times=int(t.size),
+        )
 
     # Iterate v_k = pi0 @ P^k once up to K, accumulating the Poisson-weighted
     # sum for every requested time point simultaneously.

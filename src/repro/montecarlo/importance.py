@@ -31,6 +31,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.markov.ctmc import CTMC
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 __all__ = [
     "CycleStatistics",
@@ -216,6 +218,18 @@ def collect_cycle_statistics(
         downtimes[c] = downtime
         hits += hit
 
+    if _metrics.REGISTRY is not None:
+        reg = _metrics.REGISTRY
+        reg.counter("mc.is.cycles").inc(n_cycles)
+        reg.counter("mc.is.rare_hits").inc(hits)
+    if _trace.TRACER is not None:
+        _trace.TRACER.emit(
+            "solver.importance_sampling",
+            n_states=chain.n_states,
+            n_cycles=n_cycles,
+            rare_hits=hits,
+            bias=bias,
+        )
     return CycleStatistics(
         n_plain=n_plain,
         length_sum=float(lengths.sum()),

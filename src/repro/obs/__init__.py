@@ -1,0 +1,62 @@
+"""Observability: structured tracing, a metrics registry, logging setup.
+
+Three cooperating layers, all **zero-overhead when disabled**:
+
+* :mod:`~repro.obs.trace` -- a process-global :class:`Tracer` recording
+  typed, timestamped :class:`TraceEvent` records (JSONL export) from
+  hooks in the simulation engine, the EIB bus channels, the coverage
+  planner/fault map, the protocol engine, and the Markov solvers;
+* :mod:`~repro.obs.metrics` -- a :class:`MetricsRegistry` of counters,
+  gauges and histograms whose snapshots merge exactly across
+  process-pool workers (the same sufficient-statistics discipline as
+  ``CycleStatistics``), keeping ``--jobs N`` metric output deterministic
+  in content;
+* :mod:`~repro.obs.logging_setup` -- one-call stdlib ``logging``
+  configuration used by the examples instead of ad-hoc ``print``.
+
+Enable tracing from the CLI with ``--trace PATH`` on any subcommand and
+inspect the result with ``python -m repro trace PATH``; see
+``docs/observability.md`` for the event catalogue and the overhead
+measurement procedure.
+"""
+
+from repro.obs.logging_setup import example_logger, setup_logging
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    collecting,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "read_trace",
+    "METRICS_SCHEMA_VERSION",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "collecting",
+    "get_registry",
+    "set_registry",
+    "setup_logging",
+    "example_logger",
+]

@@ -1,0 +1,75 @@
+"""Standard-library logging configuration for the repro tools.
+
+The examples (and any script embedding the library) route their
+diagnostics through ``logging`` rather than ad-hoc ``print`` calls, so
+verbosity is controlled in one place (``REPRO_LOG_LEVEL`` or the
+``level`` argument) and output can be redirected or silenced like any
+other logging stream.  The default format is bare messages on stdout --
+example output looks exactly like it did under ``print`` -- while
+``verbose`` runs gain level/name prefixes for debugging.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["setup_logging", "example_logger"]
+
+#: Root logger namespace for everything in this package.
+ROOT_LOGGER_NAME = "repro"
+
+
+def setup_logging(
+    level: int | str | None = None,
+    *,
+    stream=None,
+    verbose: bool = False,
+    force: bool = False,
+) -> logging.Logger:
+    """Configure and return the ``repro`` root logger.
+
+    Parameters
+    ----------
+    level:
+        Logging level (name or number).  Defaults to ``$REPRO_LOG_LEVEL``
+        or ``INFO``.
+    stream:
+        Destination stream; defaults to ``sys.stdout`` (examples print
+        results, they do not report errors).
+    verbose:
+        Prefix records with ``[level] logger:`` instead of bare messages.
+    force:
+        Replace handlers installed by an earlier call instead of keeping
+        the first configuration (useful in tests).
+    """
+    if level is None:
+        level = os.environ.get("REPRO_LOG_LEVEL", "INFO")
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    if logger.handlers and not force:
+        logger.setLevel(level)
+        return logger
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    fmt = "[%(levelname)s] %(name)s: %(message)s" if verbose else "%(message)s"
+    handler.setFormatter(logging.Formatter(fmt))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def example_logger(name: str) -> logging.Logger:
+    """Logger for an example script, with default configuration applied.
+
+    ``name`` is usually the script's ``__name__``; the returned logger
+    lives under the ``repro.examples`` namespace so one configuration
+    call governs every example.
+    """
+    setup_logging()
+    short = name.rsplit("/", 1)[-1].removesuffix(".py")
+    if short in ("__main__", ""):
+        short = "script"
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.examples.{short}")

@@ -1,0 +1,302 @@
+"""Counters, gauges and histograms with exact cross-worker reduction.
+
+The registry follows the same reduction discipline as
+:class:`repro.montecarlo.importance.CycleStatistics`: every metric is a
+set of *sufficient statistics* that merge by field-wise addition (or, for
+gauges, an order-insensitive ``min``/``max``/``last-by-sequence`` rule),
+so per-chunk registries collected on process-pool workers reduce to the
+same totals in whatever grouping the pool produced -- merging worker
+snapshots in chunk-submission order makes ``--jobs N`` metric output
+deterministic in content, mirroring the bit-identical guarantee of the
+Monte Carlo drivers.
+
+Like the tracer, the registry is activated through a process-global hook
+with a ``None`` fast path, so unmetered runs pay one identity check per
+instrumented site.
+"""
+
+from __future__ import annotations
+
+import bisect
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "collecting",
+]
+
+#: Version stamp of the snapshot dictionary format.
+METRICS_SCHEMA_VERSION = 1
+
+#: Default histogram bucket upper bounds (seconds-ish scale; callers pass
+#: their own bounds for counts/iterations).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+#: The process-global registry hook (``None`` = metrics off).
+REGISTRY: "MetricsRegistry | None" = None
+
+
+@dataclass
+class CounterMetric:
+    """Monotonic count; merges by addition."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be nonnegative)."""
+        if amount < 0.0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def merge(self, other: "CounterMetric") -> None:
+        self.value += other.value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class GaugeMetric:
+    """Point-in-time value; tracks last/min/max across sets.
+
+    ``last`` merges by the highest update sequence number, which is
+    well-defined within one process; across workers the min/max envelope
+    is the meaningful part and is exactly order-insensitive.
+    """
+
+    last: float = 0.0
+    min_value: float = float("inf")
+    max_value: float = float("-inf")
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        """Record a new observation of the gauge."""
+        self.last = value
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+        self.updates += 1
+
+    def merge(self, other: "GaugeMetric") -> None:
+        if other.updates:
+            self.last = other.last  # merge order = chunk order, so "last" is last
+            self.min_value = min(self.min_value, other.min_value)
+            self.max_value = max(self.max_value, other.max_value)
+            self.updates += other.updates
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "gauge",
+            "last": self.last,
+            "min": self.min_value,
+            "max": self.max_value,
+            "updates": self.updates,
+        }
+
+
+@dataclass
+class HistogramMetric:
+    """Fixed-bound bucketed distribution; merges by bucket-wise addition."""
+
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+    min_value: float = float("inf")
+    max_value: float = float("-inf")
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            # one bucket per bound plus the +inf overflow bucket
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of observed samples (0.0 before any sample)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "HistogramMetric") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({self.bounds} vs {other.bounds})"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.total += other.total
+        self.count += other.count
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with snapshot/merge for exact cross-process reduction.
+
+    Examples
+    --------
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("bus.collisions").inc()
+    >>> other = MetricsRegistry()
+    >>> other.counter("bus.collisions").inc(2)
+    >>> reg.merge_snapshot(other.snapshot())
+    >>> reg.counter("bus.collisions").value
+    3.0
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, CounterMetric | GaugeMetric | HistogramMetric] = {}
+
+    # -- accessors (get-or-create) ----------------------------------------
+
+    def counter(self, name: str) -> CounterMetric:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._typed(name, CounterMetric)
+
+    def gauge(self, name: str) -> GaugeMetric:
+        """The gauge registered under ``name``."""
+        return self._typed(name, GaugeMetric)
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None
+    ) -> HistogramMetric:
+        """The histogram registered under ``name``."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = HistogramMetric(bounds=bounds or DEFAULT_BUCKETS)
+            self._metrics[name] = metric
+        elif not isinstance(metric, HistogramMetric):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, not a histogram")
+        return metric
+
+    def _typed(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls()
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
+            )
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        """Sorted metric names."""
+        return sorted(self._metrics)
+
+    # -- reduction ---------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict (picklable, JSON-able) view of every metric."""
+        return {
+            "v": METRICS_SCHEMA_VERSION,
+            "metrics": {name: m.snapshot() for name, m in sorted(self._metrics.items())},
+        }
+
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one."""
+        if snap.get("v") != METRICS_SCHEMA_VERSION:
+            raise ValueError(f"unsupported metrics snapshot version {snap.get('v')!r}")
+        for name, payload in snap["metrics"].items():
+            kind = payload["type"]
+            if kind == "counter":
+                other = CounterMetric(value=payload["value"])
+                self.counter(name).merge(other)
+            elif kind == "gauge":
+                other = GaugeMetric(
+                    last=payload["last"],
+                    min_value=payload["min"],
+                    max_value=payload["max"],
+                    updates=payload["updates"],
+                )
+                self.gauge(name).merge(other)
+            elif kind == "histogram":
+                bounds = tuple(payload["bounds"])
+                other = HistogramMetric(
+                    bounds=bounds,
+                    counts=list(payload["counts"]),
+                    total=payload["total"],
+                    count=payload["count"],
+                    min_value=payload["min"],
+                    max_value=payload["max"],
+                )
+                self.histogram(name, bounds).merge(other)
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (snapshot round-trip)."""
+        self.merge_snapshot(other.snapshot())
+
+    # -- rendering ---------------------------------------------------------
+
+    def format_table(self) -> str:
+        """Fixed-width digest in the style of the runtime timing table."""
+        if not self._metrics:
+            return "(no metrics collected)"
+        lines = [f"{'metric':<44} {'type':<10} {'value':>20}"]
+        for name in self.names():
+            m = self._metrics[name]
+            if isinstance(m, CounterMetric):
+                shown = f"{m.value:,.0f}" if m.value == int(m.value) else f"{m.value:,.3f}"
+            elif isinstance(m, GaugeMetric):
+                shown = f"{m.last:.6g} [{m.min_value:.6g}, {m.max_value:.6g}]"
+            else:
+                shown = f"n={m.count} mean={m.mean:.6g}"
+            lines.append(f"{name:<44} {type(m).__name__[:-6].lower():<10} {shown:>20}")
+        return "\n".join(lines)
+
+
+# -- global hook management -------------------------------------------------
+
+
+def get_registry() -> MetricsRegistry | None:
+    """The currently active registry, or ``None`` when metrics are off."""
+    return REGISTRY
+
+
+def set_registry(registry: MetricsRegistry | None) -> None:
+    """Install (or clear) the process-global registry."""
+    global REGISTRY
+    REGISTRY = registry
+
+
+@contextmanager
+def collecting(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Activate ``registry`` (or a fresh one) for the enclosed block."""
+    reg = registry if registry is not None else MetricsRegistry()
+    previous = REGISTRY
+    set_registry(reg)
+    try:
+        yield reg
+    finally:
+        set_registry(previous)

@@ -1,0 +1,219 @@
+"""Structured event tracing: typed, timestamped, JSONL-exportable.
+
+The tracer is the event-level counterpart of the counter-level
+:mod:`repro.obs.metrics`: instrumented subsystems (the simulation
+engine, the EIB control/data channels, the coverage planner, the Markov
+solvers) emit :class:`TraceEvent` records through a process-global hook,
+and the ``trace`` CLI subcommand summarizes or filters the resulting
+file.  The design rule is **zero overhead when disabled**: every hook
+site guards on ``TRACER is not None`` before building any event payload,
+so an untraced run pays one attribute load and one identity comparison
+per hook -- nothing else.
+
+JSONL schema (one JSON object per line, schema-versioned)::
+
+    {"v": 1, "seq": 0, "t": 1.25e-05, "kind": "bus.ctl.deliver",
+     "data": {"packet": "REQ_D", "sender_lc": 0}}
+
+* ``v`` -- trace schema version (:data:`TRACE_SCHEMA_VERSION`);
+* ``seq`` -- monotonically increasing per-tracer sequence number;
+* ``t`` -- simulation (or domain) timestamp in seconds, ``null`` when
+  the emitting site has no clock;
+* ``kind`` -- dotted event type (``sim.*``, ``bus.*``, ``coverage.*``,
+  ``protocol.*``, ``solver.*``);
+* ``data`` -- event-specific payload of JSON scalars.
+
+See ``docs/observability.md`` for the catalogue of event kinds.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterator
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "read_trace",
+]
+
+#: Version stamp written into every record; bump on breaking changes.
+TRACE_SCHEMA_VERSION = 1
+
+#: The process-global tracer hook.  Instrumented modules read this
+#: attribute directly (``trace.TRACER is not None``) so enabling tracing
+#: requires no re-wiring of already-constructed objects.
+TRACER: "Tracer | None" = None
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed, timestamped observation."""
+
+    seq: int
+    kind: str
+    t: float | None = None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Render the canonical single-line JSON form."""
+        return json.dumps(
+            {
+                "v": TRACE_SCHEMA_VERSION,
+                "seq": self.seq,
+                "t": self.t,
+                "kind": self.kind,
+                "data": self.data,
+            },
+            separators=(",", ":"),
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "TraceEvent":
+        """Parse one JSONL line, validating the schema."""
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line is not valid JSON: {exc}") from exc
+        if not isinstance(obj, dict):
+            raise ValueError("trace line is not a JSON object")
+        if obj.get("v") != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported trace schema version {obj.get('v')!r} "
+                f"(expected {TRACE_SCHEMA_VERSION})"
+            )
+        seq, kind = obj.get("seq"), obj.get("kind")
+        t, data = obj.get("t"), obj.get("data", {})
+        if not isinstance(seq, int):
+            raise ValueError(f"trace 'seq' must be an int, got {seq!r}")
+        if not isinstance(kind, str) or not kind:
+            raise ValueError(f"trace 'kind' must be a non-empty string, got {kind!r}")
+        if t is not None and not isinstance(t, (int, float)):
+            raise ValueError(f"trace 't' must be a number or null, got {t!r}")
+        if not isinstance(data, dict):
+            raise ValueError(f"trace 'data' must be an object, got {data!r}")
+        return TraceEvent(seq=seq, kind=kind, t=None if t is None else float(t), data=data)
+
+
+class Tracer:
+    """Collects trace events in memory and/or streams them to JSONL.
+
+    Parameters
+    ----------
+    path:
+        Destination JSONL file.  ``None`` keeps events only in
+        :attr:`events` (handy for tests and in-process analysis); with a
+        path, events are streamed line-by-line as they are emitted, so a
+        crashed run still leaves a usable prefix.
+    keep_events:
+        Whether to also retain events in memory when writing to a file.
+        Defaults to ``False`` for file tracers so long runs stay O(1).
+    """
+
+    def __init__(self, path: str | None = None, *, keep_events: bool | None = None) -> None:
+        self.path = path
+        self.events: list[TraceEvent] = []
+        self._seq = 0
+        self._fh: IO[str] | None = None
+        self._keep = (path is None) if keep_events is None else keep_events
+        if path is not None:
+            self._fh = open(path, "w", encoding="utf-8")
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, kind: str, t: float | None = None, **data: Any) -> TraceEvent:
+        """Record one event; returns it (mainly for tests)."""
+        ev = TraceEvent(seq=self._seq, kind=kind, t=t, data=data)
+        self._seq += 1
+        if self._keep:
+            self.events.append(ev)
+        if self._fh is not None:
+            self._fh.write(ev.to_json() + "\n")
+        return ev
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted through this tracer."""
+        return self._seq
+
+    def close(self) -> None:
+        """Flush and close the underlying file, if any."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# -- global hook management -------------------------------------------------
+
+
+def get_tracer() -> Tracer | None:
+    """The currently active tracer, or ``None`` when tracing is off."""
+    return TRACER
+
+
+def set_tracer(tracer: Tracer | None) -> None:
+    """Install (or clear, with ``None``) the process-global tracer."""
+    global TRACER
+    TRACER = tracer
+
+
+@contextmanager
+def tracing(path_or_tracer: str | Tracer | None = None) -> Iterator[Tracer]:
+    """Context manager activating a tracer for the enclosed block.
+
+    Examples
+    --------
+    >>> from repro.obs import trace
+    >>> with trace.tracing() as t:
+    ...     _ = t.emit("demo.event", t=0.0, answer=42)
+    >>> t.events[0].kind
+    'demo.event'
+    >>> trace.get_tracer() is None
+    True
+    """
+    if isinstance(path_or_tracer, Tracer):
+        tracer = path_or_tracer
+        owns = False
+    else:
+        tracer = Tracer(path_or_tracer)
+        owns = True
+    previous = TRACER
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        if owns:
+            tracer.close()
+
+
+def read_trace(path: str) -> list[TraceEvent]:
+    """Load and schema-validate a JSONL trace file.
+
+    Raises :class:`ValueError` naming the offending line number on any
+    schema violation -- this is what lets ``python -m repro trace`` act
+    as a CI schema guard.
+    """
+    events: list[TraceEvent] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TraceEvent.from_json(line))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+    return events

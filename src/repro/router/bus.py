@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.router.arbitration import DistributedArbiter
 from repro.router.bandwidth import EIBBandwidthAllocator
 from repro.router.packets import ControlPacket
@@ -87,6 +89,16 @@ class ControlChannel:
             return
         if attempt >= self._max_attempts:
             self.failures += 1
+            if _metrics.REGISTRY is not None:
+                _metrics.REGISTRY.counter("bus.ctl.abandoned").inc()
+            if _trace.TRACER is not None:
+                _trace.TRACER.emit(
+                    "bus.ctl.abandon",
+                    t=self._engine.now,
+                    packet=packet.kind.value,
+                    sender_lc=sender_lc,
+                    attempts=attempt,
+                )
             return
         now = self._engine.now
         if now - self._tx_start < self._window and self._tx_abort is not None:
@@ -95,27 +107,42 @@ class ControlChannel:
             # carrier sense cannot save us.  Both transmissions die and
             # both stations back off and retry.
             self.collisions += 1
+            if _metrics.REGISTRY is not None:
+                _metrics.REGISTRY.counter("bus.ctl.collisions").inc()
+            if _trace.TRACER is not None:
+                other = self._tx_inflight[1] if self._tx_inflight else None
+                _trace.TRACER.emit(
+                    "bus.ctl.collision",
+                    t=now,
+                    packet=packet.kind.value,
+                    sender_lc=sender_lc,
+                    other_lc=other,
+                    attempt=attempt,
+                )
             self._tx_abort()
             self._tx_abort = None
             self._busy_until = now  # medium clears after the jam
             if self._tx_inflight is not None:
                 pkt0, lc0, att0 = self._tx_inflight
                 self._tx_inflight = None
-                self._engine.schedule_in(
-                    self._backoff(att0),
-                    lambda: self._attempt(pkt0, lc0, att0 + 1),
-                    label="eib:ctl:retry",
-                )
-            self._engine.schedule_in(
-                self._backoff(attempt),
-                lambda: self._attempt(packet, sender_lc, attempt + 1),
-                label="eib:ctl:retry",
-            )
+                self._schedule_backoff(pkt0, lc0, att0, label="eib:ctl:retry")
+            self._schedule_backoff(packet, sender_lc, attempt, label="eib:ctl:retry")
             return
         if now < self._busy_until:
             # Carrier sensed busy: defer past it with a short random gap.
             self.deferrals += 1
+            if _metrics.REGISTRY is not None:
+                _metrics.REGISTRY.counter("bus.ctl.deferrals").inc()
             wait = (self._busy_until - now) + self._backoff(attempt)
+            if _trace.TRACER is not None:
+                _trace.TRACER.emit(
+                    "bus.ctl.defer",
+                    t=now,
+                    packet=packet.kind.value,
+                    sender_lc=sender_lc,
+                    attempt=attempt,
+                    wait_s=wait,
+                )
             self._engine.schedule_in(
                 wait, lambda: self._attempt(packet, sender_lc, attempt + 1),
                 label="eib:ctl:defer",
@@ -135,10 +162,43 @@ class ControlChannel:
         slots = int(self._rng.integers(0, 2 ** min(attempt + 1, 10)))
         return self._slot * (1 + slots)
 
+    def _schedule_backoff(
+        self, packet: ControlPacket, sender_lc: int, attempt: int, *, label: str
+    ) -> None:
+        """Back off after a collision and retry the transmission."""
+        wait = self._backoff(attempt)
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "bus.ctl.backoff",
+                t=self._engine.now,
+                packet=packet.kind.value,
+                sender_lc=sender_lc,
+                attempt=attempt,
+                wait_s=wait,
+            )
+        self._engine.schedule_in(
+            wait, lambda: self._attempt(packet, sender_lc, attempt + 1), label=label
+        )
+
     def _deliver(self, packet: ControlPacket, sender_lc: int) -> None:
         self._tx_abort = None
         self._tx_inflight = None
         self.sent += 1
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("bus.ctl.sent").inc()
+            _metrics.REGISTRY.counter(f"bus.ctl.sent.{packet.kind.value}").inc()
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "bus.ctl.deliver",
+                t=self._engine.now,
+                packet=packet.kind.value,
+                sender_lc=sender_lc,
+                init_lc=packet.init_lc,
+                rec_lc=packet.rec_lc,
+                data_rate=packet.data_rate,
+                fault=getattr(packet.faulty_component, "value", None),
+                protocol=getattr(packet.protocol, "value", None),
+            )
         for lc_id, handler in list(self._handlers.items()):
             if lc_id != sender_lc:
                 handler(packet)
@@ -223,6 +283,17 @@ class DataChannel:
         lp_id = self._arbiter.establish(lc_id)
         self._allocator.register(lc_id, requested_bps)
         self._lps[lc_id] = _LPQueue(lc_id=lc_id)
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("bus.lp.opened").inc()
+            _metrics.REGISTRY.gauge("bus.lp.open").set(len(self._lps))
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "bus.lp.open",
+                t=self._engine.now,
+                lc=lc_id,
+                lp_id=lp_id,
+                requested_bps=requested_bps,
+            )
         return lp_id
 
     def close_lp(self, lc_id: int, *, on_closed: Callable[[], None] | None = None) -> None:
@@ -243,6 +314,11 @@ class DataChannel:
         lp = self._lps.pop(lc_id)
         self._arbiter.release(lc_id)
         self._allocator.deregister(lc_id)
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("bus.lp.closed").inc()
+            _metrics.REGISTRY.gauge("bus.lp.open").set(len(self._lps))
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit("bus.lp.close", t=self._engine.now, lc=lc_id)
         if lp.on_closed is not None:
             lp.on_closed()
 
@@ -259,19 +335,34 @@ class DataChannel:
         """
         lp = self._lps.get(lc_id)
         if lp is None or lp.closing or not self.healthy:
-            self.dropped_packets += 1
+            self._drop(lc_id, size_bytes, "no_lp" if lp is None or lp.closing else "unhealthy")
             return False
         if lp.buffered_bytes + size_bytes > self._buffer_limit:
-            self.dropped_packets += 1
+            self._drop(lc_id, size_bytes, "buffer_full")
             return False
         eligible = self._allocator.charge(lc_id, size_bytes, self._engine.now)
         if eligible == float("inf"):
-            self.dropped_packets += 1
+            self._drop(lc_id, size_bytes, "rate_limited")
             return False
         lp.queue.append(_QueuedTransfer(size_bytes, eligible, deliver))
         lp.buffered_bytes += size_bytes
         self._maybe_transmit()
         return True
+
+    def _drop(self, lc_id: int, size_bytes: int, reason: str) -> None:
+        """Count one dropped data transfer (with its reason, when observed)."""
+        self.dropped_packets += 1
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("bus.data.dropped").inc()
+            _metrics.REGISTRY.counter(f"bus.data.dropped.{reason}").inc()
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "bus.data.drop",
+                t=self._engine.now,
+                lc=lc_id,
+                size_bytes=size_bytes,
+                reason=reason,
+            )
 
     def fail(self) -> None:
         """Passive-line failure: buffered and in-flight packets are lost,
@@ -311,6 +402,16 @@ class DataChannel:
         item = lp.queue.popleft()
         lp.buffered_bytes -= item.size_bytes
         duration = self._turn_overhead + item.size_bytes * 8.0 / self._rate
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("bus.tdm.grants").inc()
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "bus.tdm.grant",
+                t=self._engine.now,
+                lc=lp.lc_id,
+                size_bytes=item.size_bytes,
+                duration_s=duration,
+            )
 
         def finish() -> None:
             self._busy = False

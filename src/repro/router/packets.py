@@ -67,6 +67,9 @@ class Packet:
     created_at: float
     pkt_id: int = field(default_factory=lambda: next(_packet_ids))
     delivered_at: float | None = None
+    #: set once the packet reached a terminal state (delivered or
+    #: dropped); late events for the same packet must not count again.
+    terminated: bool = False
     path: list[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:

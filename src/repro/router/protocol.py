@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.router.bus import EIB
 from repro.router.components import ComponentKind
 from repro.router.linecard import Linecard
@@ -448,6 +450,17 @@ class EIBProtocol:
         stream.state = StreamState.ACTIVE
         self._acquire_lp(stream.sender_lc, stream.rate_bps)
         self._stats.streams_established += 1
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("protocol.streams_established").inc()
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "protocol.stream_active",
+                t=self._engine.now,
+                init_lc=stream.init_lc,
+                covering_lc=stream.covering_lc,
+                rate_bps=stream.rate_bps,
+                req_id=req_id,
+            )
         self._flush_waiters(stream, stream)
 
     def _on_solicit_timeout(self, req_id: int) -> None:
@@ -463,6 +476,15 @@ class EIBProtocol:
         stream.failed_at = self._engine.now
         stream.covering_lc = None
         self._stats.streams_failed += 1
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("protocol.streams_failed").inc()
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "protocol.stream_failed",
+                t=self._engine.now,
+                init_lc=stream.init_lc,
+                req_id=stream.req_id,
+            )
         self._flush_waiters(stream, None)
 
     def _flush_waiters(

@@ -18,8 +18,11 @@ LC_inter that finishes processing and relays over the EIB).
 from __future__ import annotations
 
 import enum
+from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.router.components import ComponentKind
 from repro.router.linecard import Linecard
 from repro.router.packets import Packet
@@ -33,14 +36,32 @@ class FaultMap:
     def __init__(self) -> None:
         self._failed: dict[int, set[ComponentKind]] = {}
         self.eib_healthy = True
+        #: optional simulation-clock callable used to timestamp trace
+        #: events (wired by :class:`~repro.router.router.Router`).
+        self.clock: Callable[[], float] | None = None
+
+    def _now(self) -> float | None:
+        return self.clock() if self.clock is not None else None
 
     def mark_failed(self, lc_id: int, kind: ComponentKind) -> None:
         """Record a component failure."""
         self._failed.setdefault(lc_id, set()).add(kind)
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("recovery.faults_marked").inc()
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "recovery.fault_mark", t=self._now(), lc=lc_id, component=kind.value
+            )
 
     def mark_repaired(self, lc_id: int, kind: ComponentKind) -> None:
         """Clear a component failure."""
         self._failed.get(lc_id, set()).discard(kind)
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("recovery.faults_repaired").inc()
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "recovery.fault_clear", t=self._now(), lc=lc_id, component=kind.value
+            )
 
     def failed_at(self, lc_id: int) -> set[ComponentKind]:
         """Failed component kinds at ``lc_id``."""
@@ -106,6 +127,23 @@ class CoveragePlan:
             or self.egress_mode is not EgressMode.FABRIC
         )
 
+    @property
+    def case_tags(self) -> list[str]:
+        """Section 3.2 case labels this plan exercises.
+
+        ``case1`` -- remote lookup service (lone LFE fault, REQ_L/REP_L);
+        ``case2`` -- ingress-side coverage stream to an LC_inter;
+        ``case3`` -- egress-side EIB leg (direct or via LC_inter).
+        """
+        tags = []
+        if self.remote_lookup:
+            tags.append("case1")
+        if self.ingress_fault is not None:
+            tags.append("case2")
+        if self.egress_mode is not EgressMode.FABRIC:
+            tags.append("case3")
+        return tags
+
 
 class CoveragePlanner:
     """Derives per-packet coverage plans from the fault map.
@@ -120,9 +158,46 @@ class CoveragePlanner:
     def __init__(self, linecards: dict[int, Linecard], faults: FaultMap) -> None:
         self._lcs = linecards
         self._faults = faults
+        #: optional simulation-clock callable for trace timestamps.
+        self.clock: Callable[[], float] | None = None
 
     def plan(self, packet: Packet) -> CoveragePlan:
-        """Build the coverage plan for ``packet`` under the current faults."""
+        """Build the coverage plan for ``packet`` under the current faults.
+
+        Non-trivial plans (any EIB leg, or a drop decision) are emitted to
+        the active tracer as ``coverage.plan`` events carrying the
+        Section 3.2 case tags; healthy fabric-only plans stay untraced to
+        bound trace volume on fault-free traffic.
+        """
+        plan = self._plan(packet)
+        if plan.drop is not None or plan.uses_eib:
+            if _metrics.REGISTRY is not None:
+                reg = _metrics.REGISTRY
+                for tag in plan.case_tags:
+                    reg.counter(f"coverage.plans.{tag}").inc()
+                if plan.drop is not None:
+                    reg.counter("coverage.plans.dropped").inc()
+            if _trace.TRACER is not None:
+                _trace.TRACER.emit(
+                    "coverage.plan",
+                    t=self.clock() if self.clock is not None else None,
+                    src_lc=packet.src_lc,
+                    dst_lc=packet.dst_lc,
+                    cases=plan.case_tags,
+                    egress_mode=plan.egress_mode.value,
+                    drop=plan.drop,
+                )
+                if plan.egress_mode is not EgressMode.FABRIC:
+                    _trace.TRACER.emit(
+                        "coverage.egress_mode",
+                        t=self.clock() if self.clock is not None else None,
+                        dst_lc=packet.dst_lc,
+                        mode=plan.egress_mode.value,
+                        fault=None if plan.egress_fault is None else plan.egress_fault.value,
+                    )
+        return plan
+
+    def _plan(self, packet: Packet) -> CoveragePlan:
         src, dst = packet.src_lc, packet.dst_lc
         f_src = self._faults.failed_at(src)
         f_dst = self._faults.failed_at(dst)

@@ -125,6 +125,8 @@ class Router:
         )
 
         self.faults = FaultMap()
+        # Timestamp fault-map / planner trace events with simulation time.
+        self.faults.clock = lambda: self.engine.now
         if config.mode is RouterMode.DRA:
             self.eib: EIB | None = EIB(
                 self.engine,
@@ -136,6 +138,7 @@ class Router:
             self.planner: CoveragePlanner | None = CoveragePlanner(
                 self.linecards, self.faults
             )
+            self.planner.clock = lambda: self.engine.now
             self.protocol: EIBProtocol | None = EIBProtocol(
                 self.engine, self.eib, self.linecards, self.stats, self.rng.stream("protocol")
             )
@@ -624,6 +627,11 @@ class Router:
     # -- terminal states ---------------------------------------------------------
 
     def _deliver(self, packet: Packet, dst: int) -> None:
+        if packet.terminated:
+            # e.g. straggler fabric cells completed a reassembly that a
+            # flush already aborted; the packet was counted as dropped.
+            return
+        packet.terminated = True
         packet.delivered_at = self.engine.now
         packet.hop(f"out@LC{dst}")
         self.stats.delivered += 1
@@ -633,5 +641,11 @@ class Router:
             self.stats.covered_deliveries += 1
 
     def _drop(self, packet: Packet, reason: str) -> None:
+        if packet.terminated:
+            # A packet dies only once: a reassembly flush followed by the
+            # straggler cells' timeout (or a mid-transfer fabric drop plus
+            # the cells already in flight) must not inflate the drop count.
+            return
+        packet.terminated = True
         packet.hop(f"drop:{reason}")
         self.stats.drop(reason)

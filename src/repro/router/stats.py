@@ -7,6 +7,7 @@ keyed by reason), latency moments, EIB usage and coverage activity.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -15,11 +16,20 @@ __all__ = ["RouterStats", "LatencyAccumulator"]
 
 @dataclass
 class LatencyAccumulator:
-    """Streaming mean/min/max/count of packet latencies (no sample list,
-    so long runs stay O(1) in memory)."""
+    """Streaming latency moments (count/mean/variance/min/max) in O(1)
+    memory.
+
+    The mean and variance use Welford's online update, and
+    :meth:`merge` applies the parallel (Chan et al.) combination rule,
+    so accumulators filled independently -- e.g. on separate runtime
+    chunks -- reduce to exactly the moments a single sequential pass
+    would produce (up to floating-point reassociation).
+    """
 
     count: int = 0
-    total: float = 0.0
+    mean: float = 0.0
+    #: sum of squared deviations from the running mean (Welford's M2)
+    m2: float = 0.0
     min_value: float = float("inf")
     max_value: float = 0.0
 
@@ -28,14 +38,67 @@ class LatencyAccumulator:
         if value < 0.0:
             raise ValueError(f"negative latency {value}")
         self.count += 1
-        self.total += value
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
         self.min_value = min(self.min_value, value)
         self.max_value = max(self.max_value, value)
 
+    def merge(self, other: "LatencyAccumulator") -> None:
+        """Fold another accumulator into this one (parallel Welford).
+
+        Examples
+        --------
+        >>> a, b, ref = LatencyAccumulator(), LatencyAccumulator(), LatencyAccumulator()
+        >>> for v in (1.0, 2.0): a.add(v)
+        >>> for v in (3.0, 4.0): b.add(v)
+        >>> for v in (1.0, 2.0, 3.0, 4.0): ref.add(v)
+        >>> a.merge(b)
+        >>> a.count == ref.count and abs(a.variance - ref.variance) < 1e-12
+        True
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self.m2 = other.m2
+            self.min_value = other.min_value
+            self.max_value = other.max_value
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self.m2 += other.m2 + delta * delta * self.count * other.count / total
+        self.count = total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+
     @property
-    def mean(self) -> float:
-        """Mean latency (0.0 before any sample)."""
-        return self.total / self.count if self.count else 0.0
+    def total(self) -> float:
+        """Sum of recorded latencies (mean * count)."""
+        return self.mean * self.count
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0.0 with fewer than two samples)."""
+        return self.m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (0.0 with fewer than two samples)."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample, normalized to 0.0 when nothing was recorded
+        (never renders the internal ``inf`` sentinel)."""
+        return self.min_value if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample (0.0 when nothing was recorded)."""
+        return self.max_value if self.count else 0.0
 
 
 @dataclass
@@ -71,15 +134,33 @@ class RouterStats:
         """Record one dropped packet under ``reason``."""
         self.drops[reason] += 1
 
+    def merge(self, other: "RouterStats") -> None:
+        """Fold another stats block into this one (chunked runs reduce)."""
+        self.offered += other.offered
+        self.delivered += other.delivered
+        self.drops.update(other.drops)
+        self.latency.merge(other.latency)
+        self.delivered_by_lc.update(other.delivered_by_lc)
+        self.covered_deliveries += other.covered_deliveries
+        self.streams_established += other.streams_established
+        self.streams_failed += other.streams_failed
+        self.remote_lookups += other.remote_lookups
+
     def summary(self) -> str:
-        """Multi-line human-readable digest."""
+        """Multi-line human-readable digest.
+
+        Latency renders as mean +/- sample stdev with the min/max
+        envelope; an empty accumulator shows zeros, never ``inf``.
+        """
+        lat = self.latency
         lines = [
             f"offered            {self.offered}",
             f"delivered          {self.delivered} ({self.delivery_ratio:.2%})",
             f"covered deliveries {self.covered_deliveries}",
             f"remote lookups     {self.remote_lookups}",
             f"streams ok/failed  {self.streams_established}/{self.streams_failed}",
-            f"mean latency       {self.latency.mean * 1e6:.2f} us",
+            f"latency            {lat.mean * 1e6:.2f} +/- {lat.stdev * 1e6:.2f} us "
+            f"(min {lat.minimum * 1e6:.2f}, max {lat.maximum * 1e6:.2f})",
         ]
         for reason, count in self.drops.most_common():
             lines.append(f"drop[{reason}]  {count}")

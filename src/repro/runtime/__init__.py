@@ -26,7 +26,7 @@ guarantee and benchmarking instructions.
 """
 
 from repro.runtime.cache import ResultCache, stable_hash
-from repro.runtime.executor import effective_jobs, parallel_map
+from repro.runtime.executor import effective_jobs, metered_parallel_map, parallel_map
 from repro.runtime.montecarlo import (
     parallel_structure_function_reliability,
     parallel_unavailability_importance_sampling,
@@ -43,6 +43,7 @@ __all__ = [
     "stable_hash",
     "effective_jobs",
     "parallel_map",
+    "metered_parallel_map",
     "parallel_structure_function_reliability",
     "parallel_unavailability_importance_sampling",
     "parallel_reliability_sweep",

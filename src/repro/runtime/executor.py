@@ -18,12 +18,15 @@ argument tuple.
 
 from __future__ import annotations
 
+import functools
 import os
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from typing import TypeVar
+from typing import Any, TypeVar
 
-__all__ = ["effective_jobs", "parallel_map"]
+from repro.obs import metrics as _metrics
+
+__all__ = ["effective_jobs", "parallel_map", "metered_parallel_map"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -81,3 +84,41 @@ def parallel_map(
         chunksize = default_chunksize(len(items), workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))
+
+
+def _collected_call(fn: Callable[[Any], Any], item: Any) -> tuple[Any, dict]:
+    """Run one task under a fresh worker-local registry; ship its snapshot."""
+    registry = _metrics.MetricsRegistry()
+    with _metrics.collecting(registry):
+        result = fn(item)
+    return result, registry.snapshot()
+
+
+def metered_parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    *,
+    jobs: int = 1,
+    chunksize: int | None = None,
+) -> list[_R]:
+    """:func:`parallel_map` that keeps the driver's metrics registry whole.
+
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is active in the
+    driving process and the work fans out to a pool, each worker task
+    collects into a fresh registry whose snapshot rides back with the
+    result; snapshots merge here **in submission order** -- the same
+    reduction discipline as ``CycleStatistics`` -- so metric content is
+    identical for any ``jobs`` value.  With no active registry (or on the
+    serial path, where hooks hit the active registry directly) this is
+    exactly :func:`parallel_map`.
+    """
+    registry = _metrics.get_registry()
+    items = list(items)
+    if registry is None or jobs <= 1 or len(items) <= 1:
+        return parallel_map(fn, items, jobs=jobs, chunksize=chunksize)
+    pairs = parallel_map(
+        functools.partial(_collected_call, fn), items, jobs=jobs, chunksize=chunksize
+    )
+    for _, snapshot in pairs:
+        registry.merge_snapshot(snapshot)
+    return [result for result, _ in pairs]

@@ -35,7 +35,7 @@ from repro.montecarlo.importance import (
     result_from_statistics,
 )
 from repro.montecarlo.lifetime import LifetimeEstimate, sample_lc_failure_times
-from repro.runtime.executor import effective_jobs, parallel_map
+from repro.runtime.executor import effective_jobs, metered_parallel_map
 from repro.runtime.timing import RuntimeMetrics, Stopwatch
 
 __all__ = [
@@ -115,7 +115,7 @@ def parallel_structure_function_reliability(
         (config, times, size, seed, rates) for size, seed in zip(sizes, seeds)
     ]
     with Stopwatch() as sw:
-        counts = parallel_map(_lifetime_chunk, payloads, jobs=jobs)
+        counts = metered_parallel_map(_lifetime_chunk, payloads, jobs=jobs)
     survivors = np.sum(counts, axis=0, dtype=np.int64)
     r_hat = survivors / n_samples
     se = np.sqrt(np.clip(r_hat * (1.0 - r_hat), 0.0, None) / n_samples)
@@ -190,7 +190,7 @@ def parallel_unavailability_importance_sampling(
         for size, seed in zip(sizes, seeds)
     ]
     with Stopwatch() as sw:
-        stats = parallel_map(_is_chunk, payloads, jobs=jobs)
+        stats = metered_parallel_map(_is_chunk, payloads, jobs=jobs)
     merged = reduce(CycleStatistics.merge, stats)
     if metrics is not None:
         metrics.record(

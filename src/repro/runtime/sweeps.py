@@ -32,7 +32,7 @@ from repro.analysis.sweep import (
 from repro.core.parameters import FailureRates, RepairPolicy
 from repro.core.performance import DEFAULT_LC_CAPACITY_GBPS
 from repro.runtime.cache import ResultCache
-from repro.runtime.executor import effective_jobs, parallel_map
+from repro.runtime.executor import effective_jobs, metered_parallel_map
 from repro.runtime.timing import RuntimeMetrics, Stopwatch
 
 __all__ = [
@@ -63,7 +63,7 @@ def _fill_units(
                 results[idx] = value
                 continue
         missing.append(idx)
-    computed = parallel_map(task, [payloads[i] for i in missing], jobs=jobs)
+    computed = metered_parallel_map(task, [payloads[i] for i in missing], jobs=jobs)
     for idx, value in zip(missing, computed):
         results[idx] = value
         if cache is not None and keys is not None:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Callable
 
+from repro.obs import trace as _trace
 from repro.sim.events import Event, EventHandle
 
 __all__ = ["Engine", "SimulationError"]
@@ -108,8 +109,16 @@ class Engine:
                     break
                 heapq.heappop(self._queue)
                 if ev.cancelled:
+                    if _trace.TRACER is not None:
+                        _trace.TRACER.emit(
+                            "sim.cancel", t=self._now, label=ev.label, event_seq=ev.seq
+                        )
                     continue
                 self._now = ev.time
+                if _trace.TRACER is not None:
+                    _trace.TRACER.emit(
+                        "sim.fire", t=ev.time, label=ev.label, event_seq=ev.seq
+                    )
                 ev.action()
                 self._events_processed += 1
                 fired += 1
@@ -128,8 +137,16 @@ class Engine:
         while self._queue:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:
+                if _trace.TRACER is not None:
+                    _trace.TRACER.emit(
+                        "sim.cancel", t=self._now, label=ev.label, event_seq=ev.seq
+                    )
                 continue
             self._now = ev.time
+            if _trace.TRACER is not None:
+                _trace.TRACER.emit(
+                    "sim.fire", t=ev.time, label=ev.label, event_seq=ev.seq
+                )
             ev.action()
             self._events_processed += 1
             return True

@@ -1,0 +1,115 @@
+"""Metrics registry tests: counters/gauges/histograms and exact merge."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    collecting,
+)
+
+
+class TestMetricTypes:
+    def test_counter_inc_and_merge(self):
+        a = MetricsRegistry()
+        a.counter("hits").inc()
+        a.counter("hits").inc(2.0)
+        b = MetricsRegistry()
+        b.counter("hits").inc(4.0)
+        a.merge(b)
+        assert a.counter("hits").value == 7.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1.0)
+
+    def test_gauge_tracks_envelope(self):
+        g = GaugeMetric()
+        for v in (3.0, -1.0, 2.0):
+            g.set(v)
+        assert g.last == 2.0
+        assert g.min_value == -1.0 and g.max_value == 3.0
+        assert g.updates == 3
+
+    def test_gauge_merge_ignores_untouched(self):
+        g = GaugeMetric()
+        g.set(5.0)
+        g.merge(GaugeMetric())  # no updates: keep our last/min/max
+        assert g.last == 5.0 and g.updates == 1
+
+    def test_histogram_buckets_and_mean(self):
+        h = HistogramMetric(bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1]
+        assert h.mean == pytest.approx(55.5 / 3)
+        assert h.min_value == 0.5 and h.max_value == 50.0
+
+    def test_histogram_merge_requires_matching_bounds(self):
+        h = HistogramMetric(bounds=(1.0,))
+        with pytest.raises(ValueError):
+            h.merge(HistogramMetric(bounds=(2.0,)))
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+
+class TestSnapshotReduction:
+    def _worker(self, values):
+        reg = MetricsRegistry()
+        for v in values:
+            reg.counter("n").inc()
+            reg.gauge("g").set(v)
+            reg.histogram("h", bounds=(1.0, 2.0)).observe(v)
+        return reg.snapshot()
+
+    def test_snapshot_round_trip(self):
+        snap = self._worker([0.5, 1.5])
+        reg = MetricsRegistry()
+        reg.merge_snapshot(snap)
+        assert reg.snapshot() == snap
+
+    def test_merge_in_chunk_order_is_grouping_independent(self):
+        # Same chunks, different pool groupings -> identical totals; this
+        # is the property metered_parallel_map relies on.
+        chunks = [[0.5], [1.5, 2.5], [0.1, 3.0]]
+        serial = MetricsRegistry()
+        for c in chunks:
+            serial.merge_snapshot(self._worker(c))
+        grouped = MetricsRegistry()
+        grouped.merge_snapshot(self._worker(chunks[0]))
+        regrouped = MetricsRegistry()
+        regrouped.merge_snapshot(self._worker(chunks[1]))
+        regrouped.merge_snapshot(self._worker(chunks[2]))
+        grouped.merge(regrouped)
+        assert grouped.snapshot() == serial.snapshot()
+        assert serial.counter("n").value == 5.0
+        assert serial.gauge("g").min_value == 0.1
+        assert serial.histogram("h", (1.0, 2.0)).counts == [2, 1, 2]
+
+    def test_unknown_snapshot_version_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_snapshot({"v": 99, "metrics": {}})
+
+
+class TestGlobalHook:
+    def test_collecting_activates_and_restores(self):
+        assert metrics.get_registry() is None
+        with collecting() as reg:
+            assert metrics.get_registry() is reg
+        assert metrics.get_registry() is None
+
+    def test_format_table_lists_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("bus.ctl.collisions").inc(3)
+        reg.gauge("solver.residual").set(1e-15)
+        table = reg.format_table()
+        assert "bus.ctl.collisions" in table and "counter" in table
+        assert "solver.residual" in table and "gauge" in table

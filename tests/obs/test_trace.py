@@ -1,0 +1,80 @@
+"""Tracer tests: emission, JSONL round-trip, schema validation, hooks."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import TraceEvent, Tracer, read_trace, tracing
+
+
+class TestTracer:
+    def test_emit_keeps_events_in_memory(self):
+        t = Tracer()
+        t.emit("demo.a", t=1.0, x=1)
+        t.emit("demo.b")
+        assert [e.kind for e in t.events] == ["demo.a", "demo.b"]
+        assert t.events[0].seq == 0 and t.events[1].seq == 1
+        assert t.events[0].data == {"x": 1}
+        assert t.events[1].t is None
+        assert t.emitted == 2
+
+    def test_file_tracer_streams_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(str(path)) as t:
+            t.emit("demo.a", t=0.5, n=3)
+            t.emit("demo.b", flag=True)
+            assert t.events == []  # file tracers stay O(1) in memory
+        events = read_trace(str(path))
+        assert [e.kind for e in events] == ["demo.a", "demo.b"]
+        assert events[0].t == 0.5 and events[0].data == {"n": 3}
+        assert events[1].data == {"flag": True}
+
+    def test_json_round_trip(self):
+        ev = TraceEvent(seq=7, kind="bus.ctl.deliver", t=1e-5, data={"lc": 2})
+        assert TraceEvent.from_json(ev.to_json()) == ev
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"v": 99, "seq": 0, "kind": "x", "data": {}}',
+            '{"v": 1, "seq": "zero", "kind": "x", "data": {}}',
+            '{"v": 1, "seq": 0, "kind": "", "data": {}}',
+            '{"v": 1, "seq": 0, "kind": "x", "t": "late", "data": {}}',
+            '{"v": 1, "seq": 0, "kind": "x", "data": [1]}',
+        ],
+    )
+    def test_schema_violations_rejected(self, line):
+        with pytest.raises(ValueError):
+            TraceEvent.from_json(line)
+
+    def test_read_trace_names_offending_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = TraceEvent(seq=0, kind="ok").to_json()
+        path.write_text(good + "\n{broken\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            read_trace(str(path))
+
+
+class TestGlobalHook:
+    def test_tracing_activates_and_restores(self):
+        assert trace.get_tracer() is None
+        with tracing() as t:
+            assert trace.get_tracer() is t
+            t.emit("demo.inside")
+        assert trace.get_tracer() is None
+        assert t.events[0].kind == "demo.inside"
+
+    def test_tracing_nests(self):
+        with tracing() as outer:
+            with tracing() as inner:
+                assert trace.get_tracer() is inner
+            assert trace.get_tracer() is outer
+        assert outer is not inner
+
+    def test_tracing_accepts_existing_tracer(self, tmp_path):
+        t = Tracer()
+        with tracing(t) as active:
+            assert active is t
+        t.emit("demo.after")  # not closed: caller owns it
+        assert t.emitted == 1

@@ -1,0 +1,141 @@
+"""EIB observability: collision/backoff counters and drop-reason accounting.
+
+Drives the control channel through a forced-collision scenario (two
+stations starting at the same instant sit inside the CSMA/CD
+vulnerability window) and the data channel through each drop path, then
+checks that the metrics registry and the tracer saw what the channel's
+own statistics saw.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, collecting
+from repro.obs.trace import Tracer, tracing
+from repro.router.arbitration import DistributedArbiter
+from repro.router.bandwidth import EIBBandwidthAllocator
+from repro.router.bus import ControlChannel, DataChannel
+from repro.router.packets import ControlKind, ControlPacket
+from repro.router.stats import RouterStats
+from repro.sim import Engine
+
+
+def force_collision(engine, chan, n_senders=2):
+    """Schedule ``n_senders`` broadcasts at the same instant."""
+    delivered = []
+    chan.attach(99, lambda p: delivered.append(p.init_lc))
+    for lc in range(n_senders):
+        pkt = ControlPacket(kind=ControlKind.REQ_D, init_lc=lc, data_rate=1.0)
+        engine.schedule(0.0, lambda p=pkt, s=lc: chan.broadcast(p, s))
+    engine.run()
+    return delivered
+
+
+class TestForcedCollision:
+    def test_collision_and_backoff_counters(self):
+        engine = Engine()
+        chan = ControlChannel(engine, np.random.default_rng(0))
+        registry = MetricsRegistry()
+        with collecting(registry), tracing(Tracer()) as tracer:
+            delivered = force_collision(engine, chan)
+
+        # Both packets eventually arrive despite the collision.
+        assert sorted(delivered) == [0, 1]
+        assert chan.collisions >= 1
+        assert registry.counter("bus.ctl.collisions").value == chan.collisions
+        assert registry.counter("bus.ctl.sent").value == chan.sent == 2
+        assert registry.counter("bus.ctl.sent.REQ_D").value == 2
+
+        kinds = [e.kind for e in tracer.events]
+        assert kinds.count("bus.ctl.collision") == chan.collisions
+        # A collision aborts both stations; each retry logs a backoff.
+        backoffs = [e for e in tracer.events if e.kind == "bus.ctl.backoff"]
+        assert len(backoffs) >= 2
+        assert all(e.data["wait_s"] >= 0.0 for e in backoffs)
+        collision = next(e for e in tracer.events if e.kind == "bus.ctl.collision")
+        assert {collision.data["sender_lc"], collision.data["other_lc"]} == {0, 1}
+
+    def test_untraced_run_behaves_identically(self):
+        # The hooks must not perturb the RNG stream or the schedule.
+        def run():
+            engine = Engine()
+            chan = ControlChannel(engine, np.random.default_rng(0))
+            force_collision(engine, chan)
+            return engine.now, chan.sent, chan.collisions
+
+        bare = run()
+        with collecting(MetricsRegistry()), tracing(Tracer()):
+            hooked = run()
+        assert hooked == bare
+
+
+class TestDropReasons:
+    def make_data(self, engine, capacity=8e9, **kw):
+        arb = DistributedArbiter([0, 1, 2])
+        return DataChannel(engine, arb, EIBBandwidthAllocator(capacity), **kw)
+
+    def test_no_lp_drop_reason(self):
+        engine = Engine()
+        data = self.make_data(engine)
+        registry = MetricsRegistry()
+        with collecting(registry), tracing(Tracer()) as tracer:
+            assert not data.enqueue(0, 1000, lambda: None)
+        assert data.dropped_packets == 1
+        assert registry.counter("bus.data.dropped").value == 1
+        assert registry.counter("bus.data.dropped.no_lp").value == 1
+        drop = next(e for e in tracer.events if e.kind == "bus.data.drop")
+        assert drop.data == {"lc": 0, "size_bytes": 1000, "reason": "no_lp"}
+
+    def test_buffer_full_drop_reason(self):
+        engine = Engine()
+        data = self.make_data(engine, buffer_bytes=1500)
+        data.open_lp(0, 1e9)
+        registry = MetricsRegistry()
+        with collecting(registry):
+            assert not data.enqueue(0, 2000, lambda: None)
+        assert registry.counter("bus.data.dropped.buffer_full").value == 1
+
+    def test_unhealthy_drop_reason(self):
+        engine = Engine()
+        data = self.make_data(engine)
+        data.open_lp(0, 1e9)
+        data.healthy = False
+        registry = MetricsRegistry()
+        with collecting(registry):
+            assert not data.enqueue(0, 1000, lambda: None)
+        assert registry.counter("bus.data.dropped.unhealthy").value == 1
+
+
+class TestRouterStatsDropAccounting:
+    def test_drop_reasons_sum_to_dropped(self):
+        s = RouterStats()
+        for reason in ("no_route", "no_route", "egress_down", "eib_drop"):
+            s.drop(reason)
+        assert s.dropped == 4
+        assert sum(s.drops.values()) == s.dropped
+        assert s.drops == {"no_route": 2, "egress_down": 1, "eib_drop": 1}
+
+    def test_summary_lists_every_reason(self):
+        s = RouterStats()
+        s.offered = 3
+        s.drop("no_route")
+        s.drop("eib_drop")
+        text = s.summary()
+        assert "no_route" in text and "eib_drop" in text
+
+    def test_summary_min_latency_zero_when_nothing_delivered(self):
+        # Regression: an empty accumulator used to render min = inf.
+        text = RouterStats().summary()
+        assert "inf" not in text
+
+    def test_merge_folds_drops_and_latency(self):
+        a, b = RouterStats(), RouterStats()
+        a.drop("x")
+        a.latency.add(1e-6)
+        b.drop("x")
+        b.drop("y")
+        b.latency.add(3e-6)
+        a.merge(b)
+        assert a.drops == {"x": 2, "y": 1}
+        assert a.latency.count == 2
+        assert a.latency.mean == pytest.approx(2e-6)

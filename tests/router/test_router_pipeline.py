@@ -226,3 +226,38 @@ class TestLoadAccounting:
         r = make_router()
         with pytest.raises(ValueError, match="negative"):
             r.set_offered_load(0, -1.0)
+
+
+class TestTerminalStateIdempotence:
+    """A packet reaches exactly one terminal state, however it dies.
+
+    Regression for a conservation-law violation found by the fuzzer: an
+    SRU fault flushed a reassembly (drop #1) while the packet's straggler
+    cells were still crossing the fabric; the stragglers re-opened the
+    reassembly, whose timeout dropped the same packet a second time,
+    leaving offered - delivered - dropped negative.
+    """
+
+    def test_flush_then_straggler_timeout_counts_one_drop(self):
+        r = make_router()
+        pkt = send(r, src=0, dst=1, size=9000)  # segments into many cells
+        # Let the first cells land at LC1, then kill its SRU mid-flight.
+        r.run(until=6e-6)
+        assert r.reassembly[1].occupancy == 1  # partially reassembled
+        r.inject_fault(1, ComponentKind.SRU)
+        assert r.reassembly[1].flushed == 1  # partial packet destroyed
+        r.run(until=0.05)  # past the reassembly timeout
+        s = r.stats
+        assert pkt.terminated
+        assert s.offered - s.delivered - s.dropped == 0
+        assert s.dropped == 1
+
+    def test_drop_then_deliver_is_ignored(self):
+        r = make_router()
+        pkt = send(r)
+        r._drop(pkt, DropReason.MID_FLIGHT_FAULT)
+        r._deliver(pkt, 1)
+        r._drop(pkt, DropReason.NO_ROUTE)
+        assert r.stats.dropped == 1
+        assert r.stats.delivered == 0
+        assert pkt.delivered_at is None

@@ -22,6 +22,56 @@ class TestLatencyAccumulator:
         with pytest.raises(ValueError):
             LatencyAccumulator().add(-1.0)
 
+    def test_welford_variance_matches_two_pass(self):
+        values = [1.5e-6, 2.5e-6, 9.0e-6, 4.0e-6, 0.5e-6]
+        acc = LatencyAccumulator()
+        for v in values:
+            acc.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert acc.mean == pytest.approx(mean)
+        assert acc.variance == pytest.approx(var)
+        assert acc.stdev == pytest.approx(var**0.5)
+
+    def test_variance_needs_two_samples(self):
+        acc = LatencyAccumulator()
+        assert acc.variance == 0.0 and acc.stdev == 0.0
+        acc.add(1.0)
+        assert acc.variance == 0.0
+
+    def test_merge_equals_sequential(self):
+        left, right, ref = (
+            LatencyAccumulator(),
+            LatencyAccumulator(),
+            LatencyAccumulator(),
+        )
+        values = [3e-6, 1e-6, 4e-6, 1e-6, 5e-6, 9e-6]
+        for v in values[:2]:
+            left.add(v)
+            ref.add(v)
+        for v in values[2:]:
+            right.add(v)
+            ref.add(v)
+        left.merge(right)
+        assert left.count == ref.count
+        assert left.mean == pytest.approx(ref.mean)
+        assert left.variance == pytest.approx(ref.variance)
+        assert left.min_value == ref.min_value
+        assert left.max_value == ref.max_value
+
+    def test_merge_with_empty_is_identity(self):
+        acc = LatencyAccumulator()
+        acc.add(2.0)
+        acc.merge(LatencyAccumulator())
+        assert acc.count == 1 and acc.mean == 2.0
+        empty = LatencyAccumulator()
+        empty.merge(acc)
+        assert empty.count == 1 and empty.mean == 2.0
+
+    def test_empty_minimum_is_zero_not_inf(self):
+        acc = LatencyAccumulator()
+        assert acc.minimum == 0.0 and acc.maximum == 0.0
+
 
 class TestRouterStats:
     def test_delivery_ratio(self):
@@ -48,3 +98,12 @@ class TestRouterStats:
         s.drop("no_route")
         text = s.summary()
         assert "offered" in text and "no_route" in text
+
+    def test_summary_latency_mean_plus_minus_stdev(self):
+        s = RouterStats()
+        s.delivered = 2
+        s.latency.add(2e-6)
+        s.latency.add(4e-6)
+        text = s.summary()
+        assert "+/-" in text
+        assert "3.00" in text  # mean in microseconds

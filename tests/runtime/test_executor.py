@@ -2,11 +2,20 @@
 
 import pytest
 
-from repro.runtime import effective_jobs, parallel_map
+from repro.obs.metrics import MetricsRegistry, collecting, get_registry
+from repro.runtime import effective_jobs, metered_parallel_map, parallel_map
 from repro.runtime.executor import default_chunksize
 
 
 def _square(x: int) -> int:
+    return x * x
+
+
+def _square_counted(x: int) -> int:
+    registry = get_registry()
+    if registry is not None:
+        registry.counter("squares").inc()
+        registry.gauge("last_input").set(float(x))
     return x * x
 
 
@@ -42,3 +51,23 @@ class TestParallelMap:
     def test_chunksize_floor(self):
         assert default_chunksize(1, 8) == 1
         assert default_chunksize(100, 2) == 12
+
+
+class TestMeteredParallelMap:
+    def test_no_registry_is_plain_map(self):
+        assert metered_parallel_map(_square, range(5), jobs=2) == [
+            x * x for x in range(5)
+        ]
+
+    def test_pool_metrics_match_serial(self):
+        # The driver registry must see identical content whether the work
+        # ran in-process or fanned out over workers.
+        with collecting(MetricsRegistry()) as serial_reg:
+            serial = metered_parallel_map(_square_counted, range(9), jobs=1)
+        with collecting(MetricsRegistry()) as pool_reg:
+            pooled = metered_parallel_map(_square_counted, range(9), jobs=3)
+        assert pooled == serial
+        assert pool_reg.snapshot() == serial_reg.snapshot()
+        assert pool_reg.counter("squares").value == 9
+        # Snapshots merge in submission order, so "last" is the last item.
+        assert pool_reg.gauge("last_input").last == 8.0

@@ -1,8 +1,11 @@
 """CLI smoke tests (everything short of the slow validate run)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import get_tracer, read_trace, tracing
 
 
 class TestCLI:
@@ -92,16 +95,39 @@ class TestRuntimeFlags:
         assert capsys.readouterr().out == serial
         assert "OK" in serial and "MISMATCH" not in serial
 
-    def test_bench_smoke(self, capsys):
+    def test_bench_smoke(self, tmp_path, capsys):
+        out_json = tmp_path / "BENCH_runtime.json"
         assert main(["bench", "--target", "mc", "--trials", "20000",
-                     "--jobs-list", "1,2"]) == 0
+                     "--jobs-list", "1,2", "--json-out", str(out_json)]) == 0
         out = capsys.readouterr().out
         assert "results identical across jobs: yes" in out
         assert "trials/s" in out and "speedup" in out
 
-    def test_bench_fig6_smoke(self, capsys):
-        assert main(["bench", "--target", "fig6", "--jobs-list", "1"]) == 0
+    def test_bench_fig6_smoke(self, tmp_path, capsys):
+        assert main(["bench", "--target", "fig6", "--jobs-list", "1",
+                     "--json-out", str(tmp_path / "b.json")]) == 0
         assert "points/s" in capsys.readouterr().out
+
+    def test_bench_writes_schema_versioned_json(self, tmp_path, capsys):
+        out_json = tmp_path / "BENCH_runtime.json"
+        assert main(["bench", "--target", "mc", "--trials", "20000",
+                     "--jobs-list", "1,2", "--json-out", str(out_json)]) == 0
+        assert f"wrote {out_json}" in capsys.readouterr().out
+        payload = json.loads(out_json.read_text())
+        assert payload["schema"] == "repro-bench" and payload["v"] == 1
+        assert payload["target"] == "mc" and payload["unit"] == "trials"
+        assert [s["jobs"] for s in payload["stages"]] == [1, 2]
+        for stage in payload["stages"]:
+            assert stage["wall_s"] > 0.0
+            assert stage["items"] == 20000
+            assert stage["throughput_per_s"] > 0.0
+        assert payload["stages"][0]["speedup_vs_first"] == 1.0
+
+    def test_bench_json_disabled_by_empty_path(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--target", "fig6", "--jobs-list", "1",
+                     "--json-out", ""]) == 0
+        assert not (tmp_path / "BENCH_runtime.json").exists()
 
     def test_report_runtime_section(self, capsys):
         assert main(["report", "--jobs", "1"]) == 0
@@ -113,3 +139,77 @@ class TestRuntimeFlags:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert main(["report", "--cache"]) == 0
         assert "miss(es)" in capsys.readouterr().out
+
+    def test_report_observability_section(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Observability — collected metrics" in out
+        assert "solver.stationary.solves" in out
+
+
+class TestTracing:
+    """The --trace flag and the trace subcommand."""
+
+    def test_fig8_trace_covers_every_event_family(self, tmp_path, capsys):
+        # The PR acceptance criterion: one fig8 run yields control-packet,
+        # collision, coverage-case and solver events.
+        path = tmp_path / "t.jsonl"
+        assert main(["fig8", "--n", "4", "--trace", str(path)]) == 0
+        kinds = {ev.kind for ev in read_trace(str(path))}
+        assert "bus.ctl.deliver" in kinds
+        assert "bus.ctl.collision" in kinds
+        assert "coverage.plan" in kinds
+        assert "solver.uniformization" in kinds
+        assert "solver.stationary" in kinds
+        coverage = next(ev for ev in read_trace(str(path))
+                        if ev.kind == "coverage.plan")
+        assert any(tag.startswith("case") for tag in coverage.data["cases"])
+
+    def test_trace_subcommand_summarizes(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(["fig8", "--n", "4", "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "schema v1 ok" in out
+        assert "bus.ctl.deliver" in out and "sim-time span" in out
+
+    def test_trace_subcommand_kind_filter_and_json(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        with tracing(str(path)) as t:
+            t.emit("demo.a", t=0.0)
+            t.emit("demo.a", t=1.0)
+            t.emit("other.b", t=2.0)
+        assert main(["trace", str(path), "--kind", "demo", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events"] == 2
+        assert payload["kinds"] == {"demo.a": 2}
+        assert payload["time_span_s"] == [0.0, 1.0]
+
+    def test_trace_subcommand_limit_prints_events(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        with tracing(str(path)) as t:
+            for i in range(5):
+                t.emit("demo.a", t=float(i), i=i)
+        assert main(["trace", str(path), "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count('"kind":"demo.a"') == 2
+
+    def test_trace_subcommand_schema_guard_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v": 99, "seq": 0, "kind": "x", "data": {}}\n')
+        assert main(["trace", str(path)]) == 1
+        assert "trace error" in capsys.readouterr().err
+
+    def test_trace_flag_on_analytic_subcommand(self, tmp_path, capsys):
+        # Any subcommand accepts --trace; a run with no instrumented
+        # activity still yields a valid (possibly empty) trace file.
+        path = tmp_path / "mttf.jsonl"
+        assert main(["mttf", "--configs", "3:2", "--trace", str(path)]) == 0
+        assert path.exists()
+        read_trace(str(path))  # schema-valid
+
+    def test_tracer_deactivated_after_run(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        assert main(["mttf", "--configs", "3:2", "--trace", str(path)]) == 0
+        assert get_tracer() is None
