@@ -1,0 +1,40 @@
+"""Fault detection and chaos engineering for the DRA model.
+
+The paper's dependability analysis (Sections 5-6) hangs on two
+quantities this package makes mechanical instead of assumed: the
+*coverage factor* ``c`` (here: the probability a self-test can see a
+fault at all) and the *fault-handling time* (here: self-test period +
+detection latency + FLT_N dissemination over the CSMA/CD control
+lines).
+
+* :mod:`~repro.chaos.detection` -- per-LC fault views converging
+  through self-tests, FLT_N/FLT_C notifications, and heartbeat
+  anti-entropy;
+* :mod:`~repro.chaos.invariants` -- whole-router consistency checks
+  (packet conservation, LP/stream bookkeeping, arbiter coherence,
+  fault-log lifecycles, view convergence);
+* :mod:`~repro.chaos.campaign` -- deterministic seeded fault schedules
+  fanned out over the parallel runtime, reporting violations with
+  trace windows.
+"""
+
+from repro.chaos.campaign import CampaignConfig, run_campaign, run_schedule
+from repro.chaos.detection import (
+    DetectionConfig,
+    DetectionEvent,
+    FaultDetector,
+    LocalFaultView,
+)
+from repro.chaos.invariants import Violation, check_invariants
+
+__all__ = [
+    "CampaignConfig",
+    "DetectionConfig",
+    "DetectionEvent",
+    "FaultDetector",
+    "LocalFaultView",
+    "Violation",
+    "check_invariants",
+    "run_campaign",
+    "run_schedule",
+]

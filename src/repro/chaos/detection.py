@@ -1,0 +1,343 @@
+"""Distributed fault detection over the EIB control lines.
+
+The paper's dependability models assume faults are detected with a
+coverage factor ``c`` and that the fault map travels in the control
+packets' processing-tier parameters; the executable model originally
+shortcut both with an oracle (one global :class:`FaultMap` updated the
+instant a unit died).  This module replaces the oracle with the
+mechanism:
+
+* every LC runs a periodic **self-test** over its own units.  A fault
+  becomes locally visible only once it is older than
+  ``detection_latency_s`` *and* the per-fault coverage draw (probability
+  ``coverage`` -- the Markov models' coverage factor) marked it
+  detectable at all;
+* a local detection triggers an ``FLT_N`` broadcast (and a repair an
+  ``FLT_C``) over the CSMA/CD control lines, updating every other LC's
+  :class:`LocalFaultView`;
+* periodic **heartbeats** (``HB``) re-advertise the sender's full
+  believed local fault set, so views reconverge even when individual
+  FLT_N/FLT_C packets were lost or garbled by a degraded control medium
+  (anti-entropy).
+
+Between fault onset and view convergence the coverage planner works from
+stale views: packets are planned onto dead hardware and dropped
+``component_failed_mid_flight`` -- the detection-latency window the
+chaos campaigns measure (the "oracle gap" of ``docs/chaos.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.obs import trace as _trace
+from repro.router.components import ComponentKind
+from repro.router.packets import ControlKind, ControlPacket
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (router imports us lazily)
+    from repro.router.recovery import FaultMap
+    from repro.router.router import Router
+
+__all__ = ["DetectionConfig", "DetectionEvent", "LocalFaultView", "FaultDetector"]
+
+
+@dataclass(frozen=True)
+class DetectionConfig:
+    """Timing and coverage parameters of the detection layer.
+
+    ``coverage`` maps onto the Markov models' coverage factor: each
+    fault draws once whether it is detectable by self-test at all.  An
+    undetectable fault stays invisible to every view until repaired (its
+    packet losses are exactly the uncovered-failure cost the analysis
+    charges to ``1 - c``).
+    """
+
+    #: period of each LC's local self-test scan
+    selftest_period_s: float = 20e-6
+    #: minimum fault age before a self-test can see it
+    detection_latency_s: float = 10e-6
+    #: probability a fault is detectable at all (the coverage factor)
+    coverage: float = 1.0
+    #: heartbeat anti-entropy period (0 disables heartbeats)
+    heartbeat_period_s: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.selftest_period_s <= 0.0:
+            raise ValueError("selftest_period_s must be positive")
+        if self.detection_latency_s < 0.0:
+            raise ValueError("detection_latency_s must be >= 0")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError(f"coverage must be in [0, 1], got {self.coverage}")
+        if self.heartbeat_period_s < 0.0:
+            raise ValueError("heartbeat_period_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One entry of the detector's log.
+
+    ``event`` is ``local_detect`` (self-test found a local fault),
+    ``local_clear`` (a detected local fault was repaired),
+    ``remote_learn`` / ``remote_clear`` (FLT_N / FLT_C received), or
+    ``hb_reconcile`` (a heartbeat changed the receiver's view).
+    """
+
+    time: float
+    observer_lc: int
+    subject_lc: int
+    kind: ComponentKind | None
+    event: str
+
+
+class LocalFaultView:
+    """One LC's *believed* fault map.
+
+    Mirrors the :class:`~repro.router.recovery.FaultMap` read API so the
+    coverage planner can consume either interchangeably.  ``eib_healthy``
+    delegates to ground truth: passive-line failure is sensed physically
+    by every bus controller, not learned from packets.
+    """
+
+    def __init__(self, owner_lc: int, faults: "FaultMap") -> None:
+        self.owner_lc = owner_lc
+        self._faults = faults
+        self._believed: dict[int, set[ComponentKind]] = {}
+
+    @property
+    def eib_healthy(self) -> bool:
+        """Ground-truth EIB line state (physically sensed)."""
+        return self._faults.eib_healthy
+
+    # -- writes (detector only) -------------------------------------------
+
+    def learn(self, lc_id: int, kind: ComponentKind) -> bool:
+        """Believe ``kind`` failed at ``lc_id``; True if this is news."""
+        kinds = self._believed.setdefault(lc_id, set())
+        if kind in kinds:
+            return False
+        kinds.add(kind)
+        return True
+
+    def forget(self, lc_id: int, kind: ComponentKind) -> bool:
+        """Stop believing ``kind`` failed at ``lc_id``; True on change."""
+        kinds = self._believed.get(lc_id)
+        if kinds is None or kind not in kinds:
+            return False
+        kinds.discard(kind)
+        if not kinds:
+            del self._believed[lc_id]
+        return True
+
+    def reconcile(self, lc_id: int, kinds: set[ComponentKind]) -> bool:
+        """Replace the believed set for ``lc_id`` (heartbeat); True on change."""
+        current = self._believed.get(lc_id, set())
+        if current == kinds:
+            return False
+        if kinds:
+            self._believed[lc_id] = set(kinds)
+        else:
+            self._believed.pop(lc_id, None)
+        return True
+
+    # -- FaultMap read API -------------------------------------------------
+
+    def failed_at(self, lc_id: int) -> set[ComponentKind]:
+        """Believed-failed component kinds at ``lc_id``."""
+        return set(self._believed.get(lc_id, set()))
+
+    def is_failed(self, lc_id: int, kind: ComponentKind) -> bool:
+        """True when this LC believes the given unit is down."""
+        return kind in self._believed.get(lc_id, set())
+
+    def any_failed(self, lc_id: int) -> bool:
+        """True when this LC believes any unit of ``lc_id`` is down."""
+        return bool(self._believed.get(lc_id))
+
+    def believed(self) -> dict[int, set[ComponentKind]]:
+        """Copy of the whole believed map (for invariant checks)."""
+        return {lc: set(kinds) for lc, kinds in self._believed.items()}
+
+
+@dataclass
+class _FaultInstance:
+    """Detector-side registry entry for one live hardware fault."""
+
+    onset: float
+    detectable: bool
+    detected: bool = False
+    detected_at: float | None = None
+
+
+class FaultDetector:
+    """Self-test + FLT_N/FLT_C/HB dissemination engine for one router.
+
+    Constructed (and wired) through
+    :meth:`repro.router.router.Router.enable_detection`.
+    """
+
+    def __init__(self, router: "Router", config: DetectionConfig) -> None:
+        if router.protocol is None or router.eib is None:
+            raise RuntimeError("fault detection needs the EIB protocol engine")
+        self._router = router
+        self.config = config
+        self._rng = router.rng.stream("detector")
+        #: per-LC believed fault maps, consumed by the coverage planner.
+        self.views: dict[int, LocalFaultView] = {
+            lc_id: LocalFaultView(lc_id, router.faults) for lc_id in router.linecards
+        }
+        #: live hardware faults keyed (lc_id, kind).
+        self._instances: dict[tuple[int, ComponentKind], _FaultInstance] = {}
+        #: onset-to-detection delay of every detection ever made.
+        self.latencies: list[float] = []
+        self.log: list[DetectionEvent] = []
+        router.protocol.fault_listener = self._on_control
+
+    def start(self) -> None:
+        """Arm the staggered per-LC self-test and heartbeat loops."""
+        cfg = self.config
+        n = max(len(self.views), 1)
+        for i, lc_id in enumerate(sorted(self.views)):
+            # Stagger the loops so all N self-tests (and heartbeats) do
+            # not contend for the control lines at the same instant.
+            self._router.engine.schedule_in(
+                cfg.selftest_period_s * (i + 1) / (n + 1),
+                lambda lc=lc_id: self._selftest(lc),
+                label="detect:selftest",
+            )
+            if cfg.heartbeat_period_s > 0.0:
+                self._router.engine.schedule_in(
+                    cfg.heartbeat_period_s * (i + 1) / (n + 1),
+                    lambda lc=lc_id: self._heartbeat(lc),
+                    label="detect:hb",
+                )
+
+    # -- router hooks -------------------------------------------------------
+
+    def on_fault(self, lc_id: int, kind: ComponentKind) -> None:
+        """A component just died (called from ``Router.inject_fault``)."""
+        detectable = True
+        if self.config.coverage < 1.0:
+            detectable = float(self._rng.random()) < self.config.coverage
+        self._instances[(lc_id, kind)] = _FaultInstance(
+            onset=self._router.engine.now, detectable=detectable
+        )
+
+    def on_repair(self, lc_id: int, kind: ComponentKind) -> None:
+        """A component was repaired (called from ``Router.repair_fault``)."""
+        inst = self._instances.pop((lc_id, kind), None)
+        if inst is None or not inst.detected:
+            return  # never believed anywhere: nothing to clear
+        now = self._router.engine.now
+        self.views[lc_id].forget(lc_id, kind)
+        self.log.append(DetectionEvent(now, lc_id, lc_id, kind, "local_clear"))
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "detect.local_clear", t=now, lc=lc_id, component=kind.value
+            )
+        self._broadcast(
+            lc_id,
+            ControlPacket(kind=ControlKind.FLT_C, init_lc=lc_id, faulty_component=kind),
+        )
+
+    # -- periodic loops -----------------------------------------------------
+
+    def _selftest(self, lc_id: int) -> None:
+        now = self._router.engine.now
+        bc = self._router.linecards[lc_id].bus_controller
+        # A dead bus controller suspends the LC's maintenance processor
+        # loop entirely; it resumes on repair (the loop keeps ticking so
+        # no re-arm bookkeeping is needed, it just skips the scan).
+        if bc is not None and bc.healthy:
+            for (flc, kind), inst in sorted(
+                self._instances.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+            ):
+                if flc != lc_id or inst.detected or not inst.detectable:
+                    continue
+                if now - inst.onset < self.config.detection_latency_s:
+                    continue
+                inst.detected = True
+                inst.detected_at = now
+                self.latencies.append(now - inst.onset)
+                self.views[lc_id].learn(lc_id, kind)
+                self.log.append(DetectionEvent(now, lc_id, lc_id, kind, "local_detect"))
+                if _trace.TRACER is not None:
+                    _trace.TRACER.emit(
+                        "detect.local_detect",
+                        t=now,
+                        lc=lc_id,
+                        component=kind.value,
+                        latency_s=now - inst.onset,
+                    )
+                self._broadcast(
+                    lc_id,
+                    ControlPacket(
+                        kind=ControlKind.FLT_N, init_lc=lc_id, faulty_component=kind
+                    ),
+                )
+        self._router.engine.schedule_in(
+            self.config.selftest_period_s,
+            lambda: self._selftest(lc_id),
+            label="detect:selftest",
+        )
+
+    def _heartbeat(self, lc_id: int) -> None:
+        status = tuple(
+            sorted(k.value for k in self.views[lc_id].failed_at(lc_id))
+        )
+        self._broadcast(
+            lc_id,
+            ControlPacket(kind=ControlKind.HB, init_lc=lc_id, fault_status=status),
+        )
+        self._router.engine.schedule_in(
+            self.config.heartbeat_period_s,
+            lambda: self._heartbeat(lc_id),
+            label="detect:hb",
+        )
+
+    def _broadcast(self, lc_id: int, packet: ControlPacket) -> None:
+        assert self._router.eib is not None
+        bc = self._router.linecards[lc_id].bus_controller
+        if bc is None or not bc.healthy or not self._router.eib.control.healthy:
+            return  # the LC cannot reach the control lines right now
+        self._router.eib.control.broadcast(packet, lc_id)
+
+    # -- control-packet reception ------------------------------------------
+
+    def _on_control(self, me: int, cp: ControlPacket) -> None:
+        now = self._router.engine.now
+        view = self.views[me]
+        if cp.kind is ControlKind.FLT_N:
+            kind = cp.faulty_component
+            assert isinstance(kind, ComponentKind)
+            if view.learn(cp.init_lc, kind):
+                self.log.append(DetectionEvent(now, me, cp.init_lc, kind, "remote_learn"))
+        elif cp.kind is ControlKind.FLT_C:
+            kind = cp.faulty_component
+            assert isinstance(kind, ComponentKind)
+            if view.forget(cp.init_lc, kind):
+                self.log.append(DetectionEvent(now, me, cp.init_lc, kind, "remote_clear"))
+        elif cp.kind is ControlKind.HB:
+            assert cp.fault_status is not None
+            advertised = {ComponentKind(v) for v in cp.fault_status}
+            if view.reconcile(cp.init_lc, advertised):
+                self.log.append(DetectionEvent(now, me, cp.init_lc, None, "hb_reconcile"))
+
+    # -- summaries ----------------------------------------------------------
+
+    def detections(self) -> list[DetectionEvent]:
+        """All local_detect entries of the log."""
+        return [e for e in self.log if e.event == "local_detect"]
+
+    def detection_latencies(self) -> list[float]:
+        """Onset-to-detection delays of every detection made so far
+        (including faults since repaired)."""
+        return list(self.latencies)
+
+    def detected_faults(self) -> dict[int, set[ComponentKind]]:
+        """Currently-failed faults that have been detected, per LC."""
+        out: dict[int, set[ComponentKind]] = {}
+        for (lc_id, kind), inst in self._instances.items():
+            if inst.detected:
+                out.setdefault(lc_id, set()).add(kind)
+        return out

@@ -1,0 +1,352 @@
+"""Whole-router consistency checks for chaos campaigns.
+
+Each check encodes something the DRA model must keep true *no matter
+what fault schedule ran*, evaluated after traffic has stopped and the
+router drained:
+
+* **packet conservation** -- every offered packet was delivered or
+  accounted to a drop reason;
+* **hardware/fault-map agreement** -- the ground-truth
+  :class:`~repro.router.recovery.FaultMap` mirrors actual unit health,
+  and holds no empty per-LC entries (compactness);
+* **LP/stream consistency** -- the protocol engine's logical-path
+  refcounts and reserved rates match its set of ACTIVE streams, and
+  every referenced LP is actually open on the data channel;
+* **no stuck streams / stale events** -- nothing left SOLICITING, no
+  solicit lacking an armed timeout, no timeout armed for a dead stream,
+  no dangling lookup;
+* **arbiter coherence** -- the distributed counters of Section 4 agree
+  across all healthy participants;
+* **capacity accounting** -- no LC has more coverage bandwidth
+  committed than it physically has;
+* **drained reassembly** -- no segments parked in reassembly buffers;
+* **fault-log sanity** -- the injector's log is time-monotone and every
+  per-unit lifecycle alternates down/up (fail needs a healthy unit,
+  repair/clear a failed one, degrade/restore and ctl_degrade /
+  ctl_restore pair up);
+* **view convergence** -- once the schedule has been quiet for a settle
+  window, every LC whose bus controller works believes exactly the
+  detected fault set of every other reachable LC.
+
+Violations carry a human-readable detail string; the campaign runner
+attaches a trace window around any schedule that produces one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.router.arbitration import ArbitrationError
+from repro.router.components import ComponentKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.detection import FaultDetector
+    from repro.router.faults import FaultInjector
+    from repro.router.router import Router
+
+__all__ = ["Violation", "check_invariants"]
+
+_RATE_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant: which check, and what exactly broke."""
+
+    check: str
+    detail: str
+
+
+def check_invariants(
+    router: "Router",
+    injector: "FaultInjector | None" = None,
+    detector: "FaultDetector | None" = None,
+    *,
+    settle_s: float = 0.0,
+) -> list[Violation]:
+    """Run every applicable invariant; return all violations found.
+
+    ``settle_s`` gates the view-convergence check: it only runs when at
+    least that much sim time passed since the injector's last logged
+    action (views legitimately lag right after a fault or repair).
+    """
+    out: list[Violation] = []
+    _check_conservation(router, out)
+    _check_fault_map(router, out)
+    if router.protocol is not None:
+        _check_protocol(router, out)
+    if router.eib is not None:
+        _check_arbiter(router, out)
+    _check_capacity(router, out)
+    _check_reassembly(router, out)
+    if injector is not None:
+        _check_fault_log(injector, out)
+    if detector is not None:
+        _check_views(router, injector, detector, settle_s, out)
+    return out
+
+
+def _check_conservation(router: "Router", out: list[Violation]) -> None:
+    s = router.stats
+    if s.offered != s.delivered + s.dropped:
+        out.append(
+            Violation(
+                "packet_conservation",
+                f"offered={s.offered} != delivered={s.delivered} "
+                f"+ dropped={s.dropped}",
+            )
+        )
+
+
+def _check_fault_map(router: "Router", out: list[Violation]) -> None:
+    for lc_id, lc in router.linecards.items():
+        for unit in lc.units():
+            mapped = router.faults.is_failed(lc_id, unit.kind)
+            if unit.healthy == mapped:
+                state = "healthy" if unit.healthy else "failed"
+                out.append(
+                    Violation(
+                        "fault_map_agreement",
+                        f"{unit.name} is {state} but FaultMap says "
+                        f"failed={mapped}",
+                    )
+                )
+    if router.eib is not None and router.eib.healthy != router.faults.eib_healthy:
+        out.append(
+            Violation(
+                "fault_map_agreement",
+                f"EIB healthy={router.eib.healthy} but FaultMap says "
+                f"eib_healthy={router.faults.eib_healthy}",
+            )
+        )
+    if not router.faults.is_compact():
+        out.append(
+            Violation("fault_map_compact", "FaultMap holds empty per-LC entries")
+        )
+
+
+def _check_protocol(router: "Router", out: list[Violation]) -> None:
+    assert router.protocol is not None and router.eib is not None
+    snap = router.protocol.snapshot_state()
+
+    if snap["lp_refs"] != snap["active_by_sender"]:
+        out.append(
+            Violation(
+                "lp_refcounts",
+                f"lp_refs={snap['lp_refs']} != active streams per sender "
+                f"{snap['active_by_sender']}",
+            )
+        )
+    for lc_id, rate in snap["lp_rates"].items():
+        active = snap["active_rate_by_sender"].get(lc_id, 0.0)
+        if abs(rate - active) > _RATE_EPS:
+            out.append(
+                Violation(
+                    "lp_rates",
+                    f"LC{lc_id} LP carries {rate:.1f} bps but ACTIVE "
+                    f"streams sum to {active:.1f} bps",
+                )
+            )
+    if router.eib.healthy:
+        for lc_id in snap["lp_refs"]:
+            if not router.eib.data.has_lp(lc_id):
+                out.append(
+                    Violation(
+                        "lp_refcounts",
+                        f"LC{lc_id} holds LP refs but no LP is open on "
+                        "the data channel",
+                    )
+                )
+
+    stuck = [k for k, v in snap["stream_states"].items() if v == "soliciting"]
+    if stuck:
+        out.append(
+            Violation("stuck_streams", f"streams left SOLICITING: {sorted(stuck)}")
+        )
+    if snap["soliciting_without_timeout"]:
+        out.append(
+            Violation(
+                "stale_events",
+                "SOLICITING streams without an armed timeout: "
+                f"{sorted(snap['soliciting_without_timeout'])}",
+            )
+        )
+    if snap["stale_timeouts"]:
+        out.append(
+            Violation(
+                "stale_events",
+                f"timeouts armed for dead streams: {sorted(snap['stale_timeouts'])}",
+            )
+        )
+    if snap["pending_lookups"]:
+        out.append(
+            Violation(
+                "stale_events", f"{snap['pending_lookups']} lookup(s) never resolved"
+            )
+        )
+    if snap["armed_lookup_timeouts"]:
+        out.append(
+            Violation(
+                "stale_events",
+                f"{snap['armed_lookup_timeouts']} lookup timeout(s) left armed",
+            )
+        )
+
+
+def _check_arbiter(router: "Router", out: list[Violation]) -> None:
+    assert router.eib is not None
+    try:
+        router.eib.arbiter.check_coherence()
+    except ArbitrationError as exc:
+        out.append(Violation("arbiter_coherence", str(exc)))
+
+
+def _check_capacity(router: "Router", out: list[Violation]) -> None:
+    for lc_id, lc in router.linecards.items():
+        if lc.committed_bps > lc.capacity_bps + _RATE_EPS:
+            out.append(
+                Violation(
+                    "capacity_accounting",
+                    f"LC{lc_id} committed {lc.committed_bps:.1f} bps over "
+                    f"its {lc.capacity_bps:.1f} bps capacity",
+                )
+            )
+        if lc.committed_bps < -_RATE_EPS:
+            out.append(
+                Violation(
+                    "capacity_accounting",
+                    f"LC{lc_id} committed_bps went negative "
+                    f"({lc.committed_bps:.1f})",
+                )
+            )
+
+
+def _check_reassembly(router: "Router", out: list[Violation]) -> None:
+    for lc_id, buf in router.reassembly.items():
+        if buf.occupancy:
+            out.append(
+                Violation(
+                    "reassembly_drained",
+                    f"LC{lc_id} reassembly buffer still holds "
+                    f"{buf.occupancy} partial packet(s)",
+                )
+            )
+
+
+def _check_fault_log(injector: "FaultInjector", out: list[Violation]) -> None:
+    last_t = float("-inf")
+    # Per-unit up/down state machine; None key = the EIB passive lines.
+    down: set[tuple[int | None, ComponentKind | None]] = set()
+    degraded: set[tuple[int, ComponentKind]] = set()
+    ctl_degraded = False
+    for ev in injector.log:
+        if ev.time < last_t:
+            out.append(
+                Violation(
+                    "fault_log_monotone",
+                    f"event at t={ev.time} after t={last_t}",
+                )
+            )
+        last_t = ev.time
+        key = (ev.lc_id, ev.kind)
+        if ev.action == "fail":
+            if key in down:
+                out.append(
+                    Violation(
+                        "fault_log_lifecycle", f"double fail of {key} at t={ev.time}"
+                    )
+                )
+            down.add(key)
+        elif ev.action in ("repair", "clear"):
+            if key not in down:
+                out.append(
+                    Violation(
+                        "fault_log_lifecycle",
+                        f"{ev.action} of never-failed {key} at t={ev.time}",
+                    )
+                )
+            down.discard(key)
+        elif ev.action == "degrade":
+            assert ev.lc_id is not None and ev.kind is not None
+            if (ev.lc_id, ev.kind) in degraded:
+                out.append(
+                    Violation(
+                        "fault_log_lifecycle",
+                        f"double degrade of {key} at t={ev.time}",
+                    )
+                )
+            degraded.add((ev.lc_id, ev.kind))
+        elif ev.action == "restore":
+            assert ev.lc_id is not None and ev.kind is not None
+            if (ev.lc_id, ev.kind) not in degraded:
+                out.append(
+                    Violation(
+                        "fault_log_lifecycle",
+                        f"restore of never-degraded {key} at t={ev.time}",
+                    )
+                )
+            degraded.discard((ev.lc_id, ev.kind))
+        elif ev.action == "ctl_degrade":
+            if ctl_degraded:
+                out.append(
+                    Violation(
+                        "fault_log_lifecycle", f"double ctl_degrade at t={ev.time}"
+                    )
+                )
+            ctl_degraded = True
+        elif ev.action == "ctl_restore":
+            if not ctl_degraded:
+                out.append(
+                    Violation(
+                        "fault_log_lifecycle",
+                        f"ctl_restore without ctl_degrade at t={ev.time}",
+                    )
+                )
+            ctl_degraded = False
+
+
+def _check_views(
+    router: "Router",
+    injector: "FaultInjector | None",
+    detector: "FaultDetector",
+    settle_s: float,
+    out: list[Violation],
+) -> None:
+    """Anti-entropy must have reconverged every reachable view.
+
+    Only meaningful once the schedule has gone quiet: convergence takes
+    a detection latency plus at most one heartbeat round-trip, so skip
+    the check (not fail it) when the tail of the run was still churning
+    or the control medium is still degraded.
+    """
+    if injector is not None and injector.log:
+        quiet_for = router.engine.now - max(e.time for e in injector.log)
+        if quiet_for < settle_s:
+            return
+    eib = router.eib
+    if eib is None or not eib.control.healthy:
+        return
+    if eib.control.loss_prob > 0.0 or eib.control.corrupt_prob > 0.0:
+        return
+
+    truth = detector.detected_faults()
+    for viewer_id, view in detector.views.items():
+        viewer_bc = router.linecards[viewer_id].bus_controller
+        if viewer_bc is None or not viewer_bc.healthy:
+            continue  # deaf: legitimately stale
+        for subject_id in detector.views:
+            subject_bc = router.linecards[subject_id].bus_controller
+            if subject_bc is None or not subject_bc.healthy:
+                continue  # mute: cannot have advertised recent state
+            believed = view.failed_at(subject_id)
+            expected = truth.get(subject_id, set())
+            if believed != expected:
+                out.append(
+                    Violation(
+                        "view_convergence",
+                        f"LC{viewer_id} believes LC{subject_id} failed="
+                        f"{sorted(k.value for k in believed)} but detected "
+                        f"truth is {sorted(k.value for k in expected)}",
+                    )
+                )

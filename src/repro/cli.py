@@ -10,12 +10,15 @@ Usage::
     python -m repro importance [--n 9] [--m 4]
     python -m repro validate [--cycles 30000] [--seed 0] [--jobs N]
     python -m repro bench [--target mc|fig6|validate] [--jobs-list 1,2,4]
+    python -m repro chaos [--seeds 32] [--seed 0] [--jobs N] [--json-out FILE]
     python -m repro report [--jobs N] [--cache]
     python -m repro trace FILE [--kind PREFIX] [--limit N] [--json]
 
 ``validate`` runs the rare-event importance-sampling check against the
 exact Figure 7 values and exits nonzero on disagreement -- usable as a
-CI gate.  ``--jobs`` fans the work out over a process pool (0 = all
+CI gate.  ``chaos`` runs seeded fault-injection campaigns against the
+executable DRA model with the EIB fault-detection layer enabled and
+exits nonzero on any invariant violation (``docs/chaos.md``).  ``--jobs`` fans the work out over a process pool (0 = all
 cores); Monte Carlo results are bit-identical for a given ``--seed``
 regardless of ``--jobs``.  ``--cache`` enables the content-addressed
 result cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dra``); ``bench``
@@ -368,6 +371,65 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded chaos campaign; nonzero exit on invariant violations."""
+    from repro.chaos import CampaignConfig, run_campaign
+    from repro.chaos.detection import DetectionConfig
+    from repro.obs import get_tracer, set_tracer
+
+    detection = DetectionConfig(
+        coverage=args.coverage, detection_latency_s=args.detection_latency
+    )
+    cfg = CampaignConfig(
+        seeds=args.seeds,
+        base_seed=args.seed,
+        duration_s=args.duration,
+        accel=args.accel,
+        detection=detection,
+    )
+
+    # Campaign workers fork from this process; a file-backed tracer must
+    # not be inherited (all workers would interleave writes into one fd).
+    # Run the campaign untraced, then re-run schedule 0 in-process under
+    # the tracer so ``--trace`` still yields a representative event log.
+    tracer = get_tracer()
+    if tracer is not None:
+        set_tracer(None)
+    try:
+        report = run_campaign(cfg, jobs=args.jobs)
+    finally:
+        if tracer is not None:
+            set_tracer(tracer)
+    if tracer is not None:
+        from repro.chaos import run_schedule
+
+        run_schedule(cfg, 0)
+
+    totals = report["totals"]
+    print(
+        f"chaos: {cfg.seeds} schedules  offered {totals['offered']}  "
+        f"delivered {totals['delivered']}  dropped {totals['dropped']}"
+    )
+    print(
+        f"  detections {totals['detections']}  ctl lost/corrupted/abandoned "
+        f"{totals['ctl_lost']}/{totals['ctl_corrupted']}/{totals['ctl_abandoned']}"
+    )
+    for sched in report["schedules"]:
+        for v in sched["violations"]:
+            print(
+                f"  VIOLATION seed={sched['seed']} [{v['check']}] {v['detail']}",
+                file=sys.stderr,
+            )
+    print(f"  invariant violations: {totals['violations']}")
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    return 1 if totals["violations"] else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.report import generate_report
 
@@ -471,6 +533,28 @@ def main(argv: list[str] | None = None) -> int:
                         "(default BENCH_runtime.json; empty string disables)")
     add_trace_flag(p)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("chaos", help="seeded fault-injection campaign")
+    p.add_argument("--seeds", type=int, default=32,
+                   help="number of independent fault schedules")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign base seed; schedule seeds derive from it "
+                        "and results are identical for any --jobs")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = all cores; default 1 = serial)")
+    p.add_argument("--duration", type=float, default=0.004,
+                   help="traffic+fault window per schedule (s)")
+    p.add_argument("--accel", type=float, default=1e7,
+                   help="failure-rate acceleration factor")
+    p.add_argument("--coverage", type=float, default=1.0,
+                   help="self-test coverage factor c in [0,1]")
+    p.add_argument("--detection-latency", dest="detection_latency",
+                   type=float, default=10e-6,
+                   help="minimum fault age before self-test detection (s)")
+    p.add_argument("--json-out", dest="json_out", default="",
+                   metavar="PATH", help="write the full campaign report as JSON")
+    add_trace_flag(p)
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("report", help="full Markdown evaluation report")
     add_runtime_flags(p)

@@ -41,6 +41,15 @@ class ControlChannel:
     stations that start within ``collision_window`` of each other abort
     and retry with binary exponential backoff (slot-granular, like
     classic Ethernet).
+
+    ``loss_prob`` / ``corrupt_prob`` model a degraded control medium (the
+    lossy/corrupting fault mode of the chaos subsystem): a successfully
+    arbitrated transmission is then lost in flight, or garbled so every
+    receiver's CRC check discards it.  Either way no handler sees the
+    packet; senders must tolerate the silence (timeouts, heartbeat
+    re-advertisement).  Both default to ``0.0`` and -- crucially for
+    determinism of existing scenarios -- the RNG is only consulted when a
+    probability is nonzero.
     """
 
     def __init__(
@@ -65,11 +74,17 @@ class ControlChannel:
         self._tx_abort: Callable[[], None] | None = None
         self._tx_inflight: tuple[ControlPacket, int, int] | None = None
         self.healthy = True
+        #: probability a transmitted control packet vanishes in flight
+        self.loss_prob = 0.0
+        #: probability a transmitted control packet is garbled (CRC drop)
+        self.corrupt_prob = 0.0
         # statistics
         self.sent = 0
         self.collisions = 0
         self.deferrals = 0
         self.failures = 0  # packets abandoned after max_attempts
+        self.lost = 0  # packets lost to the degraded-medium fault mode
+        self.corrupted = 0  # packets garbled in flight (discarded by CRC)
 
     def attach(self, lc_id: int, handler: Callable[[ControlPacket], None]) -> None:
         """Register ``handler`` to receive every broadcast not sent by ``lc_id``."""
@@ -183,6 +198,32 @@ class ControlChannel:
     def _deliver(self, packet: ControlPacket, sender_lc: int) -> None:
         self._tx_abort = None
         self._tx_inflight = None
+        if self.loss_prob > 0.0 or self.corrupt_prob > 0.0:
+            draw = float(self._rng.random())
+            if draw < self.loss_prob:
+                self.lost += 1
+                if _metrics.REGISTRY is not None:
+                    _metrics.REGISTRY.counter("bus.ctl.lost").inc()
+                if _trace.TRACER is not None:
+                    _trace.TRACER.emit(
+                        "bus.ctl.lost",
+                        t=self._engine.now,
+                        packet=packet.kind.value,
+                        sender_lc=sender_lc,
+                    )
+                return
+            if draw < self.loss_prob + self.corrupt_prob:
+                self.corrupted += 1
+                if _metrics.REGISTRY is not None:
+                    _metrics.REGISTRY.counter("bus.ctl.corrupted").inc()
+                if _trace.TRACER is not None:
+                    _trace.TRACER.emit(
+                        "bus.ctl.corrupt",
+                        t=self._engine.now,
+                        packet=packet.kind.value,
+                        sender_lc=sender_lc,
+                    )
+                return
         self.sent += 1
         if _metrics.REGISTRY is not None:
             _metrics.REGISTRY.counter("bus.ctl.sent").inc()
@@ -209,6 +250,10 @@ class _QueuedTransfer:
     size_bytes: int
     eligible_at: float
     deliver: Callable[[], None]
+    #: fired instead of ``deliver`` when the transfer dies with the bus,
+    #: so router-level packets reach a terminal state (conservation).
+    abort: Callable[[], None] | None = None
+    aborted: bool = False
 
 
 @dataclass
@@ -257,6 +302,7 @@ class DataChannel:
         self._turn_overhead = turn_overhead_s
         self._lps: dict[int, _LPQueue] = {}
         self._busy = False
+        self._current: _QueuedTransfer | None = None
         self._wake_handle = None
         self.healthy = True
         # statistics
@@ -325,13 +371,20 @@ class DataChannel:
     # -- transfer --------------------------------------------------------------
 
     def enqueue(
-        self, lc_id: int, size_bytes: int, deliver: Callable[[], None]
+        self,
+        lc_id: int,
+        size_bytes: int,
+        deliver: Callable[[], None],
+        abort: Callable[[], None] | None = None,
     ) -> bool:
         """Buffer ``size_bytes`` for transfer on ``lc_id``'s LP.
 
         ``deliver`` fires at the receiving side when the transfer
-        completes.  Returns False (drop) when the LP is missing/closing,
-        the EIB is down, or the buffer is full.
+        completes; ``abort`` fires instead if the EIB fails while the
+        transfer is still buffered or on the wire (exactly one of the two
+        eventually runs once this returns True).  Returns False (drop)
+        when the LP is missing/closing, the EIB is down, or the buffer is
+        full -- the caller keeps ownership of the packet in that case.
         """
         lp = self._lps.get(lc_id)
         if lp is None or lp.closing or not self.healthy:
@@ -344,7 +397,7 @@ class DataChannel:
         if eligible == float("inf"):
             self._drop(lc_id, size_bytes, "rate_limited")
             return False
-        lp.queue.append(_QueuedTransfer(size_bytes, eligible, deliver))
+        lp.queue.append(_QueuedTransfer(size_bytes, eligible, deliver, abort))
         lp.buffered_bytes += size_bytes
         self._maybe_transmit()
         return True
@@ -366,14 +419,29 @@ class DataChannel:
 
     def fail(self) -> None:
         """Passive-line failure: buffered and in-flight packets are lost,
-        every LP is torn down."""
+        every LP is torn down.
+
+        Each lost transfer's ``abort`` callback fires so router-level
+        packets reach a terminal drop state instead of dangling in flight
+        forever (the packet-conservation invariant depends on this).
+        """
         self.healthy = False
+        victims: list[_QueuedTransfer] = []
+        if self._current is not None:
+            victims.append(self._current)
+            self._current = None
         for lc_id in list(self._lps):
             lp = self._lps[lc_id]
-            self.dropped_packets += len(lp.queue) + (1 if lp.in_service else 0)
+            victims.extend(lp.queue)
             lp.queue.clear()
+            lp.buffered_bytes = 0
             lp.in_service = False
             self._finalize_close(lc_id)
+        self.dropped_packets += len(victims)
+        for item in victims:
+            item.aborted = True
+            if item.abort is not None:
+                item.abort()
 
     def repair(self) -> None:
         """Bring the lines back (LPs must be re-established by protocol)."""
@@ -400,6 +468,7 @@ class DataChannel:
         self._busy = True
         lp.in_service = True
         item = lp.queue.popleft()
+        self._current = item
         lp.buffered_bytes -= item.size_bytes
         duration = self._turn_overhead + item.size_bytes * 8.0 / self._rate
         if _metrics.REGISTRY is not None:
@@ -416,21 +485,21 @@ class DataChannel:
         def finish() -> None:
             self._busy = False
             lp.in_service = False
-            if not self.healthy:
-                return  # counted as dropped by fail()
+            if item.aborted or not self.healthy:
+                return  # fail() already dropped it and ran its abort
+            self._current = None
             self.transferred_bytes += item.size_bytes
             self.transferred_packets += 1
-            if True:
-                item.deliver()
-                if lp.lc_id in self._lps:
-                    # An LP established mid-transmission reloads the round
-                    # counter (the newcomer leads); only lower L_t if this
-                    # LC still holds the turn.
-                    if self._arbiter.current_turn() == lp.lc_id:
-                        self._arbiter.finish_turn(lp.lc_id)
-                    if lp.closing and not lp.draining:
-                        self._finalize_close(lp.lc_id)
-                self._maybe_transmit()
+            item.deliver()
+            if lp.lc_id in self._lps:
+                # An LP established mid-transmission reloads the round
+                # counter (the newcomer leads); only lower L_t if this
+                # LC still holds the turn.
+                if self._arbiter.current_turn() == lp.lc_id:
+                    self._arbiter.finish_turn(lp.lc_id)
+                if lp.closing and not lp.draining:
+                    self._finalize_close(lp.lc_id)
+            self._maybe_transmit()
 
         self._engine.schedule_in(duration, finish, label="eib:data:tx")
 

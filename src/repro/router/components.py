@@ -84,6 +84,11 @@ class Component:
     :meth:`serve` accounts queueing behind earlier work via ``busy_until``,
     so latency grows with load (and ``busy_time`` feeds utilization
     stats).
+
+    ``slow_factor`` models *fail-slow* (gray) failures: the unit still
+    functions -- so neither the fault map nor the coverage planner reacts
+    -- but every service takes ``slow_factor`` times longer, inflating
+    queueing delay under load.  ``1.0`` is nominal speed.
     """
 
     kind: ComponentKind
@@ -93,6 +98,7 @@ class Component:
     processed: int = 0
     busy_until: float = 0.0
     busy_time: float = 0.0
+    slow_factor: float = 1.0
 
     def fail(self) -> None:
         """Mark the unit failed (idempotent)."""
@@ -102,10 +108,26 @@ class Component:
         """Restore the unit to service (hot-swap replacement).
 
         Any virtual backlog dies with the replaced hardware, so the
-        server comes back idle.
+        server comes back idle at nominal speed.
         """
         self.healthy = True
         self.busy_until = 0.0
+        self.slow_factor = 1.0
+
+    def degrade(self, factor: float) -> None:
+        """Enter fail-slow operation: services stretch by ``factor``."""
+        if factor < 1.0:
+            raise ValueError(f"slow factor must be >= 1, got {factor}")
+        self.slow_factor = factor
+
+    def restore_speed(self) -> None:
+        """Leave fail-slow operation (the degraded part was reseated)."""
+        self.slow_factor = 1.0
+
+    @property
+    def degraded(self) -> bool:
+        """True while the unit runs slower than nominal."""
+        return self.slow_factor > 1.0
 
     def process_delay(self, size_bytes: int) -> float:
         """Pure service delay (no queueing) for one unit of work; raises
@@ -119,7 +141,7 @@ class Component:
                 f"{self.kind.value}@LC{self.lc_id} processed work while failed"
             )
         self.processed += 1
-        return self.service.delay(size_bytes)
+        return self.service.delay(size_bytes) * self.slow_factor
 
     def serve(self, size_bytes: int, now: float) -> float:
         """Queue-aware sojourn time for work arriving at ``now``.
@@ -133,7 +155,7 @@ class Component:
                 f"{self.kind.value}@LC{self.lc_id} processed work while failed"
             )
         start = max(now, self.busy_until)
-        delay = self.service.delay(size_bytes)
+        delay = self.service.delay(size_bytes) * self.slow_factor
         self.busy_until = start + delay
         self.busy_time += delay
         self.processed += 1

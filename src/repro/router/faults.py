@@ -12,10 +12,29 @@ rates; :meth:`FaultInjector.accelerated` builds one from the paper's
 The DES is about *behavioral* fidelity (does coverage engage, what drops,
 how does the EIB carry the detour); the calibrated dependability numbers
 come from the Markov models and the Monte Carlo estimators.
+
+Beyond the original crash-stop semantics, :class:`FaultModes` mixes in
+the extended taxonomy the chaos campaigns exercise (``docs/chaos.md``):
+
+* **transient** -- the unit fails, then auto-clears after an exponential
+  sojourn (no repair crew involved);
+* **intermittent** -- the unit flaps failed/healthy for a geometrically
+  distributed number of episodes before a final clear;
+* **fail-slow** -- the unit keeps working at a degraded service rate
+  (``Component.degrade``); neither the fault map nor the planner reacts,
+  only latency does;
+* **control-plane degradation** -- an EIB-level mode that drops or
+  garbles control packets in flight (``ControlChannel.loss_prob`` /
+  ``corrupt_prob``) without failing the bus.
+
+With ``modes=None`` (the default) the injector draws no extra random
+numbers and behaves exactly as the original crash-stop version, keeping
+pre-existing seeded experiments bit-identical.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,17 +43,91 @@ from repro.core.parameters import FailureRates
 from repro.router.components import ComponentKind
 from repro.router.router import Router
 
-__all__ = ["FaultEvent", "FaultInjector", "ComponentRates"]
+__all__ = ["FaultEvent", "FaultMode", "FaultModes", "FaultInjector", "ComponentRates"]
+
+
+class FaultMode(enum.Enum):
+    """How a drawn component fault behaves over time."""
+
+    CRASH = "crash"
+    TRANSIENT = "transient"
+    INTERMITTENT = "intermittent"
+    FAIL_SLOW = "fail_slow"
 
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One entry of the injector's fault/repair log."""
+    """One entry of the injector's fault/repair log.
+
+    ``action`` is one of ``fail`` / ``repair`` (crash lifecycle),
+    ``clear`` (transient/intermittent auto-recovery), ``degrade`` /
+    ``restore`` (fail-slow episodes), or ``ctl_degrade`` /
+    ``ctl_restore`` (control-plane loss/corruption windows).
+    """
 
     time: float
     lc_id: int | None  # None for EIB-level events
     kind: ComponentKind | None  # None for EIB passive-line events
-    action: str  # "fail" or "repair"
+    action: str
+    mode: str = FaultMode.CRASH.value
+
+
+@dataclass(frozen=True)
+class FaultModes:
+    """Weighted fault-mode mix plus the per-mode timing parameters.
+
+    Weights need not sum to one; each component failure draws a mode
+    proportionally.  Sojourn/period parameters are means of exponential
+    distributions in simulated seconds.  ``ctl_fault_rate`` arms an
+    independent Poisson process of control-plane degradation windows.
+    """
+
+    crash_weight: float = 1.0
+    transient_weight: float = 0.0
+    intermittent_weight: float = 0.0
+    fail_slow_weight: float = 0.0
+    #: mean auto-clear delay of a transient fault
+    transient_sojourn_s: float = 50e-6
+    #: mean half-period (time in each state) of intermittent flapping
+    flap_period_s: float = 30e-6
+    #: probability an intermittent fault flaps again after a clear
+    flap_continue_prob: float = 0.5
+    #: service-time multiplier of a fail-slow episode
+    slow_factor: float = 4.0
+    #: mean duration of a fail-slow episode
+    slow_sojourn_s: float = 200e-6
+    #: rate (per simulated second) of control-plane degradation windows
+    ctl_fault_rate: float = 0.0
+    #: control-packet loss probability while degraded
+    ctl_loss_prob: float = 0.2
+    #: control-packet corruption probability while degraded
+    ctl_corrupt_prob: float = 0.1
+    #: mean duration of a degradation window
+    ctl_sojourn_s: float = 300e-6
+
+    def __post_init__(self) -> None:
+        weights = (
+            self.crash_weight,
+            self.transient_weight,
+            self.intermittent_weight,
+            self.fail_slow_weight,
+        )
+        if any(w < 0.0 for w in weights) or sum(weights) <= 0.0:
+            raise ValueError(f"invalid fault-mode weights {weights}")
+        if not 0.0 <= self.flap_continue_prob < 1.0:
+            raise ValueError("flap_continue_prob must be in [0, 1)")
+        if self.ctl_loss_prob + self.ctl_corrupt_prob > 1.0:
+            raise ValueError("ctl loss + corrupt probabilities exceed 1")
+
+    @property
+    def weights(self) -> tuple[tuple[FaultMode, float], ...]:
+        """(mode, weight) pairs in drawing order."""
+        return (
+            (FaultMode.CRASH, self.crash_weight),
+            (FaultMode.TRANSIENT, self.transient_weight),
+            (FaultMode.INTERMITTENT, self.intermittent_weight),
+            (FaultMode.FAIL_SLOW, self.fail_slow_weight),
+        )
 
 
 @dataclass(frozen=True)
@@ -94,11 +187,14 @@ class FaultInjector:
         rng: np.random.Generator,
         *,
         repair_rate: float | None = None,
+        modes: FaultModes | None = None,
     ) -> None:
         self._router = router
         self._rates = rates
         self._rng = rng
         self._repair_rate = repair_rate
+        self._modes = modes
+        self._stopped = False
         self.log: list[FaultEvent] = []
 
     @classmethod
@@ -110,6 +206,7 @@ class FaultInjector:
         accel: float = 1.0,
         base: FailureRates | None = None,
         repair_rate: float | None = None,
+        modes: FaultModes | None = None,
     ) -> "FaultInjector":
         """Injector using the paper's rates scaled by ``accel``."""
         return cls(
@@ -117,6 +214,7 @@ class FaultInjector:
             ComponentRates.from_failure_rates(base or FailureRates(), accel=accel),
             rng,
             repair_rate=repair_rate,
+            modes=modes,
         )
 
     def start(self) -> None:
@@ -126,10 +224,40 @@ class FaultInjector:
                 self._arm_failure(lc_id, unit.kind)
         if self._router.eib is not None and self._rates.eib > 0.0:
             self._arm_eib_failure()
+        if (
+            self._modes is not None
+            and self._modes.ctl_fault_rate > 0.0
+            and self._router.eib is not None
+        ):
+            self._arm_ctl_fault()
+
+    def stop(self) -> None:
+        """Stop originating *new* faults (campaign drain phase).
+
+        Already-armed timers still fire but do nothing; in-progress
+        repairs, transient clears, flap finales and fail-slow/control
+        restores complete so the router converges to a stable end state
+        the invariant checks can reason about.
+        """
+        self._stopped = True
+
+    def _draw_mode(self) -> FaultMode:
+        if self._modes is None:
+            return FaultMode.CRASH  # no extra RNG draw: legacy determinism
+        pairs = self._modes.weights
+        total = sum(w for _, w in pairs)
+        draw = float(self._rng.random()) * total
+        for mode, weight in pairs:
+            draw -= weight
+            if draw < 0.0:
+                return mode
+        return FaultMode.CRASH
 
     # -- per-component lifecycle ------------------------------------------------
 
     def _arm_failure(self, lc_id: int, kind: ComponentKind) -> None:
+        if self._stopped:
+            return
         rate = self._rates.rate_of(kind)
         if rate <= 0.0:
             return
@@ -139,12 +267,34 @@ class FaultInjector:
         )
 
     def _fire_failure(self, lc_id: int, kind: ComponentKind) -> None:
+        if self._stopped:
+            return
         unit = self._router.linecards[lc_id].unit(kind)
         if unit is None or not unit.healthy:
             return  # already failed through another path
+        mode = self._draw_mode()
+        if mode is FaultMode.FAIL_SLOW:
+            self._fire_fail_slow(lc_id, kind)
+            return
         self._router.inject_fault(lc_id, kind)
-        self.log.append(FaultEvent(self._router.engine.now, lc_id, kind, "fail"))
-        if self._repair_rate is not None:
+        self.log.append(
+            FaultEvent(self._router.engine.now, lc_id, kind, "fail", mode.value)
+        )
+        if mode is FaultMode.TRANSIENT:
+            assert self._modes is not None
+            delay = float(self._rng.exponential(self._modes.transient_sojourn_s))
+            self._router.engine.schedule_in(
+                delay,
+                lambda: self._fire_clear(lc_id, kind, mode.value),
+                label="fault:transient-clear",
+            )
+        elif mode is FaultMode.INTERMITTENT:
+            assert self._modes is not None
+            delay = float(self._rng.exponential(self._modes.flap_period_s))
+            self._router.engine.schedule_in(
+                delay, lambda: self._flap_clear(lc_id, kind), label="fault:flap-clear"
+            )
+        elif self._repair_rate is not None:
             delay = float(self._rng.exponential(1.0 / self._repair_rate))
             self._router.engine.schedule_in(
                 delay, lambda: self._fire_repair(lc_id, kind), label="repair"
@@ -155,13 +305,101 @@ class FaultInjector:
         self.log.append(FaultEvent(self._router.engine.now, lc_id, kind, "repair"))
         self._arm_failure(lc_id, kind)
 
+    def _fire_clear(self, lc_id: int, kind: ComponentKind, mode: str) -> None:
+        """Auto-recovery of a transient fault (no repair crew)."""
+        unit = self._router.linecards[lc_id].unit(kind)
+        if unit is not None and not unit.healthy:
+            self._router.repair_fault(lc_id, kind)
+            self.log.append(
+                FaultEvent(self._router.engine.now, lc_id, kind, "clear", mode)
+            )
+        self._arm_failure(lc_id, kind)
+
+    def _flap_clear(self, lc_id: int, kind: ComponentKind) -> None:
+        unit = self._router.linecards[lc_id].unit(kind)
+        if unit is not None and not unit.healthy:
+            self._router.repair_fault(lc_id, kind)
+            self.log.append(
+                FaultEvent(
+                    self._router.engine.now,
+                    lc_id,
+                    kind,
+                    "clear",
+                    FaultMode.INTERMITTENT.value,
+                )
+            )
+        if self._stopped:
+            return
+        assert self._modes is not None
+        if float(self._rng.random()) < self._modes.flap_continue_prob:
+            delay = float(self._rng.exponential(self._modes.flap_period_s))
+            self._router.engine.schedule_in(
+                delay, lambda: self._flap_fail(lc_id, kind), label="fault:flap-fail"
+            )
+        else:
+            self._arm_failure(lc_id, kind)
+
+    def _flap_fail(self, lc_id: int, kind: ComponentKind) -> None:
+        if self._stopped:
+            return
+        unit = self._router.linecards[lc_id].unit(kind)
+        if unit is None or not unit.healthy:
+            return  # already failed through another path
+        assert self._modes is not None
+        self._router.inject_fault(lc_id, kind)
+        self.log.append(
+            FaultEvent(
+                self._router.engine.now, lc_id, kind, "fail", FaultMode.INTERMITTENT.value
+            )
+        )
+        delay = float(self._rng.exponential(self._modes.flap_period_s))
+        self._router.engine.schedule_in(
+            delay, lambda: self._flap_clear(lc_id, kind), label="fault:flap-clear"
+        )
+
+    def _fire_fail_slow(self, lc_id: int, kind: ComponentKind) -> None:
+        unit = self._router.linecards[lc_id].unit(kind)
+        assert unit is not None and self._modes is not None
+        if unit.degraded:
+            self._arm_failure(lc_id, kind)
+            return
+        unit.degrade(self._modes.slow_factor)
+        self.log.append(
+            FaultEvent(
+                self._router.engine.now, lc_id, kind, "degrade", FaultMode.FAIL_SLOW.value
+            )
+        )
+        delay = float(self._rng.exponential(self._modes.slow_sojourn_s))
+        self._router.engine.schedule_in(
+            delay, lambda: self._fire_slow_restore(lc_id, kind), label="fault:slow-restore"
+        )
+
+    def _fire_slow_restore(self, lc_id: int, kind: ComponentKind) -> None:
+        unit = self._router.linecards[lc_id].unit(kind)
+        if unit is not None and unit.degraded:
+            unit.restore_speed()
+            self.log.append(
+                FaultEvent(
+                    self._router.engine.now,
+                    lc_id,
+                    kind,
+                    "restore",
+                    FaultMode.FAIL_SLOW.value,
+                )
+            )
+        self._arm_failure(lc_id, kind)
+
     # -- EIB lifecycle ------------------------------------------------------------
 
     def _arm_eib_failure(self) -> None:
+        if self._stopped:
+            return
         delay = float(self._rng.exponential(1.0 / self._rates.eib))
         self._router.engine.schedule_in(delay, self._fire_eib_failure, label="fault:eib")
 
     def _fire_eib_failure(self) -> None:
+        if self._stopped:
+            return
         if self._router.eib is None or not self._router.eib.healthy:
             return
         self._router.fail_eib()
@@ -174,6 +412,44 @@ class FaultInjector:
         self._router.repair_eib()
         self.log.append(FaultEvent(self._router.engine.now, None, None, "repair"))
         self._arm_eib_failure()
+
+    # -- control-plane degradation ------------------------------------------------
+
+    def _arm_ctl_fault(self) -> None:
+        if self._stopped:
+            return
+        assert self._modes is not None
+        delay = float(self._rng.exponential(1.0 / self._modes.ctl_fault_rate))
+        self._router.engine.schedule_in(delay, self._fire_ctl_fault, label="fault:ctl")
+
+    def _fire_ctl_fault(self) -> None:
+        if self._stopped or self._router.eib is None:
+            return
+        ctl = self._router.eib.control
+        assert self._modes is not None
+        if ctl.loss_prob > 0.0 or ctl.corrupt_prob > 0.0:
+            self._arm_ctl_fault()
+            return
+        ctl.loss_prob = self._modes.ctl_loss_prob
+        ctl.corrupt_prob = self._modes.ctl_corrupt_prob
+        self.log.append(
+            FaultEvent(self._router.engine.now, None, None, "ctl_degrade", "control")
+        )
+        delay = float(self._rng.exponential(self._modes.ctl_sojourn_s))
+        self._router.engine.schedule_in(
+            delay, self._fire_ctl_restore, label="fault:ctl-restore"
+        )
+
+    def _fire_ctl_restore(self) -> None:
+        if self._router.eib is None:
+            return
+        ctl = self._router.eib.control
+        ctl.loss_prob = 0.0
+        ctl.corrupt_prob = 0.0
+        self.log.append(
+            FaultEvent(self._router.engine.now, None, None, "ctl_restore", "control")
+        )
+        self._arm_ctl_fault()
 
     # -- summaries ------------------------------------------------------------------
 

@@ -127,13 +127,23 @@ def segment(packet: Packet, dst_lc: int | None = None) -> list[Cell]:
 
 
 class ControlKind(enum.Enum):
-    """The five EIB control-packet types of Section 4."""
+    """The five EIB control-packet types of Section 4, plus the fault
+    dissemination packets of the detection layer (``docs/chaos.md``).
+
+    The paper's protocol assumes the fault map is "maintained by the
+    processing-tier parameters of the control packets" without naming the
+    packets; ``FLT_N``/``FLT_C``/``HB`` make that exchange explicit so
+    detection latency and lossy control lines become modelable.
+    """
 
     REQ_D = "REQ_D"  # request a data transfer over the EIB data lines
     REP_D = "REP_D"  # accept a data-transfer request
     REQ_L = "REQ_L"  # request an IP lookup (faulty LFE)
     REP_L = "REP_L"  # lookup reply, result embedded in the control packet
     REL_D = "REL_D"  # release an established logical path
+    FLT_N = "FLT_N"  # fault notification: init_lc detected faulty_component locally
+    FLT_C = "FLT_C"  # fault clear: init_lc repaired faulty_component
+    HB = "HB"        # heartbeat re-advertising init_lc's believed local fault set
 
 
 @dataclass(frozen=True)
@@ -149,8 +159,11 @@ class ControlPacket:
     * processing tier -- ``data_rate`` (Gbps requested by LC_init),
       ``protocol`` (for LC_inter protocol matching), ``faulty_component``
       (drives the packets-vs-cells delivery decision at healthy LCs),
-      ``lookup_addr`` / ``lookup_result`` (REQ_L / REP_L payloads), and
-      ``lp_id`` (logical-path being created or released).
+      ``lookup_addr`` / ``lookup_result`` (REQ_L / REP_L payloads),
+      ``lp_id`` (logical-path being created or released), and
+      ``fault_status`` (an HB's full advertised local fault set, as
+      component-kind value strings, enabling anti-entropy reconvergence
+      after lost FLT_N/FLT_C packets).
     """
 
     kind: ControlKind
@@ -162,6 +175,7 @@ class ControlPacket:
     lookup_addr: int | None = None
     lookup_result: int | None = None
     lp_id: int | None = None
+    fault_status: tuple[str, ...] | None = None
 
     #: Control packets are small and fixed-size; 32 bytes covers the tier
     #: fields plus framing.
@@ -176,3 +190,7 @@ class ControlPacket:
             raise ValueError("REP_L requires a lookup_result")
         if self.kind is ControlKind.REL_D and self.lp_id is None:
             raise ValueError("REL_D must name the logical path being released")
+        if self.kind in (ControlKind.FLT_N, ControlKind.FLT_C) and self.faulty_component is None:
+            raise ValueError(f"{self.kind.value} must name the faulty component")
+        if self.kind is ControlKind.HB and self.fault_status is None:
+            raise ValueError("HB must carry a fault_status tuple (possibly empty)")

@@ -114,9 +114,14 @@ class EIBProtocol:
         self._by_req: dict[int, tuple] = {}
         self._timeouts: dict[int, EventHandle] = {}
         self._pending_lookups: dict[int, Callable[[int | None], None]] = {}
+        self._lookup_timeouts: dict[int, EventHandle] = {}
         self._reply_handles: dict[tuple[int, int], EventHandle] = {}
         self._lp_refs: dict[int, int] = {}
         self._lp_rates: dict[int, float] = {}
+        #: optional hook receiving the detection-layer control packets
+        #: (FLT_N / FLT_C / HB) at each healthy bus controller; set by
+        #: :class:`repro.chaos.detection.FaultDetector`.
+        self.fault_listener: Callable[[int, ControlPacket], None] | None = None
 
         for lc_id, lc in linecards.items():
             if lc.bus_controller is not None:
@@ -201,12 +206,20 @@ class EIBProtocol:
         )
 
     def send_on_stream(
-        self, stream: CoverageStream, size_bytes: int, deliver: Callable[[], None]
+        self,
+        stream: CoverageStream,
+        size_bytes: int,
+        deliver: Callable[[], None],
+        abort: Callable[[], None] | None = None,
     ) -> bool:
-        """Queue ``size_bytes`` on the stream's logical path."""
+        """Queue ``size_bytes`` on the stream's logical path.
+
+        ``abort`` fires instead of ``deliver`` if the EIB dies while the
+        transfer is queued or on the wire.
+        """
         if stream.state is not StreamState.ACTIVE:
             return False
-        return self._eib.data.enqueue(stream.sender_lc, size_bytes, deliver)
+        return self._eib.data.enqueue(stream.sender_lc, size_bytes, deliver, abort=abort)
 
     def release_stream(self, key: tuple) -> None:
         """Tear a stream down (REL_D broadcast, reservation + LP release)."""
@@ -263,6 +276,40 @@ class EIBProtocol:
         self._lp_refs.clear()
         self._lp_rates.clear()
 
+    def snapshot_state(self) -> dict:
+        """Bookkeeping snapshot consumed by the chaos invariant checks.
+
+        Exposes just enough internal state to assert LP-refcount /
+        stream-state consistency and scheduled-event hygiene without the
+        checker reaching into private attributes.
+        """
+        active_by_sender: dict[int, int] = {}
+        active_rate_by_sender: dict[int, float] = {}
+        for stream in self._streams.values():
+            if stream.state is StreamState.ACTIVE:
+                lc = stream.sender_lc
+                active_by_sender[lc] = active_by_sender.get(lc, 0) + 1
+                active_rate_by_sender[lc] = (
+                    active_rate_by_sender.get(lc, 0.0) + stream.rate_bps
+                )
+        return {
+            "stream_states": {k: s.state.value for k, s in self._streams.items()},
+            "active_by_sender": active_by_sender,
+            "active_rate_by_sender": active_rate_by_sender,
+            "lp_refs": dict(self._lp_refs),
+            "lp_rates": dict(self._lp_rates),
+            "soliciting_without_timeout": [
+                s.req_id
+                for s in self._streams.values()
+                if s.state is StreamState.SOLICITING and s.req_id not in self._timeouts
+            ],
+            "stale_timeouts": [
+                req_id for req_id in self._timeouts if req_id not in self._by_req
+            ],
+            "pending_lookups": len(self._pending_lookups),
+            "armed_lookup_timeouts": len(self._lookup_timeouts),
+        }
+
     def request_lookup(
         self, lc_id: int, addr: int, callback: Callable[[int | None], None]
     ) -> None:
@@ -284,11 +331,17 @@ class EIBProtocol:
         )
 
         def timeout() -> None:
+            self._lookup_timeouts.pop(req_id, None)
             cb = self._pending_lookups.pop(req_id, None)
             if cb is not None:
                 cb(None)
 
-        self._engine.schedule_in(self._lookup_timeout, timeout, label="eib:req_l:timeout")
+        # Keep the handle so a successful REP_L cancels the timeout
+        # instead of leaving a dead event armed in the engine heap --
+        # long chaos campaigns would otherwise accumulate thousands.
+        self._lookup_timeouts[req_id] = self._engine.schedule_in(
+            self._lookup_timeout, timeout, label="eib:req_l:timeout"
+        )
 
     # ------------------------------------------------------------------
     # control-packet handling at each LC
@@ -307,6 +360,9 @@ class EIBProtocol:
                 self._handle_req_l(me, cp)
             elif cp.kind is ControlKind.REP_L:
                 self._handle_rep_l(me, cp)
+            elif cp.kind in (ControlKind.FLT_N, ControlKind.FLT_C, ControlKind.HB):
+                if self.fault_listener is not None:
+                    self.fault_listener(me, cp)
             # REL_D bookkeeping is central (release_stream); mirrors of the
             # arbiter counters are updated inside DistributedArbiter.
 
@@ -380,6 +436,9 @@ class EIBProtocol:
         if cp.rec_lc == me:
             cb = self._pending_lookups.pop(cp.lp_id, None)
             if cb is not None:
+                handle = self._lookup_timeouts.pop(cp.lp_id, None)
+                if handle is not None:
+                    handle.cancel()
                 self._stats.remote_lookups += 1
                 cb(cp.lookup_result)
         else:
@@ -464,6 +523,7 @@ class EIBProtocol:
         self._flush_waiters(stream, stream)
 
     def _on_solicit_timeout(self, req_id: int) -> None:
+        self._timeouts.pop(req_id, None)  # fired; drop the spent handle
         key = self._by_req.get(req_id)
         if key is None:
             return

@@ -1,12 +1,14 @@
 """Fault map and coverage planning (Section 3.2's Cases 1-3).
 
-:class:`FaultMap` is every LC's shared view of which components are down.
-In hardware this view is maintained by the processing-tier parameters of
-the control packets; the model keeps one authoritative map and treats
-dissemination as instantaneous (the control-line broadcast latency --
-sub-microsecond -- is negligible against fault inter-arrival times, and
-the protocol engine still exchanges the real control packets for stream
-setup).
+:class:`FaultMap` is the ground-truth registry of which components are
+down.  In hardware each LC maintains its own copy via the
+processing-tier parameters of the control packets; by default the model
+keeps one authoritative map and treats dissemination as instantaneous.
+With the detection layer enabled (:mod:`repro.chaos.detection`), the
+planner instead consults per-LC :class:`~repro.chaos.detection.LocalFaultView`
+objects that converge only after self-test latency plus FLT_N/HB
+dissemination over the CSMA/CD control lines -- see
+:meth:`CoveragePlanner.set_views`.
 
 :class:`CoveragePlanner` turns (packet, fault map) into a
 :class:`CoveragePlan` describing how the packet must move: which side
@@ -54,8 +56,17 @@ class FaultMap:
             )
 
     def mark_repaired(self, lc_id: int, kind: ComponentKind) -> None:
-        """Clear a component failure."""
-        self._failed.get(lc_id, set()).discard(kind)
+        """Clear a component failure.
+
+        The LC's entry is pruned once its last fault clears, keeping the
+        map O(active faults) over long flapping campaigns instead of
+        accumulating empty sets for every LC that ever failed.
+        """
+        faults = self._failed.get(lc_id)
+        if faults is not None:
+            faults.discard(kind)
+            if not faults:
+                del self._failed[lc_id]
         if _metrics.REGISTRY is not None:
             _metrics.REGISTRY.counter("recovery.faults_repaired").inc()
         if _trace.TRACER is not None:
@@ -74,6 +85,15 @@ class FaultMap:
     def any_failed(self, lc_id: int) -> bool:
         """True when any unit of the LC is down."""
         return bool(self._failed.get(lc_id))
+
+    def active_faults(self) -> dict[int, set[ComponentKind]]:
+        """Copy of the live fault registry (for views and invariants)."""
+        return {lc: set(kinds) for lc, kinds in self._failed.items()}
+
+    def is_compact(self) -> bool:
+        """True when no LC entry is an empty leftover set (see
+        :meth:`mark_repaired`); checked by the chaos invariants."""
+        return all(self._failed.values())
 
 
 class EgressMode(enum.Enum):
@@ -158,8 +178,25 @@ class CoveragePlanner:
     def __init__(self, linecards: dict[int, Linecard], faults: FaultMap) -> None:
         self._lcs = linecards
         self._faults = faults
+        self._views: dict[int, object] | None = None
         #: optional simulation-clock callable for trace timestamps.
         self.clock: Callable[[], float] | None = None
+
+    def set_views(self, views: dict[int, object] | None) -> None:
+        """Switch planning from the oracle map to per-LC fault views.
+
+        ``views`` maps each LC id to an object exposing the FaultMap read
+        API (``failed_at`` at minimum); packets are then planned from the
+        *ingress* LC's possibly-stale view, which is what opens the
+        detection-latency window the chaos campaigns measure.  Pass
+        ``None`` to restore oracle planning.
+        """
+        self._views = views
+
+    def _map_for(self, lc_id: int):
+        if self._views is None:
+            return self._faults
+        return self._views[lc_id]
 
     def plan(self, packet: Packet) -> CoveragePlan:
         """Build the coverage plan for ``packet`` under the current faults.
@@ -199,8 +236,12 @@ class CoveragePlanner:
 
     def _plan(self, packet: Packet) -> CoveragePlan:
         src, dst = packet.src_lc, packet.dst_lc
-        f_src = self._faults.failed_at(src)
-        f_dst = self._faults.failed_at(dst)
+        # The ingress LC plans from *its* view: under the detection layer
+        # a remote (or even local, below coverage) fault it has not yet
+        # learned of yields a stale fabric plan and a mid-flight drop.
+        fmap = self._map_for(src)
+        f_src = fmap.failed_at(src)
+        f_dst = fmap.failed_at(dst)
 
         # PIU failures disconnect the external link -- never coverable.
         if ComponentKind.PIU in f_src:

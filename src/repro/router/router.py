@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.obs import trace as _trace
 from repro.router.bus import EIB
 from repro.router.components import ComponentKind
 from repro.router.fabric import SwitchFabric
@@ -147,6 +148,10 @@ class Router:
             self.planner = None
             self.protocol = None
 
+        #: detection layer (oracle dissemination when ``None``); set by
+        #: :meth:`enable_detection`.
+        self.detector = None
+
         #: per-LC offered rate (bps), set by traffic wiring; used as the
         #: data-rate parameter of coverage solicitations.
         self._offered_bps: dict[int, float] = {i: 0.0 for i in self.linecards}
@@ -202,6 +207,26 @@ class Router:
         """Advance the simulation to time ``until``."""
         self.engine.run(until=until)
 
+    def enable_detection(self, config=None):
+        """Replace oracle fault dissemination with the EIB detection layer.
+
+        Each LC gets a :class:`~repro.chaos.detection.LocalFaultView` that
+        converges only after periodic self-tests (with configurable
+        latency and imperfect coverage) and FLT_N/FLT_C/HB control
+        packets over the CSMA/CD lines; the coverage planner then plans
+        from the ingress LC's possibly-stale view.  Returns the detector.
+        """
+        if self.mode is not RouterMode.DRA:
+            raise RuntimeError("fault detection rides the EIB: DRA routers only")
+        from repro.chaos.detection import DetectionConfig, FaultDetector
+
+        detector = FaultDetector(self, config or DetectionConfig())
+        self.detector = detector
+        assert self.planner is not None
+        self.planner.set_views(detector.views)
+        detector.start()
+        return detector
+
     # ------------------------------------------------------------------
     # fault management
     # ------------------------------------------------------------------
@@ -213,6 +238,8 @@ class Router:
             raise ValueError(f"{self.mode.value} linecards have no {kind.value}")
         unit.fail()
         self.faults.mark_failed(lc_id, kind)
+        if self.detector is not None:
+            self.detector.on_fault(lc_id, kind)
         if kind is ComponentKind.SRU:
             # Partial packets inside the failed SRU are destroyed; their
             # drop accounting happens through the buffers' abort callbacks.
@@ -227,6 +254,8 @@ class Router:
             raise ValueError(f"{self.mode.value} linecards have no {kind.value}")
         unit.repair()
         self.faults.mark_repaired(lc_id, kind)
+        if self.detector is not None:
+            self.detector.on_repair(lc_id, kind)
         if self.protocol is not None:
             self.protocol.release_streams_for_fault(lc_id, kind)
 
@@ -346,6 +375,12 @@ class Router:
             self._drop(packet, plan.drop)
             return
         src = self.linecards[packet.src_lc]
+        if not src.piu.healthy:
+            # With per-LC views the planner can miss even a local PIU
+            # fault (self-test latency / imperfect coverage); the stale
+            # plan says FABRIC but the hardware is dead.
+            self._drop(packet, DropReason.PIU_IN)
+            return
         delay = src.piu.serve(packet.size_bytes, self.engine.now)
         self.engine.schedule_in(
             delay, lambda: self._after_piu(packet, plan), label="dra:piu-in"
@@ -391,6 +426,7 @@ class Router:
                 stream,
                 packet.size_bytes,
                 lambda: self._process_at(cover, packet, plan, entry_fault=fault),
+                abort=lambda: self._drop(packet, DropReason.EIB_DOWN),
             )
             if not sent:
                 self._drop(packet, DropReason.EIB_OVERLOAD)
@@ -535,6 +571,7 @@ class Router:
                 stream,
                 packet.size_bytes,
                 lambda: self._egress_after_eib(packet, plan, dst),
+                abort=lambda: self._drop(packet, DropReason.EIB_DOWN),
             )
             if not sent:
                 self._drop(packet, DropReason.EIB_OVERLOAD)
@@ -578,6 +615,7 @@ class Router:
                         stream,
                         packet.size_bytes,
                         lambda: self._egress_after_eib(packet, plan, dst),
+                        abort=lambda: self._drop(packet, DropReason.EIB_DOWN),
                     )
                     if sent:
                         packet.hop(f"eib:LC{inter}->LC{dst}[inter]")
@@ -649,3 +687,12 @@ class Router:
         packet.terminated = True
         packet.hop(f"drop:{reason}")
         self.stats.drop(reason)
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "router.packet_drop",
+                t=self.engine.now,
+                pkt_id=packet.pkt_id,
+                src_lc=packet.src_lc,
+                dst_lc=packet.dst_lc,
+                reason=reason,
+            )

@@ -1,0 +1,150 @@
+"""Fault-detection layer: self-tests, dissemination, anti-entropy."""
+
+import pytest
+
+from repro.chaos.detection import DetectionConfig
+from repro.obs import trace as _trace
+from repro.router import ComponentKind, Router, RouterConfig, RouterMode
+from repro.traffic import wire_uniform_load
+
+
+def make_router(seed=7, n=4, detection=None):
+    r = Router(RouterConfig(n_linecards=n, mode=RouterMode.DRA, seed=seed))
+    det = r.enable_detection(detection or DetectionConfig())
+    return r, det
+
+
+class TestLocalFaultView:
+    def test_learn_forget_roundtrip(self):
+        r, det = make_router()
+        view = det.views[0]
+        assert view.learn(1, ComponentKind.SRU)
+        assert not view.learn(1, ComponentKind.SRU)  # no news
+        assert view.is_failed(1, ComponentKind.SRU)
+        assert view.any_failed(1)
+        assert view.forget(1, ComponentKind.SRU)
+        assert not view.forget(1, ComponentKind.SRU)
+        assert not view.any_failed(1)
+        assert view.believed() == {}  # empty entries pruned
+
+    def test_reconcile_replaces_and_prunes(self):
+        r, det = make_router()
+        view = det.views[0]
+        view.learn(2, ComponentKind.SRU)
+        assert view.reconcile(2, {ComponentKind.LFE})
+        assert view.failed_at(2) == {ComponentKind.LFE}
+        assert view.reconcile(2, set())
+        assert view.believed() == {}
+        assert not view.reconcile(2, set())  # already empty: no change
+
+    def test_eib_health_is_ground_truth(self):
+        r, det = make_router()
+        view = det.views[0]
+        assert view.eib_healthy
+        r.fail_eib()
+        assert not view.eib_healthy
+
+
+class TestDetection:
+    def test_views_converge_after_detection(self):
+        r, det = make_router()
+        r.run(until=50e-6)
+        r.inject_fault(1, ComponentKind.SRU)
+        r.run(until=200e-6)
+        for lc_id, view in det.views.items():
+            assert view.is_failed(1, ComponentKind.SRU), f"LC{lc_id} still blind"
+        assert len(det.detections()) == 1
+
+    def test_detection_respects_latency_floor(self):
+        cfg = DetectionConfig(detection_latency_s=40e-6)
+        r, det = make_router(detection=cfg)
+        r.run(until=10e-6)
+        r.inject_fault(2, ComponentKind.LFE)
+        r.run(until=500e-6)
+        (latency,) = det.detection_latencies()
+        assert latency >= cfg.detection_latency_s
+
+    def test_repair_clears_views_everywhere(self):
+        r, det = make_router()
+        r.inject_fault(1, ComponentKind.SRU)
+        r.run(until=200e-6)
+        r.repair_fault(1, ComponentKind.SRU)
+        r.run(until=400e-6)
+        for view in det.views.values():
+            assert not view.is_failed(1, ComponentKind.SRU)
+
+    def test_zero_coverage_fault_stays_invisible(self):
+        cfg = DetectionConfig(coverage=0.0)
+        r, det = make_router(detection=cfg)
+        r.inject_fault(1, ComponentKind.SRU)
+        r.run(until=1e-3)
+        assert det.detections() == []
+        for view in det.views.values():
+            assert not view.is_failed(1, ComponentKind.SRU)
+
+    def test_heartbeat_reconverges_after_lost_notifications(self):
+        cfg = DetectionConfig(heartbeat_period_s=100e-6)
+        r, det = make_router(detection=cfg)
+        assert r.eib is not None
+        r.eib.control.loss_prob = 1.0  # every FLT_N vanishes in flight
+        r.inject_fault(1, ComponentKind.SRU)
+        r.run(until=300e-6)
+        assert det.views[1].is_failed(1, ComponentKind.SRU)  # local knowledge
+        assert not det.views[0].is_failed(1, ComponentKind.SRU)  # lost FLT_N
+        r.eib.control.loss_prob = 0.0  # medium restored
+        r.run(until=600e-6)  # >= one heartbeat period later
+        for view in det.views.values():
+            assert view.is_failed(1, ComponentKind.SRU)
+
+    def test_dead_bus_controller_suspends_selftest(self):
+        r, det = make_router()
+        r.inject_fault(1, ComponentKind.BUS_CONTROLLER)
+        r.run(until=20e-6)
+        r.inject_fault(1, ComponentKind.SRU)
+        r.run(until=500e-6)
+        # LC1's maintenance loop is deaf and mute: the SRU fault stays
+        # undetected (self-test suspended), so no remote view learns it.
+        assert not det.views[0].is_failed(1, ComponentKind.SRU)
+
+    def test_requires_dra_mode(self):
+        r = Router(RouterConfig(n_linecards=4, mode=RouterMode.BDR, seed=1))
+        with pytest.raises(RuntimeError, match="DRA"):
+            r.enable_detection()
+
+
+class TestOracleGap:
+    """Between fault onset and detection the planner works from stale
+    views: traffic keeps being planned onto dead hardware and drops."""
+
+    def test_stale_views_drop_packets_until_detection(self):
+        cfg = DetectionConfig(detection_latency_s=200e-6, selftest_period_s=20e-6)
+        r, det = make_router(seed=11, detection=cfg)
+        wire_uniform_load(r, 0.4)
+        tracer = _trace.Tracer()
+        with _trace.tracing(tracer):
+            r.run(until=100e-6)
+            onset = r.engine.now
+            r.inject_fault(1, ComponentKind.SRU)
+            r.run(until=1.5e-3)
+        drops = [
+            ev
+            for ev in tracer.events
+            if ev.kind == "router.packet_drop"
+            and ev.data["reason"] == "component_failed_mid_flight"
+        ]
+        detections = [ev for ev in tracer.events if ev.kind == "detect.local_detect"]
+        assert detections, "fault never detected"
+        detected_at = detections[0].t
+        assert detected_at - onset >= cfg.detection_latency_s
+        gap_drops = [ev for ev in drops if onset <= ev.t <= detected_at]
+        assert gap_drops, "no drops inside the detection-latency window"
+
+    def test_oracle_mode_unaffected(self):
+        # Without enable_detection the planner still sees the global
+        # FaultMap instantly: no detection events, coverage immediate.
+        r = Router(RouterConfig(n_linecards=4, mode=RouterMode.DRA, seed=11))
+        wire_uniform_load(r, 0.4)
+        r.run(until=100e-6)
+        r.inject_fault(1, ComponentKind.SRU)
+        r.run(until=1.5e-3)
+        assert r.detector is None

@@ -1,0 +1,113 @@
+"""Invariant checks: clean routers pass, doctored ones are caught."""
+
+from repro.chaos.invariants import check_invariants
+from repro.router import ComponentKind, Router, RouterConfig, RouterMode
+from repro.router.faults import FaultEvent
+from repro.traffic import wire_uniform_load
+
+
+def run_clean_router(seed=3):
+    r = Router(RouterConfig(n_linecards=4, mode=RouterMode.DRA, seed=seed))
+    sources = wire_uniform_load(r, 0.3)
+    r.run(until=2e-3)
+    for src in sources:
+        src.stop()
+    r.run(until=14e-3)  # drain past the reassembly timeout
+    return r
+
+
+class FakeInjector:
+    def __init__(self, log):
+        self.log = log
+
+
+class TestCleanRouter:
+    def test_no_violations(self):
+        r = run_clean_router()
+        assert check_invariants(r) == []
+
+    def test_detection_layer_clean(self):
+        r = Router(RouterConfig(n_linecards=4, mode=RouterMode.DRA, seed=5))
+        det = r.enable_detection()
+        sources = wire_uniform_load(r, 0.3)
+        r.run(until=1e-3)
+        r.inject_fault(1, ComponentKind.SRU)
+        r.run(until=2e-3)
+        r.repair_fault(1, ComponentKind.SRU)
+        for src in sources:
+            src.stop()
+        r.run(until=14e-3)
+        assert check_invariants(r, None, det, settle_s=1e-3) == []
+
+
+class TestViolationsCaught:
+    def test_conservation_breach(self):
+        r = run_clean_router()
+        r.stats.offered += 1
+        checks = [v.check for v in check_invariants(r)]
+        assert "packet_conservation" in checks
+
+    def test_fault_map_disagreement(self):
+        r = run_clean_router()
+        r.faults.mark_failed(0, ComponentKind.SRU)  # map says dead, HW healthy
+        checks = [v.check for v in check_invariants(r)]
+        assert "fault_map_agreement" in checks
+
+    def test_capacity_overcommit(self):
+        r = run_clean_router()
+        lc = r.linecards[0]
+        lc.committed_bps = lc.capacity_bps * 2
+        checks = [v.check for v in check_invariants(r)]
+        assert "capacity_accounting" in checks
+
+    def test_stale_view_flagged(self):
+        r = Router(RouterConfig(n_linecards=4, mode=RouterMode.DRA, seed=5))
+        det = r.enable_detection()
+        r.run(until=1e-3)
+        det.views[0].learn(2, ComponentKind.LFE)  # bogus belief, no fault
+        violations = check_invariants(r, None, det, settle_s=0.0)
+        assert any(v.check == "view_convergence" for v in violations)
+
+
+class TestFaultLogChecks:
+    def test_monotone_and_lifecycle_ok(self):
+        log = [
+            FaultEvent(1.0, 0, ComponentKind.SRU, "fail"),
+            FaultEvent(2.0, 0, ComponentKind.SRU, "repair"),
+            FaultEvent(3.0, 1, ComponentKind.LFE, "degrade", "fail_slow"),
+            FaultEvent(4.0, 1, ComponentKind.LFE, "restore", "fail_slow"),
+            FaultEvent(5.0, None, None, "ctl_degrade", "control"),
+            FaultEvent(6.0, None, None, "ctl_restore", "control"),
+        ]
+        r = run_clean_router()
+        assert check_invariants(r, FakeInjector(log)) == []
+
+    def test_non_monotone_times(self):
+        log = [
+            FaultEvent(2.0, 0, ComponentKind.SRU, "fail"),
+            FaultEvent(1.0, 0, ComponentKind.SRU, "repair"),
+        ]
+        r = run_clean_router()
+        checks = [v.check for v in check_invariants(r, FakeInjector(log))]
+        assert "fault_log_monotone" in checks
+
+    def test_double_fail(self):
+        log = [
+            FaultEvent(1.0, 0, ComponentKind.SRU, "fail"),
+            FaultEvent(2.0, 0, ComponentKind.SRU, "fail"),
+        ]
+        r = run_clean_router()
+        checks = [v.check for v in check_invariants(r, FakeInjector(log))]
+        assert "fault_log_lifecycle" in checks
+
+    def test_repair_without_fail(self):
+        log = [FaultEvent(1.0, 0, ComponentKind.SRU, "repair")]
+        r = run_clean_router()
+        checks = [v.check for v in check_invariants(r, FakeInjector(log))]
+        assert "fault_log_lifecycle" in checks
+
+    def test_restore_without_degrade(self):
+        log = [FaultEvent(1.0, 0, ComponentKind.SRU, "restore", "fail_slow")]
+        r = run_clean_router()
+        checks = [v.check for v in check_invariants(r, FakeInjector(log))]
+        assert "fault_log_lifecycle" in checks

@@ -234,3 +234,31 @@ class TestEIBFailure:
         stream = results[0]
         proto.release_stream(key)
         assert not proto.send_on_stream(stream, 100, lambda: None)
+
+
+class TestLookupTimeoutHygiene:
+    def test_successful_lookup_cancels_timeout(self):
+        eng, lcs, eib, proto, stats = make_world()
+        lcs[0].lfe.fail()
+        results = []
+        addr = 0x0A000000 + (2 << 16) + 7
+        proto.request_lookup(0, addr, results.append)
+        eng.run(until=0.01)
+        assert results == [2]
+        snap = proto.snapshot_state()
+        # Regression: the timeout used to stay armed after a successful
+        # REP_L -- dead events piling up in the engine heap.
+        assert snap["armed_lookup_timeouts"] == 0
+        assert snap["pending_lookups"] == 0
+
+    def test_timed_out_lookup_unarms_itself(self):
+        eng, lcs, eib, proto, stats = make_world()
+        for i in (1, 2, 3):
+            lcs[i].lfe.fail()
+        results = []
+        proto.request_lookup(0, 0x0A000001, results.append)
+        eng.run(until=0.01)
+        assert results == [None]
+        snap = proto.snapshot_state()
+        assert snap["armed_lookup_timeouts"] == 0
+        assert snap["pending_lookups"] == 0

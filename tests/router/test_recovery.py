@@ -179,3 +179,23 @@ class TestCandidates:
         planner = CoveragePlanner(lcs, FaultMap())
         cands = planner.ingress_candidates(pkt(src=0, dst=1), ComponentKind.SRU, 1e9)
         assert set(cands) == {4, 5}
+
+
+class TestFaultMapHygiene:
+    def test_mark_repaired_prunes_empty_entries(self):
+        fm = FaultMap()
+        fm.mark_failed(3, ComponentKind.SRU)
+        fm.mark_repaired(3, ComponentKind.SRU)
+        # Regression: the empty set() used to linger, making any_failed
+        # scans and compactness checks see ghost entries.
+        assert fm.active_faults() == {}
+        assert fm.is_compact()
+        assert not fm.any_failed(3)
+
+    def test_partial_repair_keeps_entry(self):
+        fm = FaultMap()
+        fm.mark_failed(3, ComponentKind.SRU)
+        fm.mark_failed(3, ComponentKind.LFE)
+        fm.mark_repaired(3, ComponentKind.SRU)
+        assert fm.active_faults() == {3: {ComponentKind.LFE}}
+        assert fm.is_compact()

@@ -213,3 +213,30 @@ class TestTracing:
         path = tmp_path / "t.jsonl"
         assert main(["mttf", "--configs", "3:2", "--trace", str(path)]) == 0
         assert get_tracer() is None
+
+
+class TestChaosCommand:
+    """The chaos subcommand: campaign gate + JSON report + fork-safe trace."""
+
+    def test_chaos_runs_clean_and_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "chaos.json"
+        assert main([
+            "chaos", "--seeds", "2", "--duration", "0.002",
+            "--json-out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invariant violations: 0" in out
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro-chaos"
+        assert report["totals"]["violations"] == 0
+        assert len(report["schedules"]) == 2
+
+    def test_chaos_trace_flag_fork_safe(self, tmp_path, capsys):
+        trace_path = tmp_path / "chaos.jsonl"
+        assert main([
+            "chaos", "--seeds", "2", "--duration", "0.002", "--jobs", "2",
+            "--trace", str(trace_path),
+        ]) == 0
+        events = read_trace(str(trace_path))
+        assert events  # schedule 0 re-ran in-process under the tracer
+        assert get_tracer() is None  # tracer torn down cleanly
