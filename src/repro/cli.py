@@ -8,15 +8,18 @@ Usage::
     python -m repro mttf [--configs 3:2,9:4]
     python -m repro cost [--n 8] [--protocols 2]
     python -m repro importance [--n 9] [--m 4]
-    python -m repro validate [--cycles 30000] [--seed 0] [--jobs N]
+    python -m repro validate [--suite tiny|smoke|full] [--seed 0] [--jobs N]
     python -m repro bench [--target mc|fig6|validate] [--jobs-list 1,2,4]
     python -m repro chaos [--seeds 32] [--seed 0] [--jobs N] [--json-out FILE]
     python -m repro report [--jobs N] [--cache]
     python -m repro trace FILE [--kind PREFIX] [--limit N] [--json]
 
-``validate`` runs the rare-event importance-sampling check against the
-exact Figure 7 values and exits nonzero on disagreement -- usable as a
-CI gate.  ``chaos`` runs seeded fault-injection campaigns against the
+``validate`` runs the differential validation suite -- every analytic
+quantity paired with an independent Monte Carlo / simulation estimator,
+judged by confidence-interval containment -- writes a schema-versioned
+``BENCH_validate.json`` and exits nonzero on disagreement, so it works
+as a CI gate (``docs/validation.md``).  ``chaos`` runs seeded
+fault-injection campaigns against the
 executable DRA model with the EIB fault-detection layer enabled and
 exits nonzero on any invariant violation (``docs/chaos.md``).  ``--jobs`` fans the work out over a process pool (0 = all
 cores); Monte Carlo results are bit-identical for a given ``--seed``
@@ -227,29 +230,44 @@ def _cmd_claims(_args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
-def _cmd_validate(args: argparse.Namespace) -> int:
-    from repro.runtime import parallel_unavailability_importance_sampling
+def _parse_perturb(entries: list[str] | None) -> dict[str, float]:
+    """Parse repeated ``--perturb PARAM=FACTOR`` flags."""
+    from repro.validate.pairs import PERTURBABLE
 
-    ok = True
-    for check_idx, ((n, m), repair, mu_label) in enumerate(
-        [
-            ((3, 2), RepairPolicy.three_hours(), "1/3"),
-            ((3, 2), RepairPolicy.half_day(), "1/12"),
-        ]
-    ):
-        cfg = DRAConfig(n=n, m=m)
-        exact = 1.0 - dra_availability(cfg, repair).availability
-        res = parallel_unavailability_importance_sampling(
-            cfg, repair, args.cycles, [args.seed, check_idx], jobs=args.jobs
-        )
-        good = res.consistent_with(exact, z=6.0)
-        ok = ok and good
-        print(
-            f"DRA N={n} M={m} mu={mu_label}: exact {exact:.3e} "
-            f"IS {res.unavailability:.3e} +/- {res.std_error:.1e} "
-            f"{'OK' if good else 'MISMATCH'}"
-        )
-    return 0 if ok else 1
+    perturb: dict[str, float] = {}
+    for entry in entries or []:
+        key, sep, factor = entry.partition("=")
+        if not sep:
+            raise SystemExit(f"--perturb wants PARAM=FACTOR, got {entry!r}")
+        if key not in PERTURBABLE:
+            raise SystemExit(
+                f"--perturb parameter {key!r} unknown; "
+                f"choose from {', '.join(PERTURBABLE)}"
+            )
+        try:
+            perturb[key] = float(factor)
+        except ValueError:
+            raise SystemExit(
+                f"--perturb factor {factor!r} is not a number"
+            ) from None
+    return perturb
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate.engine import render_report, report_to_json, run_suite
+
+    report = run_suite(
+        args.suite,
+        seed=args.seed,
+        jobs=args.jobs,
+        perturb=_parse_perturb(args.perturb),
+    )
+    print(render_report(report))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            fh.write(report_to_json(report))
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    return 0 if report["passed"] else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -507,12 +525,26 @@ def main(argv: list[str] | None = None) -> int:
     add_trace_flag(p)
     p.set_defaults(func=_cmd_claims)
 
-    p = sub.add_parser("validate", help="rare-event MC check of Figure 7")
-    p.add_argument("--cycles", type=int, default=30_000)
+    p = sub.add_parser(
+        "validate",
+        help="differential sim-vs-analytic validation suite",
+    )
+    p.add_argument("--suite", default="smoke",
+                   choices=["tiny", "smoke", "full"],
+                   help="pair set and sample budgets (default smoke)")
     p.add_argument("--seed", type=int, default=0,
-                   help="root seed; results are identical for any --jobs")
+                   help="root seed; the report is byte-identical "
+                        "for any --jobs")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (0 = all cores; default 1 = serial)")
+    p.add_argument("--json-out", dest="json_out",
+                   default="BENCH_validate.json", metavar="PATH",
+                   help="machine-readable report "
+                        "(default BENCH_validate.json; empty string disables)")
+    p.add_argument("--perturb", action="append", metavar="PARAM=FACTOR",
+                   help="scale an analytic-model parameter (repeatable); "
+                        "a correct harness must then FAIL -- "
+                        "e.g. --perturb lam_lpi=1.5")
     add_trace_flag(p)
     p.set_defaults(func=_cmd_validate)
 

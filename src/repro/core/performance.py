@@ -143,6 +143,21 @@ class PerformanceModel:
             return 100.0
         return 100.0 * self.bandwidth_to_faulty(x_faulty, load) / required
 
+    def saturation_point(self, load: float) -> int | None:
+        """Smallest ``X_faulty`` at which faulty LCs stop receiving their
+        full required bandwidth (Figure 8 dips below 100%), or ``None``
+        when coverage holds all the way to ``N - 1`` faults.
+
+        Exact in float arithmetic: ``B_faulty`` is a min of three exact
+        expressions, so the comparison needs no tolerance.
+        """
+        _check_load(load)
+        required = self.required(load)
+        for x_faulty in range(1, self.n):
+            if self.bandwidth_to_faulty(x_faulty, load) < required:
+                return x_faulty
+        return None
+
 
 def bandwidth_to_faulty(
     x_faulty: int,

@@ -30,6 +30,7 @@ from repro.markov.stationary import stationary_distribution
 from repro.markov.uniformization import uniformized_distribution
 from repro.markov.absorbing import (
     absorption_probabilities,
+    absorption_time_moments,
     mean_time_to_absorption,
     phase_type_cdf,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "stationary_distribution",
     "uniformized_distribution",
     "absorption_probabilities",
+    "absorption_time_moments",
     "mean_time_to_absorption",
     "phase_type_cdf",
     "transient_sensitivity",

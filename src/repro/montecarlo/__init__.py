@@ -28,6 +28,7 @@ from repro.montecarlo.importance import (
 )
 from repro.montecarlo.lifetime import (
     LifetimeEstimate,
+    empirical_unreliability,
     sample_lc_failure_times,
     structure_function_reliability,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "empirical_state_probabilities",
     "empirical_availability",
     "LifetimeEstimate",
+    "empirical_unreliability",
     "sample_lc_failure_times",
     "structure_function_reliability",
     "CycleStatistics",

@@ -36,6 +36,7 @@ from repro.core.parameters import DRAConfig, FailureRates
 
 __all__ = [
     "LifetimeEstimate",
+    "empirical_unreliability",
     "sample_lc_failure_times",
     "structure_function_reliability",
 ]
@@ -102,3 +103,21 @@ def structure_function_reliability(
     return LifetimeEstimate(
         times=times, reliability=r_hat, std_error=se, n_samples=n_samples
     )
+
+
+def empirical_unreliability(
+    config: DRAConfig,
+    horizon: float,
+    n_samples: int,
+    rng: np.random.Generator,
+    rates: FailureRates | None = None,
+) -> tuple[int, int]:
+    """Binomial sufficient statistics for ``1 - R(horizon)``.
+
+    Returns ``(failures, n_samples)`` -- the count of sampled LC failure
+    times at or below ``horizon`` hours.  The validation harness feeds
+    these straight into a Wilson interval, which keeps honest coverage
+    even when the horizon makes failure a rare event.
+    """
+    failure_times = sample_lc_failure_times(config, n_samples, rng, rates)
+    return int(np.count_nonzero(failure_times <= horizon)), n_samples

@@ -17,7 +17,7 @@ dependability models); per-LC bus controllers are modeled at the linecard.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -309,6 +309,10 @@ class DataChannel:
         self.transferred_bytes = 0
         self.transferred_packets = 0
         self.dropped_packets = 0
+        #: completed transfer bytes keyed by the owning LP's LC -- the
+        #: per-path throughput the B_prom validation compares against the
+        #: Section 4 promises.
+        self.transferred_bytes_by_lc: Counter[int] = Counter()
 
     # -- logical-path management ---------------------------------------------
 
@@ -489,6 +493,7 @@ class DataChannel:
                 return  # fail() already dropped it and ran its abort
             self._current = None
             self.transferred_bytes += item.size_bytes
+            self.transferred_bytes_by_lc[lp.lc_id] += item.size_bytes
             self.transferred_packets += 1
             item.deliver()
             if lp.lc_id in self._lps:

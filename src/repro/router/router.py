@@ -674,6 +674,7 @@ class Router:
         packet.hop(f"out@LC{dst}")
         self.stats.delivered += 1
         self.stats.delivered_by_lc[dst] += 1
+        self.stats.delivered_bytes_by_ingress[packet.src_lc] += packet.size_bytes
         self.stats.latency.add(packet.latency or 0.0)
         if any(h.startswith("eib:") or h.startswith("req_l") for h in packet.path):
             self.stats.covered_deliveries += 1

@@ -111,6 +111,10 @@ class RouterStats:
     latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
     #: packets delivered per destination LC
     delivered_by_lc: Counter = field(default_factory=Counter)
+    #: delivered payload bytes keyed by *ingress* LC -- the per-source
+    #: goodput the differential validation harness compares against the
+    #: Section 5.3 bandwidth algebra.
+    delivered_bytes_by_ingress: Counter = field(default_factory=Counter)
     #: packets that used the EIB datapath at least once
     covered_deliveries: int = 0
     #: coverage streams successfully established
@@ -141,6 +145,7 @@ class RouterStats:
         self.drops.update(other.drops)
         self.latency.merge(other.latency)
         self.delivered_by_lc.update(other.delivered_by_lc)
+        self.delivered_bytes_by_ingress.update(other.delivered_bytes_by_ingress)
         self.covered_deliveries += other.covered_deliveries
         self.streams_established += other.streams_established
         self.streams_failed += other.streams_failed

@@ -1,0 +1,63 @@
+"""Differential validation: sim-vs-analytic equivalence with statistics.
+
+The repo answers every question the paper asks twice -- analytically
+(CTMC reliability/availability, the Section 5 bandwidth algebra) and
+empirically (structure-function / trajectory / importance-sampling Monte
+Carlo, the packet-level router simulation).  This package cross-checks
+the two answer sets as a first-class artifact:
+
+* :mod:`repro.validate.stats` -- Wilson/normal confidence intervals from
+  sufficient statistics, TOST bounded equivalence, and numerically
+  principled tolerance helpers the test suite imports in place of
+  magic epsilons;
+* :mod:`repro.validate.pairs` -- the oracle/estimator registry: each
+  entry binds one analytic quantity to its independent empirical
+  counterpart;
+* :mod:`repro.validate.engine` -- the equivalence engine: runs a suite
+  of pairs over ``metered_parallel_map`` (bit-identical JSON for any
+  ``--jobs``), escalates failing pairs to 4x the sample budget before
+  declaring failure, and emits a schema-versioned report.
+
+This ``__init__`` deliberately re-exports only the dependency-free
+statistics layer: :mod:`repro.montecarlo` imports it, so pulling the
+pair registry (which imports :mod:`repro.montecarlo` back) in at package
+import would create a cycle.  Import the engine explicitly::
+
+    from repro.validate.engine import run_suite
+
+See ``docs/validation.md`` for the methodology and the pair catalogue.
+"""
+
+from repro.validate.stats import (
+    DEFAULT_Z,
+    FLOAT_EPS,
+    ConfidenceInterval,
+    assert_distribution_rows,
+    assert_mc_fraction_consistent,
+    assert_mc_mean_consistent,
+    assert_probability_vector,
+    assert_solvers_agree,
+    assert_stationary_residual,
+    distribution_atol,
+    mean_interval,
+    sample_mean_interval,
+    tost_interval,
+    wilson_interval,
+)
+
+__all__ = [
+    "DEFAULT_Z",
+    "FLOAT_EPS",
+    "ConfidenceInterval",
+    "wilson_interval",
+    "mean_interval",
+    "sample_mean_interval",
+    "tost_interval",
+    "distribution_atol",
+    "assert_probability_vector",
+    "assert_distribution_rows",
+    "assert_stationary_residual",
+    "assert_solvers_agree",
+    "assert_mc_mean_consistent",
+    "assert_mc_fraction_consistent",
+]

@@ -1,0 +1,614 @@
+"""The oracle/estimator registry of the differential validation harness.
+
+Every entry pairs one *analytic* quantity (a Markov solve or the
+Section 5 bandwidth algebra) with a fully *independent* empirical
+counterpart (Monte Carlo sampling or the packet-level DES) and states
+how agreement is judged:
+
+==========================  ==========================================  =========
+pair                        analytic vs empirical                       judgment
+==========================  ==========================================  =========
+``mttf.lc``                 phase-type absorption moments vs             normal CI
+                            structure-function lifetime samples
+``unreliability.transient`` uniformization P(F at t) vs lifetime         Wilson CI
+                            exceedance counts
+``availability.steady``     exact stationary unavailability vs           normal CI
+                            balanced-failure-biasing importance
+                            sampling
+``availability.trajectory`` exact stationary availability vs plain       normal CI
+                            trajectory time-averages (accelerated
+                            rates so outages are not rare)
+``bandwidth.share``         Section 4 ``B_prom`` promises + the          TOST
+                            Section 5.3 saturation point vs paced
+                            TDM ``DataChannel`` throughput
+``coverage.feasibility``    coverage-planner feasibility fraction        Wilson CI
+                            over all (src, dst) pairs vs delivered
+                            fraction of randomly addressed packets
+==========================  ==========================================  =========
+
+Each pair function takes ``(n, rng, perturb)`` and returns a plain-dict
+result; ``n`` scales the empirical sample budget (the engine escalates
+it 4x before declaring failure), ``rng`` is the pair's private
+deterministic generator, and ``perturb`` scales named *analytic-side*
+parameters so a deliberately wrong model diverges from the untouched
+empirical measurement -- the harness's own self-test (see
+``tests/validate/test_perturbation.py``).
+
+To add a pair: write a function returning :func:`pair_result`, list it
+in :data:`PAIRS` with per-suite sample budgets, and document it in
+``docs/validation.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.availability import build_dra_availability_chain
+from repro.core.parameters import DRAConfig, FailureRates, RepairPolicy
+from repro.core.performance import PerformanceModel, promised_bandwidth
+from repro.core.reliability import build_dra_reliability_chain
+from repro.core.states import AllHealthy, Failed
+from repro.markov import stationary_distribution, uniformized_distribution
+from repro.markov.absorbing import absorption_time_moments
+from repro.montecarlo.ctmc_mc import empirical_availability
+from repro.montecarlo.importance import unavailability_importance_sampling
+from repro.montecarlo.lifetime import empirical_unreliability, sample_lc_failure_times
+from repro.router.arbitration import DistributedArbiter
+from repro.router.bandwidth import EIBBandwidthAllocator
+from repro.router.bus import DataChannel
+from repro.sim import Engine
+from repro.validate.stats import (
+    DEFAULT_Z,
+    mean_interval,
+    tost_interval,
+    wilson_interval,
+)
+
+__all__ = ["PairSpec", "PAIRS", "suite_pairs", "pair_result", "SUITES"]
+
+#: Nested suite tiers: every pair names the *smallest* suite it joins and
+#: rides along in every larger one.
+SUITES = ("tiny", "smoke", "full")
+
+#: Reference model shared by the dependability pairs: small enough that
+#: the chains solve in milliseconds, structured enough (N > M, so PI and
+#: PD pools differ) to exercise the full zone grid.
+_CONFIG = DRAConfig(n=4, m=3, variant="extended")
+
+
+def _perturbed_rates(perturb: Mapping[str, float]) -> FailureRates:
+    """Analytic-side failure rates with the requested fields scaled.
+
+    Unknown keys are ignored here (they may target other pairs); the CLI
+    validates key names up front against :data:`PERTURBABLE`.
+    """
+    base = FailureRates()
+    fields = {
+        name: getattr(base, name) * float(perturb.get(name, 1.0))
+        for name in (
+            "lam_lc", "lam_lpd", "lam_lpi", "lam_bc", "lam_bus", "lam_pd", "lam_pi",
+        )
+    }
+    return FailureRates(**fields)
+
+
+#: Parameters ``--perturb`` may scale, and which side consumes them.
+PERTURBABLE = (
+    "lam_lc", "lam_lpd", "lam_lpi", "lam_bc", "lam_bus", "lam_pd", "lam_pi",
+    "mu", "b_bus",
+)
+
+
+def pair_result(
+    name: str,
+    *,
+    method: str,
+    analytic: float,
+    empirical: float,
+    ci_lo: float,
+    ci_hi: float,
+    n: int,
+    passed: bool,
+    detail: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Canonical result record (all values JSON scalars, no wall times)."""
+    return {
+        "pair": name,
+        "method": method,
+        "analytic": analytic,
+        "empirical": empirical,
+        "ci_lo": ci_lo,
+        "ci_hi": ci_hi,
+        "n": n,
+        "passed": bool(passed),
+        "detail": detail or {},
+    }
+
+
+# ----------------------------------------------------------------------
+# dependability pairs (Markov vs Monte Carlo)
+# ----------------------------------------------------------------------
+
+
+def _pair_mttf_lc(
+    n: int, rng: np.random.Generator, perturb: Mapping[str, float], z: float
+) -> dict[str, Any]:
+    """LC mean time to failure: phase-type moments vs structure function.
+
+    The analytic side solves the *extended* reliability chain for the
+    exact absorption mean and variance; the empirical side never sees the
+    chain -- it samples component lifetimes and applies the DRA coverage
+    semantics directly.  The exact variance supplies the standard error,
+    so the CI carries no estimation noise of its own.
+    """
+    rates_a = _perturbed_rates(perturb)
+    chain = build_dra_reliability_chain(_CONFIG, rates_a)
+    mean_a, var_a = absorption_time_moments(chain, AllHealthy)
+    samples = sample_lc_failure_times(_CONFIG, n, rng, FailureRates())
+    mean_e = float(samples.mean())
+    ci = mean_interval(mean_e, float(np.sqrt(var_a / n)), z=z)
+    return pair_result(
+        "mttf.lc",
+        method="normal",
+        analytic=mean_a,
+        empirical=mean_e,
+        ci_lo=ci.lo,
+        ci_hi=ci.hi,
+        n=n,
+        passed=ci.contains(mean_a),
+        detail={"analytic_std": float(np.sqrt(var_a)), "variant": _CONFIG.variant},
+    )
+
+
+#: Horizon for the transient pair, chosen so 1 - R(t) sits in the few-
+#: percent range: rare enough to exercise the Wilson interval's edge
+#: behavior, common enough that modest sample counts have power.
+_TRANSIENT_HORIZON_H = 40_000.0
+
+
+def _pair_unreliability_transient(
+    n: int, rng: np.random.Generator, perturb: Mapping[str, float], z: float
+) -> dict[str, Any]:
+    """``1 - R(t)`` at a fixed horizon: uniformization vs lifetime counts.
+
+    Uniformization carries an a-priori truncation bound (1e-12 total
+    variation), so the analytic value is treated as exact against the
+    binomial noise of the empirical side.
+    """
+    rates_a = _perturbed_rates(perturb)
+    chain = build_dra_reliability_chain(_CONFIG, rates_a)
+    pi_t = uniformized_distribution(
+        chain,
+        np.array([_TRANSIENT_HORIZON_H]),
+        chain.initial_distribution(AllHealthy),
+    )
+    unrel_a = float(pi_t[0, chain.index_of(Failed)])
+    failures, total = empirical_unreliability(
+        _CONFIG, _TRANSIENT_HORIZON_H, n, rng, FailureRates()
+    )
+    ci = wilson_interval(failures, total, z=z)
+    return pair_result(
+        "unreliability.transient",
+        method="wilson",
+        analytic=unrel_a,
+        empirical=failures / total,
+        ci_lo=ci.lo,
+        ci_hi=ci.hi,
+        n=total,
+        passed=ci.contains(unrel_a),
+        detail={"horizon_h": _TRANSIENT_HORIZON_H, "failures": failures},
+    )
+
+
+def _pair_availability_steady(
+    n: int, rng: np.random.Generator, perturb: Mapping[str, float], z: float
+) -> dict[str, Any]:
+    """Steady-state unavailability: exact stationary solve vs importance
+    sampling.
+
+    The DRA unavailability (~1e-9 at three-hour repair) is far beyond
+    plain Monte Carlo; balanced failure biasing reaches it with a few
+    thousand regenerative cycles and a delta-method standard error.
+    """
+    mu_scale = float(perturb.get("mu", 1.0))
+    repair_a = RepairPolicy(mu=RepairPolicy.three_hours().mu * mu_scale)
+    chain_a = build_dra_availability_chain(
+        _CONFIG, repair_a, _perturbed_rates(perturb)
+    )
+    pi = stationary_distribution(chain_a)
+    unavail_a = float(pi[chain_a.index_of(Failed)])
+    chain_e = build_dra_availability_chain(
+        _CONFIG, RepairPolicy.three_hours(), FailureRates()
+    )
+    result = unavailability_importance_sampling(chain_e, Failed, n, rng)
+    ci = mean_interval(result.unavailability, result.std_error, z=z)
+    return pair_result(
+        "availability.steady",
+        method="normal",
+        analytic=unavail_a,
+        empirical=result.unavailability,
+        ci_lo=ci.lo,
+        ci_hi=ci.hi,
+        n=n,
+        passed=ci.contains(unavail_a),
+        detail={
+            "hit_fraction": result.hit_fraction,
+            "mean_cycle_length_h": result.mean_cycle_length,
+        },
+    )
+
+
+#: Acceleration factor for the trajectory pair: failure rates scaled up
+#: until outages stop being rare, so *plain* path sampling (no biasing)
+#: independently checks the stationary solver on a chain with the same
+#: structure.  1500x turns lam_lc into 0.03/h against mu = 1/3.
+_TRAJECTORY_RATE_SCALE = 1500.0
+_TRAJECTORY_HORIZON_H = 400.0
+
+
+def _pair_availability_trajectory(
+    n: int, rng: np.random.Generator, perturb: Mapping[str, float], z: float
+) -> dict[str, Any]:
+    """Long-run availability: stationary solve vs trajectory time-average."""
+    mu_scale = float(perturb.get("mu", 1.0))
+    repair = RepairPolicy.three_hours()
+    rates_e = FailureRates().scaled(_TRAJECTORY_RATE_SCALE)
+    chain_a = build_dra_availability_chain(
+        _CONFIG,
+        RepairPolicy(mu=repair.mu * mu_scale),
+        _perturbed_rates(perturb).scaled(_TRAJECTORY_RATE_SCALE),
+    )
+    pi = stationary_distribution(chain_a)
+    avail_a = 1.0 - float(pi[chain_a.index_of(Failed)])
+    chain_e = build_dra_availability_chain(_CONFIG, repair, rates_e)
+    est, se = empirical_availability(
+        chain_e,
+        chain_e.index_of(Failed),
+        _TRAJECTORY_HORIZON_H,
+        n,
+        rng,
+        initial_state=chain_e.index_of(AllHealthy),
+    )
+    ci = mean_interval(est, se, z=z)
+    return pair_result(
+        "availability.trajectory",
+        method="normal",
+        analytic=avail_a,
+        empirical=est,
+        ci_lo=ci.lo,
+        ci_hi=ci.hi,
+        n=n,
+        passed=ci.contains(avail_a),
+        detail={
+            "rate_scale": _TRAJECTORY_RATE_SCALE,
+            "horizon_h": _TRAJECTORY_HORIZON_H,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# router pairs (algebra vs packet-level DES)
+# ----------------------------------------------------------------------
+
+_BW_PACKET_BYTES = 1000
+_BW_WARMUP_S = 1e-3
+_BW_WINDOW_S = 4e-3
+#: TOST quantisation bound: a windowed throughput measurement of a paced
+#: fluid rate can sit at most ~3 packets off the fluid value (one packet
+#: straddling each window edge plus one in flight on the TDM turn).
+_BW_BOUND_PACKETS = 3
+
+
+def _measure_lp_throughput(
+    requests_bps: dict[int, float], capacity_bps: float
+) -> dict[int, float]:
+    """Packet-level EIB throughput per LP under saturating arrivals.
+
+    Builds the real arbiter + allocator + ``DataChannel`` stack (zero TDM
+    turn overhead, so the fluid algebra is the exact reference), keeps
+    every LP backlogged by topping its buffer up on each delivery, and
+    measures delivered bytes inside ``[warmup, warmup + window]``.
+    """
+    engine = Engine()
+    lc_ids = sorted(requests_bps)
+    arbiter = DistributedArbiter(lc_ids)
+    allocator = EIBBandwidthAllocator(capacity_bps)
+    channel = DataChannel(
+        engine, arbiter, allocator, rate_bps=capacity_bps, turn_overhead_s=0.0
+    )
+
+    def pump(lc_id: int) -> None:
+        # Two packets in reserve keep the LP backlogged without racing
+        # the rate limiter's credit horizon.
+        for _ in range(2):
+            channel.enqueue(lc_id, _BW_PACKET_BYTES, lambda lc=lc_id: pump_one(lc))
+
+    def pump_one(lc_id: int) -> None:
+        channel.enqueue(lc_id, _BW_PACKET_BYTES, lambda: pump_one(lc_id))
+
+    for lc_id in lc_ids:
+        channel.open_lp(lc_id, requests_bps[lc_id])
+    for lc_id in lc_ids:
+        pump(lc_id)
+
+    baseline: dict[int, int] = {}
+
+    def snapshot() -> None:
+        for lc_id in lc_ids:
+            baseline[lc_id] = channel.transferred_bytes_by_lc[lc_id]
+
+    engine.schedule(_BW_WARMUP_S, snapshot, label="validate:bw:snapshot")
+    engine.run(until=_BW_WARMUP_S + _BW_WINDOW_S)
+    return {
+        lc_id: (channel.transferred_bytes_by_lc[lc_id] - baseline[lc_id])
+        * 8.0
+        / _BW_WINDOW_S
+        for lc_id in lc_ids
+    }
+
+
+def _pair_bandwidth_share(
+    n: int, rng: np.random.Generator, perturb: Mapping[str, float], z: float
+) -> dict[str, Any]:
+    """Section 4/5.3 bandwidth algebra vs the TDM data channel.
+
+    Two sub-checks share one verdict:
+
+    * **shares** -- three LPs oversubscribe a 10 Gb/s bus; each measured
+      throughput must match its ``B_prom`` promise within the packet
+      quantisation bound;
+    * **saturation** -- for every faulty-LC count ``k``, coverage LPs
+      request ``min(required, headroom share)`` on a Figure 8 router
+      (N=6, binding ``B_BUS``); the measured per-LP rate must match
+      ``B_faulty`` and the first ``k`` where it falls short of the
+      requirement must equal the model's saturation point.
+
+    Deterministic DES, so the sample budget ``n`` and ``rng`` are unused;
+    the TOST bound does the judging.
+    """
+    del n, rng
+    bound_bps = _BW_BOUND_PACKETS * _BW_PACKET_BYTES * 8.0 / _BW_WINDOW_S
+    b_bus_scale = float(perturb.get("b_bus", 1.0))
+
+    # -- sub-check 1: oversubscribed B_prom shares ------------------------
+    capacity = 10e9
+    requests = {0: 6e9, 1: 5e9, 2: 4e9}
+    promises_a = promised_bandwidth(
+        [requests[i] for i in sorted(requests)], capacity * b_bus_scale
+    )
+    measured = _measure_lp_throughput(requests, capacity)
+    share_errs = [
+        abs(measured[lc] - float(promises_a[k]))
+        for k, lc in enumerate(sorted(requests))
+    ]
+    shares_ok = all(err <= bound_bps for err in share_errs)
+
+    # -- sub-check 2: Figure 8 saturation sweep ---------------------------
+    model = PerformanceModel(n=6, c_lc=10.0, b_bus=20.0 * b_bus_scale)
+    load = 0.7
+    required_bps = model.required(load) * 1e9
+    sat_a = model.saturation_point(load)
+    sat_e: int | None = None
+    worst_gap = 0.0
+    for k in range(1, model.n):
+        x_nonfaulty = model.n - k
+        # Coverage solicitation already caps each faulty LC's request at
+        # the donors' aggregate headroom; the bus scale-back is what the
+        # DES must reproduce.
+        request = min(required_bps, x_nonfaulty * model.headroom(load) * 1e9 / k)
+        got = _measure_lp_throughput(
+            {lc: request for lc in range(k)}, 20e9
+        )
+        b_faulty_a = model.bandwidth_to_faulty(k, load) * 1e9
+        for lc in range(k):
+            worst_gap = max(worst_gap, abs(got[lc] - b_faulty_a))
+            if sat_e is None and got[lc] < required_bps - bound_bps:
+                sat_e = k
+    sweep_ok = worst_gap <= bound_bps and sat_e == sat_a
+
+    ci = tost_interval(measured[0], bound_bps)
+    return pair_result(
+        "bandwidth.share",
+        method="tost",
+        analytic=float(promises_a[0]),
+        empirical=measured[0],
+        ci_lo=ci.lo,
+        ci_hi=ci.hi,
+        n=0,
+        passed=shares_ok and sweep_ok,
+        detail={
+            "bound_bps": bound_bps,
+            "share_max_err_bps": max(share_errs),
+            "sweep_max_err_bps": worst_gap,
+            "saturation_analytic": sat_a,
+            "saturation_empirical": sat_e,
+        },
+    )
+
+
+def _pair_coverage_feasibility(
+    n: int, rng: np.random.Generator, perturb: Mapping[str, float], z: float
+) -> dict[str, Any]:
+    """Coverage-plan feasibility vs observed deliveries.
+
+    Analytic side: with a fixed fault pattern, enumerate every ordered
+    (src, dst) pair and ask the planner whether the packet survives --
+    an exact feasibility fraction over the uniform pair distribution.
+    Empirical side: inject ``n`` uniformly addressed packets into the
+    full router DES (same faults), drain, and count deliveries.  The
+    Wilson interval around the delivered fraction must cover the exact
+    fraction -- any sim-level loss mechanism the planner does not predict
+    (or vice versa) breaks the agreement.
+    """
+    from repro.router import ComponentKind, Router, RouterConfig, RouterMode
+    from repro.router.packets import Packet, Protocol
+    from repro.traffic.generators import _draw_dst_addr
+
+    del perturb  # no analytic knob: the planner *is* the model here
+
+    def build() -> Router:
+        router = Router(RouterConfig(n_linecards=6, mode=RouterMode.DRA, seed=17))
+        router.inject_fault(1, ComponentKind.SRU)
+        router.inject_fault(2, ComponentKind.PDLU)
+        router.inject_fault(4, ComponentKind.LFE)
+        return router
+
+    addr_rng = np.random.default_rng(2**31 - 1)  # addresses only: any host in the /16
+
+    def probe(src: int, dst: int, created_at: float) -> Packet:
+        return Packet(
+            src_lc=src,
+            dst_lc=dst,
+            dst_addr=_draw_dst_addr(dst, addr_rng),
+            size_bytes=500,
+            protocol=Protocol.ETHERNET,
+            created_at=created_at,
+        )
+
+    oracle = build()
+    n_lc = oracle.config.n_linecards
+    feasible = 0
+    total_pairs = 0
+    for src in range(n_lc):
+        for dst in range(n_lc):
+            if src == dst:
+                continue
+            total_pairs += 1
+            if oracle.planner.plan(probe(src, dst, 0.0)).drop is None:
+                feasible += 1
+    frac_a = feasible / total_pairs
+
+    router = build()
+    spacing = 2e-6
+    pairs = [(s, d) for s in range(n_lc) for d in range(n_lc) if s != d]
+    draws = rng.integers(0, len(pairs), size=n)
+    for k, idx in enumerate(draws):
+        src, dst = pairs[int(idx)]
+        t = (k + 1) * spacing
+
+        def send(src=src, dst=dst, t=t) -> None:
+            router.inject(probe(src, dst, t))
+
+        router.engine.schedule(t, send, label="validate:coverage:inject")
+    router.run(until=(n + 1) * spacing + 20e-3)  # generous drain
+    delivered = router.stats.delivered
+    ci = wilson_interval(delivered, n, z=z)
+    return pair_result(
+        "coverage.feasibility",
+        method="wilson",
+        analytic=frac_a,
+        empirical=delivered / n,
+        ci_lo=ci.lo,
+        ci_hi=ci.hi,
+        n=n,
+        passed=ci.contains(frac_a),
+        detail={
+            "feasible_pairs": feasible,
+            "total_pairs": total_pairs,
+            "delivered": delivered,
+            "drops": dict(router.stats.drops),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PairSpec:
+    """One registered oracle/estimator pair.
+
+    ``samples`` maps each suite tier to the empirical budget ``n``; a
+    pair runs in its smallest listed tier and every larger one (tiers
+    nest).  ``stochastic`` gates the engine's 4x escalation -- a
+    deterministic TOST pair re-run at 4x samples would just repeat
+    itself.
+    """
+
+    name: str
+    func: Callable[[int, np.random.Generator, Mapping[str, float], float], dict]
+    samples: Mapping[str, int]
+    stochastic: bool = True
+
+    def budget(self, suite: str) -> int | None:
+        """Sample budget for ``suite``, inheriting from smaller tiers."""
+        chosen: int | None = None
+        for tier in SUITES:
+            if tier in self.samples:
+                chosen = self.samples[tier]
+            if tier == suite:
+                return chosen
+        raise ValueError(f"unknown suite {suite!r}")
+
+
+PAIRS: dict[str, PairSpec] = {
+    spec.name: spec
+    for spec in (
+        PairSpec(
+            "mttf.lc",
+            _pair_mttf_lc,
+            {"tiny": 2_000, "smoke": 20_000, "full": 60_000},
+        ),
+        PairSpec(
+            "unreliability.transient",
+            _pair_unreliability_transient,
+            {"smoke": 40_000, "full": 120_000},
+        ),
+        PairSpec(
+            "availability.steady",
+            _pair_availability_steady,
+            {"smoke": 3_000, "full": 10_000},
+        ),
+        PairSpec(
+            "availability.trajectory",
+            _pair_availability_trajectory,
+            {"full": 250},
+        ),
+        PairSpec(
+            "bandwidth.share",
+            _pair_bandwidth_share,
+            {"tiny": 0, "smoke": 0, "full": 0},
+            stochastic=False,
+        ),
+        PairSpec(
+            "coverage.feasibility",
+            _pair_coverage_feasibility,
+            {"smoke": 400, "full": 1_200},
+        ),
+    )
+}
+
+
+def suite_pairs(suite: str) -> list[PairSpec]:
+    """Specs participating in ``suite``, in sorted-name (deterministic)
+    order -- the order the engine seeds and reports them in."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r} (choose from {SUITES})")
+    return [
+        spec
+        for name, spec in sorted(PAIRS.items())
+        if spec.budget(suite) is not None
+    ]
+
+
+def evaluate_pair(
+    name: str,
+    suite: str,
+    rng: np.random.Generator,
+    *,
+    scale: int = 1,
+    perturb: Mapping[str, float] | None = None,
+    z: float = DEFAULT_Z,
+) -> dict[str, Any]:
+    """Run one registered pair at ``scale`` times its suite budget."""
+    spec = PAIRS[name]
+    budget = spec.budget(suite)
+    if budget is None:
+        raise ValueError(f"pair {name!r} is not part of suite {suite!r}")
+    return spec.func(max(budget, 1) * scale if budget else 0, rng, perturb or {}, z)

@@ -1,0 +1,275 @@
+"""Statistical machinery of the differential validation harness.
+
+Everything the equivalence engine needs to turn "analytic value vs
+Monte Carlo estimate" into a principled PASS/FAIL reduces to three
+ingredients, all implemented here with no dependency on the rest of the
+package (so even :mod:`repro.montecarlo` may import this module):
+
+* **confidence intervals** from sufficient statistics -- Wilson score
+  intervals for binomial proportions (correct coverage even at the
+  p -> 0 rare-event edge the availability checks live at) and normal
+  intervals for sample means;
+* **equivalence predicates** -- interval containment for stochastic
+  estimators and TOST-style bounded equivalence for deterministic
+  discrete-event measurements whose only error is quantisation
+  (a packet boundary, an event at the window edge);
+* **numerically principled test tolerances** -- helpers that derive
+  float comparison budgets from machine epsilon, problem size and the
+  solvers' *advertised* error bounds instead of hand-picked
+  ``abs(a - b) < 1e-9`` constants.  The test suite imports these
+  (``from repro.validate import ...``) wherever it used to carry magic
+  epsilons.
+
+The default ``z = 4`` puts a single check's false-failure probability at
+``~6e-5``; the engine's 4x sample-size escalation squares that, which is
+what makes suite flakes structurally impossible (``docs/validation.md``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_Z",
+    "FLOAT_EPS",
+    "ConfidenceInterval",
+    "wilson_interval",
+    "mean_interval",
+    "sample_mean_interval",
+    "tost_interval",
+    "distribution_atol",
+    "assert_probability_vector",
+    "assert_distribution_rows",
+    "assert_stationary_residual",
+    "assert_solvers_agree",
+    "assert_mc_mean_consistent",
+    "assert_mc_fraction_consistent",
+]
+
+#: Machine epsilon of the float64 arithmetic every solver runs in.
+FLOAT_EPS = float(np.finfo(np.float64).eps)
+
+#: Default confidence half-width in standard errors.  Two-sided normal
+#: tail mass beyond 4 sigma is ~6.3e-5; combined with the engine's 4x
+#: escalation re-run a structurally sound suite fails by chance with
+#: probability on the order of 4e-9 per pair.
+DEFAULT_Z = 4.0
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval with its construction recorded."""
+
+    lo: float
+    hi: float
+    #: half-width parameter used to build the interval (z for the
+    #: stochastic methods, the absolute bound itself for ``tost``).
+    z: float
+    #: ``wilson`` | ``normal`` | ``tost``
+    method: str
+
+    def __post_init__(self) -> None:
+        if not self.lo <= self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval (inclusive)."""
+        return self.lo <= value <= self.hi
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        """True when the two intervals intersect."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+
+def wilson_interval(
+    successes: int, n: int, *, z: float = DEFAULT_Z
+) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the Wald interval ``p +/- z sqrt(p(1-p)/n)`` it never
+    collapses to a point at ``p_hat in {0, 1}`` and keeps honest coverage
+    for rare events, which is exactly the regime the dependability
+    estimates (unreliability ~1e-2, unavailability ~1e-8) occupy.
+    """
+    if n <= 0:
+        raise ValueError(f"need a positive sample size, got {n}")
+    if not 0 <= successes <= n:
+        raise ValueError(f"successes {successes} outside [0, {n}]")
+    if z <= 0.0:
+        raise ValueError(f"z must be positive, got {z}")
+    p = successes / n
+    denom = 1.0 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n))
+    return ConfidenceInterval(
+        lo=max(0.0, centre - half), hi=min(1.0, centre + half), z=z, method="wilson"
+    )
+
+
+def mean_interval(
+    mean: float, std_error: float, *, z: float = DEFAULT_Z
+) -> ConfidenceInterval:
+    """Normal interval ``mean +/- z * std_error`` for a sample mean."""
+    if std_error < 0.0:
+        raise ValueError(f"negative standard error {std_error}")
+    if z <= 0.0:
+        raise ValueError(f"z must be positive, got {z}")
+    return ConfidenceInterval(
+        lo=mean - z * std_error, hi=mean + z * std_error, z=z, method="normal"
+    )
+
+
+def sample_mean_interval(
+    total: float, total_sq: float, n: int, *, z: float = DEFAULT_Z
+) -> ConfidenceInterval:
+    """Normal interval for a mean given the sufficient statistics.
+
+    ``total`` and ``total_sq`` are the sum and the sum of squares of the
+    ``n`` samples -- the same mergeable form the parallel Monte Carlo
+    drivers reduce, so chunked estimates can be judged without keeping
+    the samples.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 samples for a variance, got {n}")
+    mean = total / n
+    var = max(0.0, (total_sq - n * mean * mean) / (n - 1))
+    return mean_interval(mean, math.sqrt(var / n), z=z)
+
+
+def tost_interval(measured: float, bound: float) -> ConfidenceInterval:
+    """Bounded-equivalence interval for a deterministic measurement.
+
+    A discrete-event measurement of a fluid quantity carries no sampling
+    noise, only quantisation: the true fluid value can differ from the
+    measurement by at most ``bound`` (e.g. a few packet times over the
+    observation window).  The TOST-style judgment "the analytic value
+    lies within ``measured +/- bound``" is then exact, not asymptotic.
+    """
+    if bound < 0.0:
+        raise ValueError(f"negative equivalence bound {bound}")
+    return ConfidenceInterval(
+        lo=measured - bound, hi=measured + bound, z=bound, method="tost"
+    )
+
+
+# ----------------------------------------------------------------------
+# numerically principled tolerances for the deterministic solver tests
+# ----------------------------------------------------------------------
+
+
+def distribution_atol(n_states: int, *, slack: float = 64.0) -> float:
+    """Absolute tolerance for probability-vector identities.
+
+    Summing ``n`` rounded probabilities accumulates at most ``n`` half-ulp
+    errors; ``slack`` covers the solver's own final rounding steps.
+    """
+    return slack * FLOAT_EPS * max(int(n_states), 1)
+
+
+def assert_probability_vector(vector, *, label: str = "distribution") -> None:
+    """Assert ``vector`` is a probability distribution to float accuracy."""
+    v = np.asarray(vector, dtype=np.float64)
+    atol = distribution_atol(v.size)
+    if v.size and (v.min() < -atol or v.max() > 1.0 + atol):
+        raise AssertionError(
+            f"{label}: entries outside [0, 1] beyond {atol:.3e} "
+            f"(min {v.min():.3e}, max {v.max():.3e})"
+        )
+    total = float(v.sum())
+    if abs(total - 1.0) > atol:
+        raise AssertionError(f"{label}: sums to {total!r}, off by {total - 1.0:.3e} > {atol:.3e}")
+
+
+def assert_distribution_rows(matrix, *, label: str = "distribution rows") -> None:
+    """Assert every row of ``matrix`` is a probability distribution."""
+    m = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    for i, row in enumerate(m):
+        assert_probability_vector(row, label=f"{label}[{i}]")
+
+
+def assert_stationary_residual(pi, chain, *, label: str = "stationary") -> None:
+    """Assert ``pi Q = 0`` within the solve's conditioning budget.
+
+    The attainable residual of a stationary linear solve scales with
+    machine epsilon, the generator's magnitude and its rate spread
+    (repair rates ~1e-1/h against failure rates ~1e-6/h give the
+    dependability chains condition-like ratios of ~1e5), so the budget is
+    derived from the chain instead of hard-coded.
+    """
+    pi = np.asarray(pi, dtype=np.float64)
+    Q = chain.generator
+    residual = np.asarray(pi @ Q).ravel()
+    rates = Q.tocoo().data
+    nonzero = np.abs(rates[rates != 0.0])
+    if nonzero.size == 0:
+        return
+    q_max = float(nonzero.max())
+    spread = q_max / float(nonzero.min())
+    budget = 64.0 * FLOAT_EPS * q_max * max(1.0, spread)
+    worst = float(np.abs(residual).max())
+    if worst > budget:
+        raise AssertionError(
+            f"{label}: |pi Q| reaches {worst:.3e}, above the conditioning "
+            f"budget {budget:.3e} (q_max {q_max:.3e}, spread {spread:.1e})"
+        )
+
+
+def assert_solvers_agree(a, b, *, budget: float, label: str = "solvers") -> None:
+    """Assert two solver outputs agree within their *advertised* bounds.
+
+    ``budget`` is the sum of the error guarantees the two computations
+    advertise (e.g. the uniformization truncation tolerance plus a
+    Krylov solver's convergence tolerance) -- the caller states where the
+    number comes from instead of inventing an epsilon.
+    """
+    if budget <= 0.0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    diff = float(np.abs(a - b).max()) if a.size else 0.0
+    if diff > budget:
+        raise AssertionError(
+            f"{label}: max disagreement {diff:.3e} exceeds the advertised "
+            f"error budget {budget:.3e}"
+        )
+
+
+def assert_mc_mean_consistent(
+    estimate: float,
+    std_error: float,
+    exact: float,
+    *,
+    z: float = DEFAULT_Z,
+    label: str = "MC mean",
+) -> None:
+    """Assert an MC mean's normal CI covers the exact value."""
+    ci = mean_interval(estimate, std_error, z=z)
+    if not ci.contains(exact):
+        raise AssertionError(
+            f"{label}: exact {exact:.6e} outside {ci.method} CI "
+            f"[{ci.lo:.6e}, {ci.hi:.6e}] (estimate {estimate:.6e}, z={z})"
+        )
+
+
+def assert_mc_fraction_consistent(
+    successes: int,
+    n: int,
+    exact: float,
+    *,
+    z: float = DEFAULT_Z,
+    label: str = "MC fraction",
+) -> None:
+    """Assert a binomial estimate's Wilson CI covers the exact value."""
+    ci = wilson_interval(successes, n, z=z)
+    if not ci.contains(exact):
+        raise AssertionError(
+            f"{label}: exact {exact:.6e} outside Wilson CI "
+            f"[{ci.lo:.6e}, {ci.hi:.6e}] ({successes}/{n}, z={z})"
+        )

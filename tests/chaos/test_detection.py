@@ -73,14 +73,22 @@ class TestDetection:
         for view in det.views.values():
             assert not view.is_failed(1, ComponentKind.SRU)
 
-    def test_zero_coverage_fault_stays_invisible(self):
+    @pytest.mark.parametrize(
+        "kind", [ComponentKind.SRU, ComponentKind.PDLU, ComponentKind.LFE]
+    )
+    def test_zero_coverage_fault_stays_invisible(self, kind):
         cfg = DetectionConfig(coverage=0.0)
         r, det = make_router(detection=cfg)
-        r.inject_fault(1, ComponentKind.SRU)
+        r.inject_fault(1, kind)
         r.run(until=1e-3)
         assert det.detections() == []
         for view in det.views.values():
-            assert not view.is_failed(1, ComponentKind.SRU)
+            assert not view.is_failed(1, kind)
+        # Repairing a fault nobody ever believed must stay silent too:
+        # no local_clear, no FLT_C on the wire.
+        r.repair_fault(1, kind)
+        r.run(until=2e-3)
+        assert det.log == []
 
     def test_heartbeat_reconverges_after_lost_notifications(self):
         cfg = DetectionConfig(heartbeat_period_s=100e-6)
@@ -95,6 +103,52 @@ class TestDetection:
         r.run(until=600e-6)  # >= one heartbeat period later
         for view in det.views.values():
             assert view.is_failed(1, ComponentKind.SRU)
+
+    def test_permanent_control_loss_views_never_converge(self):
+        """With the control medium permanently eating every packet the
+        heartbeat anti-entropy is powerless: FLT_N and HB alike vanish,
+        so only the faulty LC itself ever knows (its self-test is
+        local), and every remote view stays blind indefinitely."""
+        cfg = DetectionConfig(heartbeat_period_s=100e-6)
+        r, det = make_router(detection=cfg)
+        assert r.eib is not None
+        r.eib.control.loss_prob = 1.0  # permanent, never restored
+        r.inject_fault(1, ComponentKind.SRU)
+        r.run(until=2e-3)  # ~20 heartbeat periods
+        assert len(det.detections()) == 1  # local detection still works
+        assert det.views[1].is_failed(1, ComponentKind.SRU)
+        for lc_id, view in det.views.items():
+            if lc_id != 1:
+                assert not view.is_failed(1, ComponentKind.SRU), (
+                    f"LC{lc_id} learned a fault over a dead medium"
+                )
+        assert not [e for e in det.log if e.event == "remote_learn"]
+        assert not [e for e in det.log if e.event == "hb_reconcile"]
+
+    def test_repair_racing_flt_n_in_flight(self):
+        """Repair lands while the FLT_N broadcast is still in flight (or
+        just delivered): remote LCs may transiently believe a fault that
+        no longer exists, but the trailing FLT_C -- and failing that,
+        the next heartbeats -- reconverge every view to clean."""
+        cfg = DetectionConfig(heartbeat_period_s=100e-6)
+        r, det = make_router(detection=cfg)
+        r.inject_fault(1, ComponentKind.SRU)
+        # Advance in sub-microsecond steps to the instant of local
+        # detection, then repair immediately: the FLT_N is at best a
+        # few bit-times into its CSMA/CD transmission.
+        while not det.detections():
+            r.run(until=r.engine.now + 5e-7)
+            assert r.engine.now < 1e-3, "fault never detected"
+        assert det.views[1].is_failed(1, ComponentKind.SRU)
+        r.repair_fault(1, ComponentKind.SRU)
+        assert not det.views[1].is_failed(1, ComponentKind.SRU)
+        r.run(until=r.engine.now + 1e-3)  # FLT_C + several heartbeats
+        for lc_id, view in det.views.items():
+            assert not view.is_failed(1, ComponentKind.SRU), (
+                f"LC{lc_id} kept a stale belief after the repair race"
+            )
+        # The repair was disseminated, not silently absorbed.
+        assert [e for e in det.log if e.event == "local_clear"]
 
     def test_dead_bus_controller_suspends_selftest(self):
         r, det = make_router()

@@ -5,6 +5,11 @@ import pytest
 
 from repro.markov import CTMCBuilder, transient_distribution, uniformized_distribution
 from repro.markov.uniformization import poisson_truncation_point
+from repro.validate import (
+    assert_distribution_rows,
+    assert_solvers_agree,
+    distribution_atol,
+)
 
 
 class TestTruncationPoint:
@@ -25,29 +30,38 @@ class TestTruncationPoint:
 
 
 class TestAgreement:
+    # budget for sim-vs-expm agreement: uniformization's advertised
+    # Poisson-tail truncation (1e-12) plus the float rounding of the
+    # dense expm path.
     def test_matches_expm_on_two_state(self, two_state_chain):
         t = np.linspace(0.0, 10.0, 11)
         a = uniformized_distribution(two_state_chain, t)
         b = transient_distribution(two_state_chain, t, method="expm")
-        np.testing.assert_allclose(a, b, atol=1e-9)
+        assert_solvers_agree(
+            a, b, budget=1e-12 + distribution_atol(2),
+            label="uniformization vs expm",
+        )
 
     def test_matches_expm_on_absorbing(self, absorbing_chain):
         t = np.array([0.0, 2.0, 8.0, 30.0])
         a = uniformized_distribution(absorbing_chain, t)
         b = transient_distribution(absorbing_chain, t, method="expm")
-        np.testing.assert_allclose(a, b, atol=1e-9)
+        assert_solvers_agree(
+            a, b, budget=1e-12 + distribution_atol(3),
+            label="uniformization vs expm",
+        )
 
     def test_rows_are_distributions(self, absorbing_chain):
         t = np.linspace(0.0, 30.0, 7)
         pi = uniformized_distribution(absorbing_chain, t)
-        assert pi.min() >= 0.0
-        np.testing.assert_allclose(pi.sum(axis=1), 1.0, atol=1e-12)
+        assert_distribution_rows(pi, label="uniformization")
 
     def test_explicit_rate_accepted(self, two_state_chain):
         t = np.array([1.0])
         a = uniformized_distribution(two_state_chain, t, rate=10.0)
         b = uniformized_distribution(two_state_chain, t)
-        np.testing.assert_allclose(a, b, atol=1e-9)
+        # two truncations, one per uniformization rate
+        assert_solvers_agree(a, b, budget=2e-12, label="rate override")
 
     def test_zero_transition_chain(self):
         b = CTMCBuilder()

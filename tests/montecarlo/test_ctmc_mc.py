@@ -9,6 +9,11 @@ from repro.montecarlo import (
     empirical_state_probabilities,
     sample_trajectory,
 )
+from repro.validate import (
+    assert_distribution_rows,
+    assert_mc_fraction_consistent,
+    assert_mc_mean_consistent,
+)
 
 
 class TestSampleTrajectory:
@@ -54,14 +59,18 @@ class TestEmpiricalTransient:
         n = 4000
         emp = empirical_state_probabilities(two_state_chain, times, n, rng)
         exact = transient_distribution(two_state_chain, times)
-        se = np.sqrt(exact * (1 - exact) / n)
-        assert np.all(np.abs(emp - exact) <= 5 * se + 1e-9)
+        for i, t in enumerate(times):
+            for s in range(exact.shape[1]):
+                assert_mc_fraction_consistent(
+                    int(round(emp[i, s] * n)), n, float(exact[i, s]),
+                    label=f"state {s} at t={t}",
+                )
 
     def test_rows_are_frequencies(self, absorbing_chain, rng):
         emp = empirical_state_probabilities(
             absorbing_chain, np.array([1.0, 5.0]), 300, rng
         )
-        np.testing.assert_allclose(emp.sum(axis=1), 1.0, atol=1e-12)
+        assert_distribution_rows(emp, label="empirical frequencies")
 
 
 class TestEmpiricalAvailability:
@@ -71,7 +80,9 @@ class TestEmpiricalAvailability:
         est, se = empirical_availability(
             two_state_chain, down_idx, horizon=2000.0, n_samples=60, rng=rng
         )
-        assert est == pytest.approx(1.0 - pi[down_idx], abs=max(5 * se, 0.01))
+        assert_mc_mean_consistent(
+            est, se, 1.0 - pi[down_idx], label="availability"
+        )
 
     def test_invalid_warmup_rejected(self, two_state_chain, rng):
         with pytest.raises(ValueError, match="warmup"):

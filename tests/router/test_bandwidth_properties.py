@@ -1,0 +1,102 @@
+"""Property-based tests for the Section 4/5.3 bandwidth algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.performance import promised_bandwidth
+from repro.validate import FLOAT_EPS, distribution_atol
+from tests.strategies import bandwidth_requests, loads, performance_models
+
+
+class TestPromisedBandwidth:
+    @settings(max_examples=100, deadline=None)
+    @given(requests=bandwidth_requests,
+           capacity=st.floats(min_value=1e6, max_value=100e9, allow_nan=False))
+    def test_oversubscribed_shares_sum_to_bus_capacity(self, requests, capacity):
+        """When demand exceeds B_BUS the scale-back hands out exactly the
+        bus, never more, never stranded capacity."""
+        promises = promised_bandwidth(requests, capacity)
+        total_request = float(np.sum(requests))
+        if total_request <= capacity:
+            np.testing.assert_array_equal(promises, requests)
+        else:
+            # relative rounding budget, same derivation as the
+            # probability-vector checks
+            assert abs(promises.sum() - capacity) <= (
+                capacity * distribution_atol(len(requests))
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(requests=bandwidth_requests,
+           capacity=st.floats(min_value=1e6, max_value=100e9, allow_nan=False))
+    def test_no_promise_exceeds_its_request(self, requests, capacity):
+        promises = promised_bandwidth(requests, capacity)
+        assert np.all(promises <= np.asarray(requests) * (1.0 + 1e-12))
+        assert np.all(promises >= 0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(requests=bandwidth_requests,
+           capacity=st.floats(min_value=1e6, max_value=100e9, allow_nan=False))
+    def test_scale_back_is_proportional(self, requests, capacity):
+        """B_prom = (B_LC / B_LCT) * B_BUS: equal requests get equal
+        promises and ratios between requests are preserved."""
+        promises = promised_bandwidth(requests, capacity)
+        req = np.asarray(requests)
+        for i in range(len(requests)):
+            for j in range(len(requests)):
+                # cross-multiplied to avoid dividing by zero requests
+                lhs = promises[i] * req[j]
+                rhs = promises[j] * req[i]
+                # relative rounding slack, plus an absolute floor for
+                # products whose intermediate promise underflowed
+                assert abs(lhs - rhs) <= 1e-12 * max(
+                    abs(lhs), abs(rhs)
+                ) + 1e-300
+
+
+class TestBandwidthToFaulty:
+    @settings(max_examples=100, deadline=None)
+    @given(model=performance_models(), load=loads)
+    def test_degenerates_to_bdr_at_zero_faults(self, model, load):
+        """With no faulty LCs nothing rides the EIB: every LC carries
+        exactly its own offered traffic, which is the BDR baseline."""
+        assert model.bandwidth_to_faulty(0, load) == model.required(load)
+        # 100 * x / x rounds twice, so exact equality only up to ulps
+        assert model.degradation_percent(0, load) == pytest.approx(
+            100.0, rel=4 * FLOAT_EPS
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(model=performance_models(), load=loads)
+    def test_monotone_nonincreasing_in_faulty_count(self, model, load):
+        """More faulty LCs can never mean more bandwidth per faulty LC:
+        the donor pool shrinks while the claimants multiply."""
+        series = [
+            model.bandwidth_to_faulty(k, load) for k in range(model.n)
+        ]
+        for smaller, larger in zip(series[1:], series):
+            assert smaller <= larger
+
+    @settings(max_examples=100, deadline=None)
+    @given(model=performance_models(), load=loads)
+    def test_bounded_by_required_and_bus(self, model, load):
+        for k in range(1, model.n):
+            b = model.bandwidth_to_faulty(k, load)
+            assert 0.0 <= b <= model.required(load)
+            assert b <= model.bus_capacity / k
+
+    @settings(max_examples=100, deadline=None)
+    @given(model=performance_models(), load=loads)
+    def test_saturation_point_is_the_first_shortfall(self, model, load):
+        """Everything left of the saturation point runs at 100%;
+        everything at or right of it runs short."""
+        sat = model.saturation_point(load)
+        required = model.required(load)
+        for k in range(1, model.n):
+            full = model.bandwidth_to_faulty(k, load) == required
+            if sat is None or k < sat:
+                assert full
+            else:
+                assert not full

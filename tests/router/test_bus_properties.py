@@ -9,22 +9,7 @@ from repro.router.bandwidth import EIBBandwidthAllocator
 from repro.router.bus import ControlChannel, DataChannel
 from repro.router.packets import ControlKind, ControlPacket
 from repro.sim import Engine
-
-
-@st.composite
-def transfer_scripts(draw):
-    """Random open/enqueue/close scripts over 3 LCs."""
-    n_ops = draw(st.integers(min_value=1, max_value=25))
-    ops = []
-    for _ in range(n_ops):
-        ops.append(
-            (
-                draw(st.sampled_from(["open", "enqueue", "close"])),
-                draw(st.integers(min_value=0, max_value=2)),
-                draw(st.integers(min_value=64, max_value=5000)),
-            )
-        )
-    return ops
+from tests.strategies import transfer_scripts
 
 
 @settings(max_examples=50, deadline=None)

@@ -1,0 +1,66 @@
+"""Shared hypothesis strategies for the property-based tests.
+
+Strategies that more than one test module draws from live here so the
+generators stay consistent (same size ranges, same float bounds) across
+the EIB channel tests and the bandwidth-algebra tests.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.performance import PerformanceModel
+
+__all__ = [
+    "transfer_scripts",
+    "bandwidth_requests",
+    "performance_models",
+    "loads",
+]
+
+
+@st.composite
+def transfer_scripts(draw):
+    """Random open/enqueue/close scripts over 3 LCs."""
+    n_ops = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    for _ in range(n_ops):
+        ops.append(
+            (
+                draw(st.sampled_from(["open", "enqueue", "close"])),
+                draw(st.integers(min_value=0, max_value=2)),
+                draw(st.integers(min_value=64, max_value=5000)),
+            )
+        )
+    return ops
+
+
+#: Per-LC bandwidth requests in bps: a few LCs, each asking for
+#: anything from nothing to well past a single bus.
+bandwidth_requests = st.lists(
+    st.floats(
+        min_value=0.0, max_value=40e9, allow_nan=False, allow_subnormal=False
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+#: Offered loads strictly below saturation (the Section 5.3 algebra is
+#: defined on [0, 1)).
+loads = st.floats(min_value=0.0, max_value=0.95, allow_nan=False)
+
+
+@st.composite
+def performance_models(draw) -> PerformanceModel:
+    """Section 5.3 router models: N linecards, optionally a binding bus."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    c_lc = draw(st.floats(min_value=1.0, max_value=40.0, allow_nan=False))
+    binding_bus = draw(st.booleans())
+    if binding_bus:
+        b_bus = draw(
+            st.floats(min_value=c_lc, max_value=2.0 * n * c_lc, allow_nan=False)
+        )
+    else:
+        b_bus = None
+    return PerformanceModel(n=n, c_lc=c_lc, b_bus=b_bus)

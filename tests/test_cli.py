@@ -43,10 +43,29 @@ class TestCLI:
         assert csv_path.exists()
         assert "label,x,value" in csv_path.read_text()
 
-    def test_validate_quick(self, capsys):
-        assert main(["validate", "--cycles", "6000", "--seed", "3"]) == 0
+    def test_validate_quick(self, tmp_path, capsys):
+        out_json = tmp_path / "BENCH_validate.json"
+        assert main(["validate", "--suite", "tiny",
+                     "--json-out", str(out_json)]) == 0
         out = capsys.readouterr().out
-        assert "OK" in out and "MISMATCH" not in out
+        assert "pairs agree" in out and "FAIL" not in out
+        payload = json.loads(out_json.read_text())
+        assert payload["schema"] == "repro-validate" and payload["v"] == 1
+        assert payload["passed"] is True
+        assert payload["n_pairs"] == len(payload["pairs"]) >= 2
+
+    def test_validate_perturbed_model_fails(self, capsys):
+        # The acceptance criterion: a deliberately wrong analytic model
+        # (one CTMC rate scaled 1.5x) must make the suite FAIL.
+        assert main(["validate", "--suite", "tiny", "--json-out", "",
+                     "--perturb", "lam_lpi=1.5"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "mttf.lc" in out
+
+    def test_validate_rejects_unknown_perturb_param(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "--suite", "tiny", "--json-out", "",
+                  "--perturb", "bogus=2.0"])
 
     def test_report(self, capsys):
         assert main(["report"]) == 0
@@ -84,16 +103,19 @@ class TestRuntimeFlags:
         assert capsys.readouterr().out == cold
         assert any(tmp_path.glob("*/*.pkl"))
 
-    def test_validate_jobs_byte_identical(self, capsys):
-        # The acceptance criterion: same --seed => byte-identical output
-        # whatever --jobs says.
-        assert main(["validate", "--cycles", "4000", "--seed", "3",
-                     "--jobs", "1"]) == 0
+    def test_validate_jobs_byte_identical(self, tmp_path, capsys):
+        # The acceptance criterion: same --seed => byte-identical JSON
+        # report whatever --jobs says.
+        serial_json = tmp_path / "serial.json"
+        fanned_json = tmp_path / "fanned.json"
+        assert main(["validate", "--suite", "tiny", "--seed", "3",
+                     "--jobs", "1", "--json-out", str(serial_json)]) == 0
         serial = capsys.readouterr().out
-        assert main(["validate", "--cycles", "4000", "--seed", "3",
-                     "--jobs", "4"]) == 0
+        assert main(["validate", "--suite", "tiny", "--seed", "3",
+                     "--jobs", "4", "--json-out", str(fanned_json)]) == 0
         assert capsys.readouterr().out == serial
-        assert "OK" in serial and "MISMATCH" not in serial
+        assert serial_json.read_bytes() == fanned_json.read_bytes()
+        assert "pairs agree" in serial and "FAIL" not in serial
 
     def test_bench_smoke(self, tmp_path, capsys):
         out_json = tmp_path / "BENCH_runtime.json"
@@ -208,6 +230,14 @@ class TestTracing:
         assert main(["mttf", "--configs", "3:2", "--trace", str(path)]) == 0
         assert path.exists()
         read_trace(str(path))  # schema-valid
+
+    def test_validate_trace_events(self, tmp_path, capsys):
+        path = tmp_path / "v.jsonl"
+        assert main(["validate", "--suite", "tiny", "--json-out", "",
+                     "--trace", str(path)]) == 0
+        kinds = [ev.kind for ev in read_trace(str(path))]
+        assert kinds.count("validate.suite") == 1
+        assert kinds.count("validate.pair") == 2
 
     def test_tracer_deactivated_after_run(self, tmp_path):
         path = tmp_path / "t.jsonl"

@@ -1,0 +1,105 @@
+"""Suite-runner tests: determinism contract, schema, observability."""
+
+import json
+
+import pytest
+
+from repro.obs import collecting, tracing
+from repro.validate.engine import (
+    REPORT_SCHEMA,
+    REPORT_SCHEMA_VERSION,
+    render_report,
+    report_to_json,
+    run_suite,
+)
+from repro.validate.pairs import PAIRS, SUITES, suite_pairs
+
+
+class TestRegistry:
+    def test_suites_nest(self):
+        # Every pair of a smaller tier rides along in every larger one.
+        previous: set[str] = set()
+        for suite in SUITES:
+            names = {spec.name for spec in suite_pairs(suite)}
+            assert previous <= names
+            previous = names
+
+    def test_suite_order_is_sorted_names(self):
+        # The seed-spawn order — part of the determinism contract.
+        for suite in SUITES:
+            names = [spec.name for spec in suite_pairs(suite)]
+            assert names == sorted(names)
+
+    def test_full_suite_covers_every_pair(self):
+        assert {spec.name for spec in suite_pairs("full")} == set(PAIRS)
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError):
+            suite_pairs("bogus")
+
+
+class TestSeedMatrix:
+    """Tier-1 determinism gate: the JSON report is byte-identical across
+    job counts for every seed — ``--jobs`` schedules work, it never
+    changes a byte of output."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 12345])
+    def test_tiny_suite_byte_identical_across_jobs(self, seed):
+        serial = report_to_json(run_suite("tiny", seed=seed, jobs=1))
+        fanned = report_to_json(run_suite("tiny", seed=seed, jobs=2))
+        assert serial == fanned
+
+    def test_different_seeds_draw_different_samples(self):
+        a = run_suite("tiny", seed=0)
+        b = run_suite("tiny", seed=1)
+        emp = {r["pair"]: r["empirical"] for r in a["pairs"]}
+        emp_b = {r["pair"]: r["empirical"] for r in b["pairs"]}
+        # The stochastic pair must move with the seed; the deterministic
+        # DES pair must not.
+        assert emp["mttf.lc"] != emp_b["mttf.lc"]
+        assert emp["bandwidth.share"] == emp_b["bandwidth.share"]
+
+
+class TestReport:
+    def test_schema_versioned_and_json_round_trips(self):
+        report = run_suite("tiny", seed=0)
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["v"] == REPORT_SCHEMA_VERSION
+        assert report["passed"] is True and report["failed"] == []
+        assert report["n_pairs"] == len(report["pairs"]) == 2
+        assert json.loads(report_to_json(report)) == report
+
+    def test_result_records_are_json_scalars(self):
+        report = run_suite("tiny", seed=0)
+        for rec in report["pairs"]:
+            for key in ("analytic", "empirical", "ci_lo", "ci_hi"):
+                assert isinstance(rec[key], float)
+            assert isinstance(rec["n"], int)
+            assert rec["ci_lo"] <= rec["ci_hi"]
+            assert rec["method"] in ("wilson", "normal", "tost")
+
+    def test_render_report_table(self):
+        report = run_suite("tiny", seed=0)
+        text = render_report(report)
+        assert "2/2 pairs agree" in text
+        assert "mttf.lc" in text and "bandwidth.share" in text
+        assert "FAIL" not in text
+
+
+class TestObservability:
+    def test_metrics_counters(self):
+        with collecting() as reg:
+            run_suite("tiny", seed=0, jobs=1)
+        metrics = reg.snapshot()["metrics"]
+        assert metrics["validate.pairs.evaluated"]["value"] == 2
+        assert "validate.pairs.failed" not in metrics
+
+    def test_trace_events(self, tmp_path):
+        path = tmp_path / "v.jsonl"
+        with tracing(str(path)):
+            run_suite("tiny", seed=0, jobs=1)
+        from repro.obs import read_trace
+
+        kinds = [ev.kind for ev in read_trace(str(path))]
+        assert kinds.count("validate.pair") == 2
+        assert kinds.count("validate.suite") == 1

@@ -1,0 +1,59 @@
+"""The harness's own self-test: a deliberately wrong analytic model
+must make the suite FAIL.
+
+Perturbations scale *analytic-side* parameters only; the empirical
+estimators keep sampling the untouched model, so sim and analysis
+genuinely diverge and a harness that cannot catch the divergence is
+broken (silent tolerances, dead comparisons, swapped sides).
+"""
+
+import pytest
+
+from repro.validate.engine import ESCALATION_FACTOR, run_suite
+from repro.validate.pairs import PAIRS
+
+
+class TestPerturbationSelfTest:
+    def test_scaled_ctmc_rate_fails_the_suite(self):
+        # The headline acceptance criterion: scale one CTMC failure rate
+        # by 1.5x and the MTTF pair must flag the disagreement.
+        report = run_suite("tiny", seed=0, perturb={"lam_lpi": 1.5})
+        assert report["passed"] is False
+        assert "mttf.lc" in report["failed"]
+
+    def test_failure_survives_escalation(self):
+        # A genuine model error persists through the 4x re-run (which
+        # exists to absorb statistical flakes, not real divergence).
+        report = run_suite("tiny", seed=0, perturb={"lam_lpi": 1.5})
+        rec = next(r for r in report["pairs"] if r["pair"] == "mttf.lc")
+        assert rec["escalated"] is True and rec["passed"] is False
+        base = PAIRS["mttf.lc"].budget("tiny")
+        assert rec["n"] == ESCALATION_FACTOR * base
+
+    def test_bus_bandwidth_perturbation_fails_tost_pair(self):
+        # The deterministic DES pair has its own perturbation axis: a
+        # wrong B_bus breaks both the promise check and the Section 5.3
+        # share algebra.
+        report = run_suite("tiny", seed=0, perturb={"b_bus": 0.5})
+        assert report["passed"] is False
+        assert "bandwidth.share" in report["failed"]
+        rec = next(
+            r for r in report["pairs"] if r["pair"] == "bandwidth.share"
+        )
+        # Deterministic pairs are never escalated — re-measuring the
+        # same DES yields the same bytes.
+        assert rec["escalated"] is False
+
+    def test_unperturbed_suite_passes(self):
+        assert run_suite("tiny", seed=0, perturb={})["passed"] is True
+
+    @pytest.mark.parametrize("factor", [1.0])
+    def test_identity_perturbation_is_a_noop(self, factor):
+        base = run_suite("tiny", seed=0)
+        scaled = run_suite("tiny", seed=0, perturb={"lam_lpi": factor})
+        assert [r["empirical"] for r in base["pairs"]] == [
+            r["empirical"] for r in scaled["pairs"]
+        ]
+        assert [r["analytic"] for r in base["pairs"]] == [
+            r["analytic"] for r in scaled["pairs"]
+        ]

@@ -1,0 +1,168 @@
+"""Unit tests for the statistical layer of the validation harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DRAConfig, RepairPolicy
+from repro.core.availability import build_dra_availability_chain
+from repro.validate import (
+    DEFAULT_Z,
+    FLOAT_EPS,
+    ConfidenceInterval,
+    assert_distribution_rows,
+    assert_mc_fraction_consistent,
+    assert_mc_mean_consistent,
+    assert_probability_vector,
+    assert_solvers_agree,
+    assert_stationary_residual,
+    distribution_atol,
+    mean_interval,
+    sample_mean_interval,
+    tost_interval,
+    wilson_interval,
+)
+
+
+class TestConfidenceInterval:
+    def test_contains_is_inclusive(self):
+        ci = ConfidenceInterval(lo=0.2, hi=0.4, z=4.0, method="normal")
+        assert ci.contains(0.2) and ci.contains(0.4) and ci.contains(0.3)
+        assert not ci.contains(0.19999) and not ci.contains(0.40001)
+
+    def test_overlap_is_symmetric(self):
+        a = ConfidenceInterval(lo=0.0, hi=1.0, z=4.0, method="normal")
+        b = ConfidenceInterval(lo=0.5, hi=2.0, z=4.0, method="normal")
+        c = ConfidenceInterval(lo=1.5, hi=2.0, z=4.0, method="normal")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c) and not c.overlaps(a)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(lo=1.0, hi=0.0, z=4.0, method="normal")
+
+
+class TestWilson:
+    def test_matches_textbook_value(self):
+        # 45/100 at z=1.96: the classic worked example.
+        ci = wilson_interval(45, 100, z=1.96)
+        assert ci.lo == pytest.approx(0.3557, abs=2e-3)
+        assert ci.hi == pytest.approx(0.5476, abs=2e-3)
+
+    def test_never_collapses_at_zero_successes(self):
+        # The rare-event edge: p_hat = 0 still yields a usable interval,
+        # unlike the Wald construction.
+        ci = wilson_interval(0, 1000)
+        assert ci.lo == 0.0
+        assert 0.0 < ci.hi < 0.03
+
+    def test_stays_inside_unit_interval(self):
+        ci = wilson_interval(1000, 1000)
+        assert ci.hi == 1.0 and ci.lo > 0.97
+
+    def test_shrinks_with_n(self):
+        wide = wilson_interval(10, 20)
+        narrow = wilson_interval(10_000, 20_000)
+        assert narrow.width < wide.width / 10
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 4, z=0.0)
+
+
+class TestMeanIntervals:
+    def test_mean_interval_halfwidth(self):
+        ci = mean_interval(10.0, 0.5, z=4.0)
+        assert ci.lo == pytest.approx(8.0) and ci.hi == pytest.approx(12.0)
+
+    def test_sample_mean_interval_matches_direct_computation(self):
+        rng = np.random.default_rng(7)
+        x = rng.exponential(3.0, size=500)
+        ci = sample_mean_interval(float(x.sum()), float((x * x).sum()), x.size)
+        se = x.std(ddof=1) / math.sqrt(x.size)
+        assert ci.lo == pytest.approx(x.mean() - DEFAULT_Z * se, rel=1e-12)
+        assert ci.hi == pytest.approx(x.mean() + DEFAULT_Z * se, rel=1e-12)
+
+    def test_sample_mean_interval_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            sample_mean_interval(1.0, 1.0, 1)
+
+    def test_negative_std_error_rejected(self):
+        with pytest.raises(ValueError):
+            mean_interval(0.0, -1.0)
+
+
+class TestTost:
+    def test_bound_is_exact_not_asymptotic(self):
+        ci = tost_interval(4.0e9, 6.0e6)
+        assert ci.contains(4.0e9 + 6.0e6)
+        assert not ci.contains(4.0e9 + 6.0e6 + 1.0)
+        assert ci.method == "tost"
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            tost_interval(1.0, -1.0)
+
+
+class TestSolverTolerances:
+    def test_distribution_atol_scales_with_state_count(self):
+        assert distribution_atol(100) == pytest.approx(
+            100 * 64.0 * FLOAT_EPS
+        )
+        assert distribution_atol(0) == distribution_atol(1)
+
+    def test_probability_vector_accepts_rounded_distribution(self):
+        v = np.full(1000, 1e-3)
+        assert_probability_vector(v)
+
+    def test_probability_vector_rejects_real_mass_defect(self):
+        with pytest.raises(AssertionError, match="sums to"):
+            assert_probability_vector([0.5, 0.4999])
+        with pytest.raises(AssertionError, match="outside"):
+            assert_probability_vector([1.1, -0.1])
+
+    def test_distribution_rows_reports_offending_row(self):
+        rows = np.array([[0.5, 0.5], [0.7, 0.2]])
+        with pytest.raises(AssertionError, match=r"\[1\]"):
+            assert_distribution_rows(rows)
+
+    def test_stationary_residual_accepts_true_solution(self):
+        from repro.markov import stationary_distribution
+
+        chain = build_dra_availability_chain(
+            DRAConfig(n=3, m=2), RepairPolicy.three_hours()
+        )
+        pi = stationary_distribution(chain)
+        assert_stationary_residual(pi, chain)
+
+    def test_stationary_residual_rejects_wrong_vector(self):
+        chain = build_dra_availability_chain(
+            DRAConfig(n=3, m=2), RepairPolicy.three_hours()
+        )
+        uniform = np.full(chain.n_states, 1.0 / chain.n_states)
+        with pytest.raises(AssertionError, match="conditioning budget"):
+            assert_stationary_residual(uniform, chain)
+
+    def test_solvers_agree_uses_advertised_budget(self):
+        assert_solvers_agree([1.0, 2.0], [1.0, 2.0 + 1e-12], budget=1e-11)
+        with pytest.raises(AssertionError, match="advertised"):
+            assert_solvers_agree([1.0], [1.001], budget=1e-6)
+        with pytest.raises(ValueError):
+            assert_solvers_agree([1.0], [1.0], budget=0.0)
+
+
+class TestMcConsistency:
+    def test_mean_consistency(self):
+        assert_mc_mean_consistent(10.0, 0.5, 11.0)
+        with pytest.raises(AssertionError, match="outside"):
+            assert_mc_mean_consistent(10.0, 0.5, 13.0)
+
+    def test_fraction_consistency(self):
+        assert_mc_fraction_consistent(480, 1000, 0.5)
+        with pytest.raises(AssertionError, match="Wilson"):
+            assert_mc_fraction_consistent(480, 1000, 0.9)
