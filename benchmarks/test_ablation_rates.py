@@ -37,7 +37,7 @@ def test_rate_sensitivity_ablation(benchmark):
     # The paper's qualitative finding in rate form.
     assert by_field["lam_lpi"] > by_field["lam_lpd"]
     # Two-failure structure: elasticities sum to ~2.
-    assert abs(sum(by_field.values()) - 2.0) < 0.05
+    assert abs(sum(by_field.values()) - 2.0) < 0.05  # dra: noqa[DRA301] reason=0.05 is a modeling bound on the two-failure approximation, not a float-precision tolerance
     # Scaling all rates by k scales two-failure unavailability by ~k^2:
     # each 10x of rates costs about two nines.
     assert nines_by_scale[1.0][0] - nines_by_scale[10.0][0] == 2

@@ -7,6 +7,7 @@ returns the paper reads off the curves.
 
 from repro.core import DRAConfig, bdr_mttf, dra_mttf, mttf_improvement
 from repro.analysis.sweep import FIG6_CONFIGS
+from repro.validate import FLOAT_EPS
 
 
 def run_table():
@@ -22,7 +23,9 @@ def test_mttf_table(benchmark):
     rows = benchmark(run_table)
 
     by_label = {label: hours for label, hours, _ in rows}
-    assert abs(by_label["BDR"] - 50_000.0) < 1e-6
+    # BDR MTTF is 1/(2 lambda) computed in a handful of float ops, so the
+    # budget is a few ulps of the 5e4-hour result, not a magic epsilon.
+    assert abs(by_label["BDR"] - 50_000.0) <= 16 * 50_000 * FLOAT_EPS
     # Diminishing returns in N at M=2.
     gain_34 = by_label["DRA(N=4,M=2)"] - by_label["DRA(N=3,M=2)"]
     gain_89 = by_label["DRA(N=9,M=2)"] - by_label["DRA(N=8,M=2)"]

@@ -12,8 +12,6 @@ Run:
     python examples/rare_event_validation.py
 """
 
-import time
-
 from repro.obs.logging_setup import example_logger
 
 import numpy as np
@@ -25,6 +23,7 @@ from repro.montecarlo import (
     sample_trajectory,
     unavailability_importance_sampling,
 )
+from repro.runtime import Stopwatch
 
 
 log = example_logger("rare_event_validation")
@@ -50,12 +49,12 @@ def main() -> None:
 
     rng = np.random.default_rng(0)
     horizon = 1_000_000.0  # over a century of simulated operation
-    t0 = time.time()
-    downtime = naive_attempt(chain, horizon, rng)
+    with Stopwatch() as sw:
+        downtime = naive_attempt(chain, horizon, rng)
     log.info(
         f"Naive simulation of {horizon:.0f} hours "
         f"({horizon / 8766:.0f} years): observed downtime = {downtime:.1f} h "
-        f"({time.time() - t0:.1f}s)"
+        f"({sw.elapsed:.1f}s)"
     )
     log.info(
         "  -> expected downtime at 1e-9 unavailability is ~0.001 h per"
@@ -63,11 +62,11 @@ def main() -> None:
         " It cannot check Figure 7.\n"
     )
 
-    t0 = time.time()
-    res = unavailability_importance_sampling(
-        chain, Failed, n_cycles=40_000, rng=np.random.default_rng(1)
-    )
-    elapsed = time.time() - t0
+    with Stopwatch() as sw:
+        res = unavailability_importance_sampling(
+            chain, Failed, n_cycles=40_000, rng=np.random.default_rng(1)
+        )
+    elapsed = sw.elapsed
     log.info("Balanced failure biasing over 40,000 regenerative cycles:")
     log.info(f"  estimate      {res.unavailability:.3e}  (exact {exact_u:.3e})")
     log.info(f"  std error     {res.std_error:.1e}")

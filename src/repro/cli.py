@@ -12,7 +12,9 @@ Usage::
     python -m repro bench [--target mc|fig6|validate] [--jobs-list 1,2,4]
     python -m repro chaos [--seeds 32] [--seed 0] [--jobs N] [--json-out FILE]
     python -m repro report [--jobs N] [--cache]
-    python -m repro trace FILE [--kind PREFIX] [--limit N] [--json]
+    python -m repro trace FILE [--kind PREFIX] [--limit N] [--json] [--strict]
+    python -m repro lint [PATHS ...] [--select CODES] [--ignore CODES]
+                         [--format text|json] [--jobs N]
 
 ``validate`` runs the differential validation suite -- every analytic
 quantity paired with an independent Monte Carlo / simulation estimator,
@@ -28,7 +30,10 @@ result cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dra``); ``bench``
 measures parallel scaling and writes a schema-versioned
 ``BENCH_runtime.json``.  Every subcommand accepts ``--trace PATH`` to
 record a JSONL event trace (``docs/observability.md``); ``trace``
-summarizes, filters and schema-checks such a file.  See ``docs/cli.md``
+summarizes, filters and schema-checks such a file (``--strict`` also
+rejects event kinds missing from the ``repro.obs.schema`` registry).
+``lint`` runs the AST invariant linter of ``docs/static-analysis.md``
+over the tree and exits nonzero on any finding.  See ``docs/cli.md``
 and ``docs/performance.md``.
 """
 
@@ -349,12 +354,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Summarize, filter and schema-check a ``--trace`` JSONL file."""
     from repro.obs import read_trace
+    from repro.obs.schema import unknown_trace_kinds
 
     try:
         events = read_trace(args.file)
     except (OSError, ValueError) as exc:
         print(f"trace error: {exc}", file=sys.stderr)
         return 1
+    unknown = unknown_trace_kinds(ev.kind for ev in events)
+    if unknown:
+        print(
+            f"trace warning: {len(unknown)} kind(s) not in the "
+            f"repro.obs.schema registry: {', '.join(unknown)}",
+            file=sys.stderr,
+        )
+        if args.strict:
+            print(
+                "trace error: --strict requires every event kind to be "
+                "registered (see docs/observability.md)",
+                file=sys.stderr,
+            )
+            return 1
     if args.kind:
         events = [ev for ev in events if ev.kind.startswith(args.kind)]
     by_kind = Counter(ev.kind for ev in events)
@@ -446,6 +466,43 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"wrote {args.json_out}")
     return 1 if totals["violations"] else 0
+
+
+def _parse_codes(text: str | None) -> frozenset[str] | None:
+    """Parse a ``--select``/``--ignore`` comma-separated code list."""
+    if not text:
+        return None
+    return frozenset(code.strip() for code in text.split(",") if code.strip())
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST invariant linter; nonzero exit on any finding."""
+    from repro.lint import lint_paths
+    from repro.obs import MetricsRegistry, collecting
+
+    registry = MetricsRegistry()
+    with collecting(registry):
+        report = lint_paths(
+            args.paths,
+            select=_parse_codes(args.select),
+            ignore=_parse_codes(args.ignore),
+            jobs=args.jobs,
+        )
+    if args.format == "json":
+        print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    for finding in report.findings:
+        print(finding.render())
+    summary = (
+        f"lint: {report.files} files, {len(report.findings)} finding(s), "
+        f"{report.suppressed} suppressed "
+        f"({len(report.selected)} rules active)"
+    )
+    if report.ok:
+        print(summary)
+        return 0
+    print(f"{summary} -- FAIL", file=sys.stderr)
+    return 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -601,7 +658,30 @@ def main(argv: list[str] | None = None) -> int:
                    help="also print the first N matching events as JSONL")
     p.add_argument("--json", action="store_true",
                    help="machine-readable summary instead of the table")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail on event kinds missing from the "
+                        "repro.obs.schema registry (the CI guard mode)")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "lint",
+        help="AST invariant linter (determinism/observability contracts)",
+    )
+    p.add_argument("paths", nargs="*",
+                   default=["src", "tests", "benchmarks", "examples"],
+                   help="files/directories to scan (default: the repo tree)")
+    p.add_argument("--select", metavar="CODES",
+                   help="comma-separated rule codes or prefixes to run "
+                        "(e.g. DRA101,DRA2); default: every rule")
+    p.add_argument("--ignore", metavar="CODES",
+                   help="comma-separated rule codes or prefixes to skip")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="findings as one line each, or a schema-versioned "
+                        "JSON document")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (0 = all cores; default 1 = serial)")
+    add_trace_flag(p)
+    p.set_defaults(func=_cmd_lint)
 
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)

@@ -1,0 +1,45 @@
+"""``repro.lint``: an AST-based invariant linter for this repository.
+
+The subsystems grown so far (parallel runtime, tracer/metrics, chaos
+campaigns, the differential validation harness) rest on conventions
+that, when silently broken, corrupt dependability numbers instead of
+crashing: randomness must flow from seeded ``SeedSequence`` spawns,
+dispatch must iterate in sorted order so ``--jobs N`` is bit-identical,
+simulation code must never read the wall clock, and every trace
+event/metric name must exist in the :mod:`repro.obs.schema` registry.
+This package checks those contracts mechanically over the Python AST
+(stdlib :mod:`ast`, no third-party dependency) and backs the
+``repro-dra lint`` CLI subcommand and its CI gate.
+
+See ``docs/static-analysis.md`` for the rule catalogue (``DRA1xx``
+determinism, ``DRA2xx`` observability, ``DRA3xx`` testing hygiene), the
+``# dra: noqa[CODE] reason=...`` suppression policy, and how to add a
+rule.
+"""
+
+from repro.lint.engine import (
+    LINT_SCHEMA_VERSION,
+    PARSE_ERROR_CODE,
+    LintReport,
+    iter_python_files,
+    lint_paths,
+)
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, Rule, all_codes, rule
+from repro.lint.suppress import SUPPRESSION_CODE, Suppression, scan_suppressions
+
+__all__ = [
+    "LINT_SCHEMA_VERSION",
+    "PARSE_ERROR_CODE",
+    "SUPPRESSION_CODE",
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "Suppression",
+    "all_codes",
+    "iter_python_files",
+    "lint_paths",
+    "rule",
+    "scan_suppressions",
+]

@@ -1,0 +1,62 @@
+"""Per-file context handed to every lint rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = ["FileContext", "SIM_SUBPACKAGES"]
+
+#: Subpackages of ``repro`` whose code runs inside (or feeds) the
+#: deterministic simulation/analysis core: wall-clock reads here corrupt
+#: reproducibility rather than crash (DRA102).
+SIM_SUBPACKAGES = frozenset(
+    {"sim", "router", "markov", "montecarlo", "chaos", "validate"}
+)
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    #: path as reported in findings (relative to the scan root)
+    path: str
+    #: posix path components of :attr:`path`
+    parts: tuple[str, ...]
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    @property
+    def subpackage(self) -> str | None:
+        """The ``repro`` subpackage this file belongs to, if any.
+
+        ``src/repro/sim/engine.py`` -> ``"sim"``; works for both the
+        ``src/repro/...`` layout and an installed ``repro/...`` prefix.
+        """
+        parts = self.parts
+        if "repro" in parts:
+            idx = parts.index("repro")
+            if idx + 2 < len(parts):  # repro/<pkg>/<module>.py
+                return parts[idx + 1]
+        return None
+
+    @property
+    def in_sim_core(self) -> bool:
+        """True for files under the deterministic core subpackages."""
+        return self.subpackage in SIM_SUBPACKAGES
+
+    @property
+    def is_test_code(self) -> bool:
+        """True for test/benchmark files (fixture suites included)."""
+        if any(p in ("tests", "benchmarks") for p in self.parts[:-1]):
+            return True
+        name = self.parts[-1]
+        return name.startswith("test_") or name == "conftest.py"
+
+    @property
+    def is_example(self) -> bool:
+        return "examples" in self.parts[:-1]
+
+    def endswith(self, *suffix: str) -> bool:
+        """True when the path's final components equal ``suffix``."""
+        return self.parts[-len(suffix):] == suffix

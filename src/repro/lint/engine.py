@@ -1,0 +1,183 @@
+"""File discovery, per-file rule execution and the parallel driver.
+
+The engine mirrors the determinism discipline it enforces: files are
+discovered and dispatched in sorted path order, every worker returns a
+pure, picklable result, and findings sort by (path, line, col, code) --
+so ``--jobs 4`` and ``--jobs 1`` print byte-identical reports.  Workers
+count ``lint.*`` metrics into the process-global registry hook, which
+:func:`repro.runtime.executor.metered_parallel_map` merges exactly in
+submission order.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Any
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES
+from repro.lint.suppress import apply_suppressions, scan_suppressions
+from repro.obs import metrics as _metrics
+from repro.runtime.executor import metered_parallel_map
+
+__all__ = ["LINT_SCHEMA_VERSION", "PARSE_ERROR_CODE", "LintReport", "lint_paths"]
+
+#: Version stamp of the ``--format json`` payload.
+LINT_SCHEMA_VERSION = 1
+
+#: Code attached to files the parser rejects.
+PARSE_ERROR_CODE = "DRA002"
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    files: int
+    findings: tuple[Finding, ...]
+    suppressed: int
+    selected: tuple[str, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_payload(self) -> dict[str, Any]:
+        """The schema-versioned ``--format json`` document."""
+        return {
+            "schema": "repro-lint",
+            "v": LINT_SCHEMA_VERSION,
+            "files": self.files,
+            "suppressed": self.suppressed,
+            "counts": self.counts_by_code(),
+            "findings": [f.to_dict() for f in self.findings],
+            "ok": self.ok,
+        }
+
+
+def _code_matches(code: str, selectors: frozenset[str]) -> bool:
+    """Ruff-style prefix matching: DRA1 selects every DRA1xx rule."""
+    return any(code.startswith(sel) for sel in selectors)
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Every ``*.py`` under ``paths``, deduplicated, in sorted order."""
+    out: set[str] = set()
+    for entry in paths:
+        p = Path(entry)
+        if p.is_file() and p.suffix == ".py":
+            out.add(str(p))
+        elif p.is_dir():
+            for sub in p.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    out.add(str(sub))
+    return sorted(out)
+
+
+def _lint_one(
+    payload: tuple[str, str, frozenset[str] | None, frozenset[str] | None],
+) -> tuple[list[Finding], int]:
+    """Worker: lint one file; returns (kept findings, suppressed count)."""
+    abspath, relpath, select, ignore = payload
+    with open(abspath, encoding="utf-8") as fh:
+        source = fh.read()
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        findings = [
+            Finding(
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+        _count_metrics(findings, 0)
+        return findings, 0
+
+    ctx = FileContext(
+        path=relpath,
+        parts=PurePosixPath(relpath.replace(os.sep, "/")).parts,
+        tree=tree,
+        lines=tuple(lines),
+    )
+    table, findings = scan_suppressions(relpath, source)
+    for rule in RULES.values():
+        findings.extend(rule.check(ctx))
+    if select is not None:
+        findings = [f for f in findings if _code_matches(f.code, select)]
+    if ignore is not None:
+        findings = [f for f in findings if not _code_matches(f.code, ignore)]
+    kept, silenced = apply_suppressions(findings, table)
+    kept.sort()
+    _count_metrics(kept, silenced)
+    return kept, silenced
+
+
+def _count_metrics(kept: list[Finding], silenced: int) -> None:
+    reg = _metrics.get_registry()
+    if reg is None:
+        return
+    reg.counter("lint.files").inc()
+    if kept:
+        reg.counter("lint.findings").inc(len(kept))
+        for f in kept:
+            reg.counter(f"lint.findings.{f.code}").inc()
+    if silenced:
+        reg.counter("lint.suppressions").inc(silenced)
+
+
+def lint_paths(
+    paths: list[str],
+    *,
+    select: frozenset[str] | None = None,
+    ignore: frozenset[str] | None = None,
+    jobs: int = 1,
+) -> LintReport:
+    """Lint every Python file under ``paths``.
+
+    ``select``/``ignore`` take rule-code prefixes (``DRA1`` covers all
+    of ``DRA1xx``); ``jobs`` fans files out over a process pool with the
+    usual bit-identical-report guarantee.
+    """
+    files = iter_python_files(paths)
+    payloads = [
+        (path, os.path.relpath(path).replace(os.sep, "/"), select, ignore)
+        for path in files
+    ]
+    results = metered_parallel_map(_lint_one, payloads, jobs=jobs)
+    findings: list[Finding] = []
+    suppressed = 0
+    for kept, silenced in results:
+        findings.extend(kept)
+        suppressed += silenced
+    findings.sort()
+    selected = tuple(
+        sorted(
+            code
+            for code in RULES
+            if (select is None or _code_matches(code, select))
+            and (ignore is None or not _code_matches(code, ignore))
+        )
+    )
+    return LintReport(
+        files=len(files),
+        findings=tuple(findings),
+        suppressed=suppressed,
+        selected=selected,
+    )

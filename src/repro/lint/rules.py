@@ -1,0 +1,545 @@
+"""The rule catalogue: one registered check per invariant.
+
+Codes are grouped by contract family (``docs/static-analysis.md``):
+
+* ``DRA0xx`` -- linter mechanics (suppression syntax, parse errors);
+* ``DRA1xx`` -- determinism (RNG discipline, wall-clock bans, sorted
+  iteration ahead of parallel dispatch, exception hygiene);
+* ``DRA2xx`` -- observability (trace-event kinds and metric names must
+  be literals registered in :mod:`repro.obs.schema`);
+* ``DRA3xx`` -- testing hygiene (tolerances come from
+  :mod:`repro.validate`, not magic epsilons).
+
+Every rule is a pure function of a :class:`~repro.lint.context.FileContext`
+yielding :class:`~repro.lint.findings.Finding` records; the engine runs
+them file-by-file, so rules never see cross-file state and the report
+is deterministic under any ``--jobs`` fan-out.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.obs import schema as _schema
+
+__all__ = ["Rule", "RULES", "rule", "all_codes"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered invariant check."""
+
+    code: str
+    name: str
+    summary: str
+    check: Callable[[FileContext], Iterable[Finding]]
+
+
+#: Registry of every rule, keyed by code (insertion order = run order).
+RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, summary: str):
+    """Class/function decorator registering a rule under ``code``."""
+
+    def register(check: Callable[[FileContext], Iterable[Finding]]):
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(code=code, name=name, summary=summary, check=check)
+        return check
+
+    return register
+
+
+def all_codes() -> list[str]:
+    """Every registered rule code, sorted."""
+    return sorted(RULES)
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.expr) -> tuple[str, ...] | None:
+    """The dotted-name path of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return (node.id,)
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        if base is not None:
+            return base + (node.attr,)
+    return None
+
+
+def _finding(ctx: FileContext, node: ast.AST, code: str, message: str) -> Finding:
+    return Finding(
+        path=ctx.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        code=code,
+        message=message,
+    )
+
+
+def _parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    """Child -> parent map for one pass of scope-sensitive rules."""
+    table: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            table[child] = parent
+    return table
+
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _enclosing_function(node: ast.AST, parents: dict[ast.AST, ast.AST]):
+    """Nearest enclosing function def, or None at module scope."""
+    cur = parents.get(node)
+    while cur is not None:
+        if isinstance(cur, _FUNC_NODES):
+            return cur
+        cur = parents.get(cur)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# DRA1xx -- determinism
+# ---------------------------------------------------------------------------
+
+#: Legacy module-level numpy RNG entry points (shared global state).
+_NP_LEGACY = frozenset(
+    {
+        "rand", "randn", "random", "random_sample", "randint", "choice",
+        "shuffle", "permutation", "seed", "standard_normal", "uniform",
+        "normal", "exponential", "poisson",
+    }
+)
+
+
+@rule(
+    "DRA101",
+    "determinism.rng",
+    "all randomness flows from seeded generators (SeedSequence spawns)",
+)
+def check_rng(ctx: FileContext) -> Iterator[Finding]:
+    if ctx.endswith("sim", "rng.py"):  # the sanctioned stream factory
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield _finding(
+                        ctx, node, "DRA101",
+                        "stdlib 'random' is process-global state; draw from "
+                        "a seeded numpy Generator (see repro.sim.rng)",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield _finding(
+                    ctx, node, "DRA101",
+                    "stdlib 'random' is process-global state; draw from "
+                    "a seeded numpy Generator (see repro.sim.rng)",
+                )
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            if dotted[-1] == "default_rng" and not node.args and not node.keywords:
+                yield _finding(
+                    ctx, node, "DRA101",
+                    "unseeded default_rng() draws OS entropy; pass a seed "
+                    "or a SeedSequence spawned from the run's root seed",
+                )
+        elif isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if (
+                dotted is not None
+                and len(dotted) >= 3
+                and dotted[-3] in ("np", "numpy")
+                and dotted[-2] == "random"
+                and dotted[-1] in _NP_LEGACY
+            ):
+                yield _finding(
+                    ctx, node, "DRA101",
+                    f"np.random.{dotted[-1]} uses the legacy global RNG; "
+                    "use a seeded np.random.Generator instead",
+                )
+
+
+#: Epoch/wall-clock reads: nondeterministic everywhere.
+_EPOCH_READS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+#: Monotonic clocks: fine for timing harnesses, banned inside the
+#: deterministic core (results must be functions of seeds alone).
+_MONOTONIC_READS = frozenset(
+    {
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "process_time"),
+    }
+)
+
+
+@rule(
+    "DRA102",
+    "determinism.wallclock",
+    "simulation/analysis code never reads the wall clock",
+)
+def check_wallclock(ctx: FileContext) -> Iterator[Finding]:
+    if ctx.endswith("runtime", "timing.py"):  # the sanctioned Stopwatch
+        return
+    in_core = ctx.in_sim_core
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted is None or len(dotted) < 2:
+                continue
+            tail = dotted[-2:]
+            if tail in _EPOCH_READS:
+                yield _finding(
+                    ctx, node, "DRA102",
+                    f"wall-clock read {'.'.join(tail)} is nondeterministic; "
+                    "use repro.runtime.Stopwatch for durations or pass "
+                    "timestamps in explicitly",
+                )
+            elif in_core and tail in _MONOTONIC_READS:
+                yield _finding(
+                    ctx, node, "DRA102",
+                    f"{'.'.join(tail)} inside the deterministic core: "
+                    "results must depend on seeds only; time in "
+                    "repro.runtime (Stopwatch), not here",
+                )
+        elif in_core and isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("time", "datetime"):
+                    yield _finding(
+                        ctx, node, "DRA102",
+                        f"import {alias.name} inside the deterministic core; "
+                        "sim/markov/validate code has no business with "
+                        "host clocks",
+                    )
+
+
+#: Call targets that fan work out or derive RNG streams: anything
+#: feeding them must iterate in a deterministic (sorted) order.
+_DISPATCH_FUNCS = frozenset({"parallel_map", "metered_parallel_map", "spawn"})
+
+#: Wrappers that preserve iteration order without establishing one.
+_ORDER_NEUTRAL = frozenset({"list", "tuple", "enumerate", "reversed"})
+
+
+def _is_dispatch_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in _DISPATCH_FUNCS
+    if isinstance(func, ast.Attribute):
+        return func.attr in _DISPATCH_FUNCS
+    return False
+
+
+def _strip_order_neutral(node: ast.expr) -> ast.expr:
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _ORDER_NEUTRAL
+        and node.args
+    ):
+        node = node.args[0]
+    return node
+
+
+def _unordered_iter(node: ast.expr) -> str | None:
+    """Why ``node`` iterates in hash order, or None when it does not."""
+    node = _strip_order_neutral(node)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("items", "keys", "values")
+        and not node.args
+        and not node.keywords
+    ):
+        return f".{node.func.attr}()"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return f"{node.func.id}()"
+    return None
+
+
+@rule(
+    "DRA103",
+    "determinism.sorted-dispatch",
+    "dict/set iteration feeding parallel dispatch or seed spawns is sorted",
+)
+def check_sorted_dispatch(ctx: FileContext) -> Iterator[Finding]:
+    parents = _parents(ctx.tree)
+    dispatching_scopes = {
+        _enclosing_function(node, parents)
+        for node in ast.walk(ctx.tree)
+        if _is_dispatch_call(node)
+    }
+    if not dispatching_scopes:
+        return
+    seen: set[tuple[int, int]] = set()
+
+    def flag(node: ast.expr) -> Iterator[Finding]:
+        why = _unordered_iter(node)
+        if why is None:
+            return
+        key = (node.lineno, node.col_offset)
+        if key in seen:
+            return
+        seen.add(key)
+        yield _finding(
+            ctx, node, "DRA103",
+            f"iteration over {why} in a function that dispatches work "
+            "(parallel_map/spawn) must go through sorted() so results "
+            "are identical for any --jobs",
+        )
+
+    for node in ast.walk(ctx.tree):
+        scope = _enclosing_function(node, parents)
+        if scope not in dispatching_scopes:
+            continue
+        if isinstance(node, ast.For):
+            yield from flag(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                yield from flag(gen.iter)
+        elif _is_dispatch_call(node):
+            for arg in node.args:
+                yield from flag(arg)
+
+
+@rule(
+    "DRA104",
+    "exceptions.bare",
+    "no bare except: clauses anywhere",
+)
+def check_bare_except(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield _finding(
+                ctx, node, "DRA104",
+                "bare 'except:' also swallows KeyboardInterrupt/SystemExit; "
+                "name the exception types this site can actually handle",
+            )
+
+
+def _is_noop_stmt(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Pass):
+        return True
+    return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+
+
+@rule(
+    "DRA105",
+    "exceptions.swallowed",
+    "engine/channel code never silently swallows exceptions",
+)
+def check_swallowed(ctx: FileContext) -> Iterator[Finding]:
+    if ctx.is_test_code:  # tests may legitimately assert non-raising paths
+        return
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.ExceptHandler)
+            and node.type is not None
+            and node.body
+            and all(_is_noop_stmt(s) for s in node.body)
+        ):
+            yield _finding(
+                ctx, node, "DRA105",
+                "exception handler discards the error without handling, "
+                "logging or re-raising it; a swallowed fault corrupts "
+                "dependability numbers silently",
+            )
+
+
+# ---------------------------------------------------------------------------
+# DRA2xx -- observability
+# ---------------------------------------------------------------------------
+
+
+def _obs_scope(ctx: FileContext) -> bool:
+    """True for library code whose emit/metric names the schema governs."""
+    return (
+        ctx.subpackage is not None
+        and ctx.subpackage != "obs"  # the registry/merge machinery itself
+        and not ctx.is_test_code
+    )
+
+
+@rule(
+    "DRA201",
+    "obs.trace-kind",
+    "Tracer.emit kinds are literals registered in repro.obs.schema",
+)
+def check_trace_kinds(ctx: FileContext) -> Iterator[Finding]:
+    if not _obs_scope(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+        ):
+            continue
+        if not node.args:
+            yield _finding(
+                ctx, node, "DRA201",
+                "emit() without a positional kind; pass the registered "
+                "event kind as the first argument",
+            )
+            continue
+        kind = node.args[0]
+        if not (isinstance(kind, ast.Constant) and isinstance(kind.value, str)):
+            yield _finding(
+                ctx, node, "DRA201",
+                "trace-event kind must be a string literal so the schema "
+                "registry and docs can be checked statically",
+            )
+        elif not _schema.is_trace_kind(kind.value):
+            yield _finding(
+                ctx, node, "DRA201",
+                f"trace-event kind {kind.value!r} is not registered in "
+                "repro.obs.schema.TRACE_EVENT_KINDS; add it there and to "
+                "the docs/observability.md catalogue",
+            )
+
+
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+@rule(
+    "DRA202",
+    "obs.metric-name",
+    "metric names are literals (or registered-family f-strings) from repro.obs.schema",
+)
+def check_metric_names(ctx: FileContext) -> Iterator[Finding]:
+    if not _obs_scope(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _METRIC_METHODS
+            and node.args
+        ):
+            continue
+        name = node.args[0]
+        if isinstance(name, ast.Constant) and isinstance(name.value, str):
+            if not _schema.is_metric_name(name.value):
+                yield _finding(
+                    ctx, node, "DRA202",
+                    f"metric name {name.value!r} is not registered in "
+                    "repro.obs.schema.METRIC_NAMES; add it there and to "
+                    "the docs/observability.md catalogue",
+                )
+        elif isinstance(name, ast.JoinedStr):
+            head = name.values[0] if name.values else None
+            prefix = (
+                head.value
+                if isinstance(head, ast.Constant) and isinstance(head.value, str)
+                else ""
+            )
+            if not prefix or _schema.metric_family(prefix) is None:
+                yield _finding(
+                    ctx, node, "DRA202",
+                    "dynamic metric name must start with a literal prefix "
+                    "registered in repro.obs.schema.METRIC_FAMILIES",
+                )
+        else:
+            yield _finding(
+                ctx, node, "DRA202",
+                "metric name must be a string literal (or a registered-"
+                "family f-string) so dashboards and docs stay in sync",
+            )
+
+
+# ---------------------------------------------------------------------------
+# DRA3xx -- testing hygiene
+# ---------------------------------------------------------------------------
+
+
+def _is_abs_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "abs"
+    return isinstance(func, ast.Attribute) and func.attr in ("abs", "fabs")
+
+
+def _float_literal_led(node: ast.expr) -> bool:
+    """True for a float literal, or an arithmetic expression led by one.
+
+    Integer factors are deliberately exempt: ``abs(x - mu) < 5 * se``
+    is a principled z-score bound, while ``< 1e-9`` (or
+    ``<= 1e-12 * scale``, or ``<= 1e-12 * scale + 1e-300``) is exactly
+    the magic epsilon the contract bans.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _float_literal_led(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Mult, ast.Div, ast.Add, ast.Sub)
+    ):
+        return _float_literal_led(node.left) or _float_literal_led(node.right)
+    return False
+
+
+@rule(
+    "DRA301",
+    "tests.tolerance",
+    "tests derive tolerances from repro.validate, not magic epsilons",
+)
+def check_test_tolerances(ctx: FileContext) -> Iterator[Finding]:
+    if not ctx.is_test_code:
+        return
+    for assert_node in ast.walk(ctx.tree):
+        if not isinstance(assert_node, ast.Assert):
+            continue
+        for node in ast.walk(assert_node.test):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+                if isinstance(op, (ast.Lt, ast.LtE)):
+                    small, tol = lhs, rhs
+                elif isinstance(op, (ast.Gt, ast.GtE)):
+                    small, tol = rhs, lhs
+                else:
+                    continue
+                if _is_abs_call(small) and _float_literal_led(tol):
+                    yield _finding(
+                        ctx, node, "DRA301",
+                        "raw abs(a - b) < eps comparison; use the "
+                        "repro.validate tolerance helpers "
+                        "(assert_solvers_agree, distribution_atol, "
+                        "FLOAT_EPS, CI containment) so the budget is "
+                        "derived, not guessed",
+                    )

@@ -114,7 +114,6 @@ class _Rows:
         self.targets: list[np.ndarray] = []
         self.probs: list[np.ndarray] = []
         self.is_repair: list[np.ndarray] = []
-        max_rate = max((Q.data.max() if Q.nnz else 0.0), 1e-300)
         for i in range(chain.n_states):
             row = Q.getrow(i).tocoo()
             mask = (row.col != i) & (row.data > 0.0)

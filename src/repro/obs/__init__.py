@@ -12,7 +12,10 @@ Three cooperating layers, all **zero-overhead when disabled**:
   ``CycleStatistics``), keeping ``--jobs N`` metric output deterministic
   in content;
 * :mod:`~repro.obs.logging_setup` -- one-call stdlib ``logging``
-  configuration used by the examples instead of ad-hoc ``print``.
+  configuration used by the examples instead of ad-hoc ``print``;
+* :mod:`~repro.obs.schema` -- the central registry of every trace-event
+  kind and metric name, consumed by the ``trace --strict`` CLI guard,
+  the ``repro.lint`` DRA2xx rules and the docs catalogue.
 
 Enable tracing from the CLI with ``--trace PATH`` on any subcommand and
 inspect the result with ``python -m repro trace PATH``; see
@@ -21,6 +24,15 @@ measurement procedure.
 """
 
 from repro.obs.logging_setup import example_logger, setup_logging
+from repro.obs.schema import (
+    METRIC_FAMILIES,
+    METRIC_NAMES,
+    TRACE_EVENT_KINDS,
+    is_metric_name,
+    is_trace_kind,
+    metric_family,
+    unknown_trace_kinds,
+)
 from repro.obs.metrics import (
     METRICS_SCHEMA_VERSION,
     CounterMetric,
@@ -42,6 +54,13 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "TRACE_EVENT_KINDS",
+    "METRIC_NAMES",
+    "METRIC_FAMILIES",
+    "is_trace_kind",
+    "is_metric_name",
+    "metric_family",
+    "unknown_trace_kinds",
     "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "Tracer",

@@ -25,6 +25,7 @@ tests.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import os
@@ -153,10 +154,8 @@ class ResultCache:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp)
-            except OSError:
-                pass
             raise
 
     def get_or_compute(self, key: str, compute: Any) -> Any:
@@ -173,11 +172,9 @@ class ResultCache:
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*/*.pkl"):
-                try:
+                with contextlib.suppress(OSError):
                     path.unlink()
                     removed += 1
-                except OSError:
-                    pass
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,85 @@
+"""The central trace/metric name registry and the strict trace guard."""
+
+from __future__ import annotations
+
+import re
+
+from repro.cli import main
+from repro.obs import (
+    METRIC_FAMILIES,
+    METRIC_NAMES,
+    TRACE_EVENT_KINDS,
+    is_metric_name,
+    is_trace_kind,
+    metric_family,
+    tracing,
+    unknown_trace_kinds,
+)
+
+_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+class TestRegistryShape:
+    def test_trace_kinds_are_dotted_lowercase_with_descriptions(self):
+        for kind, desc in TRACE_EVENT_KINDS.items():
+            assert _NAME.match(kind), kind
+            assert desc.strip()
+
+    def test_metric_names_are_dotted_lowercase_with_descriptions(self):
+        for name, desc in METRIC_NAMES.items():
+            assert _NAME.match(name), name
+            assert desc.strip()
+
+    def test_family_prefixes_end_with_a_dot(self):
+        for prefix in METRIC_FAMILIES:
+            assert prefix.endswith("."), prefix
+            # every family extends a dotted namespace, not a bare word
+            assert _NAME.match(prefix[:-1]), prefix
+
+    def test_known_instrumentation_is_registered(self):
+        # spot-check the emit sites the simulator actually uses
+        for kind in ("sim.fire", "bus.ctl.deliver", "validate.suite"):
+            assert is_trace_kind(kind)
+        for name in ("bus.ctl.sent", "solver.stationary.solves", "lint.files"):
+            assert is_metric_name(name)
+
+
+class TestLookups:
+    def test_unknown_kind_rejected(self):
+        assert not is_trace_kind("made.up")
+
+    def test_family_prefix_match(self):
+        assert metric_family("lint.findings.DRA101") == "lint.findings."
+        assert metric_family("bus.ctl.sent.req_b") == "bus.ctl.sent."
+        assert metric_family("unrelated.name") is None
+        assert is_metric_name("lint.findings.DRA101")
+
+    def test_unknown_trace_kinds_sorted_distinct(self):
+        kinds = ["demo.b", "sim.fire", "demo.a", "demo.b"]
+        assert unknown_trace_kinds(kinds) == ["demo.a", "demo.b"]
+
+
+class TestStrictTraceGuard:
+    def _write_trace(self, path, kinds):
+        with tracing(str(path)) as t:
+            for i, kind in enumerate(kinds):
+                t.emit(kind, t=float(i))
+
+    def test_registered_kinds_pass_strict(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        self._write_trace(path, ["sim.fire", "bus.ctl.deliver"])
+        assert main(["trace", str(path), "--strict"]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+    def test_unknown_kind_warns_without_strict(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        self._write_trace(path, ["demo.a"])
+        assert main(["trace", str(path)]) == 0
+        assert "demo.a" in capsys.readouterr().err
+
+    def test_unknown_kind_fails_strict(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        self._write_trace(path, ["sim.fire", "demo.a"])
+        assert main(["trace", str(path), "--strict"]) == 1
+        err = capsys.readouterr().err
+        assert "demo.a" in err and "strict" in err

@@ -49,11 +49,14 @@ class TestPromisedBandwidth:
                 # cross-multiplied to avoid dividing by zero requests
                 lhs = promises[i] * req[j]
                 rhs = promises[j] * req[i]
-                # relative rounding slack, plus an absolute floor for
-                # products whose intermediate promise underflowed
-                assert abs(lhs - rhs) <= 1e-12 * max(
+                # relative rounding slack: a few thousand ulps of the
+                # larger product.  Below tiny/eps one relative ulp is
+                # subnormal, so an absolute floor at that threshold
+                # covers products whose intermediate promise underflowed.
+                tiny = np.finfo(np.float64).tiny
+                assert abs(lhs - rhs) <= 2**13 * FLOAT_EPS * max(
                     abs(lhs), abs(rhs)
-                ) + 1e-300
+                ) + tiny / FLOAT_EPS
 
 
 class TestBandwidthToFaulty:
