@@ -9,7 +9,8 @@ Usage::
     python -m repro cost [--n 8] [--protocols 2]
     python -m repro importance [--n 9] [--m 4]
     python -m repro validate [--suite tiny|smoke|full] [--seed 0] [--jobs N]
-    python -m repro bench [--target mc|fig6|validate] [--jobs-list 1,2,4]
+    python -m repro bench [--suite scaling|throughput] [--target mc|fig6|validate]
+                          [--jobs-list 1,2,4] [--baseline FILE] [--update-baseline]
     python -m repro chaos [--seeds 32] [--seed 0] [--jobs N] [--json-out FILE]
     python -m repro report [--jobs N] [--cache]
     python -m repro trace FILE [--kind PREFIX] [--limit N] [--json] [--strict]
@@ -26,9 +27,13 @@ executable DRA model with the EIB fault-detection layer enabled and
 exits nonzero on any invariant violation (``docs/chaos.md``).  ``--jobs`` fans the work out over a process pool (0 = all
 cores); Monte Carlo results are bit-identical for a given ``--seed``
 regardless of ``--jobs``.  ``--cache`` enables the content-addressed
-result cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dra``); ``bench``
-measures parallel scaling and writes a schema-versioned
-``BENCH_runtime.json``.  Every subcommand accepts ``--trace PATH`` to
+result cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-dra``); ``bench
+--suite scaling`` (default) measures parallel scaling and writes a
+schema-versioned ``BENCH_runtime.json``, while ``bench --suite
+throughput`` measures the hot-path kernels (events/sec, trials/sec,
+solver wall times), writes ``BENCH_throughput.json`` and -- when
+``--baseline`` points at a committed baseline -- exits nonzero on a
+>15% normalized regression (``docs/performance.md``).  Every subcommand accepts ``--trace PATH`` to
 record a JSONL event trace (``docs/observability.md``); ``trace``
 summarizes, filters and schema-checks such a file (``--strict`` also
 rejects event kinds missing from the ``repro.obs.schema`` registry).
@@ -64,7 +69,7 @@ from repro.core import (
     unavailability_elasticities,
 )
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser"]
 
 
 def _parse_configs(text: str) -> list[tuple[int, int]]:
@@ -276,6 +281,86 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    """Dispatch between the scaling and throughput benchmark suites."""
+    if args.bench_suite == "throughput":
+        return _bench_throughput(args)
+    return _bench_scaling(args)
+
+
+def _bench_throughput(args: argparse.Namespace) -> int:
+    """Run the hot-path throughput suite; gate against a baseline."""
+    from repro.runtime.throughput import (
+        compare_to_baseline,
+        make_baseline,
+        render_throughput_report,
+        report_to_json,
+        run_throughput_suite,
+    )
+
+    report = run_throughput_suite(seed=args.seed, jobs=args.jobs, scale=args.scale)
+    print(render_throughput_report(report))
+
+    json_out = "BENCH_throughput.json" if args.json_out is None else args.json_out
+    if json_out:
+        with open(json_out, "w", encoding="utf-8") as fh:
+            fh.write(report_to_json(report))
+        print(f"wrote {json_out}")
+
+    if args.update_baseline:
+        baseline = make_baseline(
+            report,
+            threshold=args.threshold if args.threshold is not None else 0.15,
+        )
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote baseline {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        print(
+            f"bench: no baseline at {args.baseline}; gate skipped "
+            "(run with --update-baseline to record one)",
+            file=sys.stderr,
+        )
+        return 0
+    problems = compare_to_baseline(report, baseline, threshold=args.threshold)
+    if problems:
+        # Escalation, same protocol as the validate suite: one full
+        # re-measurement, and only metrics that regress in BOTH runs
+        # fail the gate -- squaring the probability that scheduler
+        # jitter (not code) trips it.
+        print(
+            f"\nbench: {len(problems)} metric(s) over threshold; "
+            "re-measuring once (escalation)",
+            file=sys.stderr,
+        )
+        rerun = run_throughput_suite(
+            seed=args.seed, jobs=args.jobs, scale=args.scale
+        )
+        confirmed_names = {
+            msg.split(":", 1)[0]
+            for msg in compare_to_baseline(rerun, baseline, threshold=args.threshold)
+        }
+        problems = [
+            msg for msg in problems if msg.split(":", 1)[0] in confirmed_names
+        ]
+    if problems:
+        print(f"\nbench: {len(problems)} regression(s) vs {args.baseline}:",
+              file=sys.stderr)
+        for msg in problems:
+            print(f"  REGRESSION {msg} (confirmed on re-measurement)",
+                  file=sys.stderr)
+        return 1
+    print(f"\nbench: no regressions vs {args.baseline} "
+          f"({len(baseline['metrics'])} gated metrics)")
+    return 0
+
+
+def _bench_scaling(args: argparse.Namespace) -> int:
     """Measure parallel scaling of one bulk workload over a jobs ladder."""
     from repro.runtime import (
         Stopwatch,
@@ -325,7 +410,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for jobs, wall, rate, _items in rows:
         print(f"{jobs:>5} {wall:>10.3f} {rate:>14,.0f} {base / wall:>7.2f}x")
 
-    if args.json_out:
+    json_out = "BENCH_runtime.json" if args.json_out is None else args.json_out
+    if json_out:
         payload = {
             "schema": "repro-bench",
             "v": 1,
@@ -344,10 +430,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 for jobs, wall, rate, items in rows
             ],
         }
-        with open(args.json_out, "w", encoding="utf-8") as fh:
+        with open(json_out, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"wrote {args.json_out}")
+        print(f"wrote {json_out}")
     return 0
 
 
@@ -512,8 +598,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser.
+
+    Exposed separately from :func:`main` so tests and the docs-freshness
+    check can introspect the complete subcommand/flag surface without
+    executing anything.
+    """
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate DRA (ICPP 2004) paper artifacts."
     )
@@ -548,16 +639,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--variant", default="paper",
                    choices=["paper", "strict", "extended"],
                    help="model-interpretation variant (see DESIGN.md)")
-    p.add_argument("--csv")
+    p.add_argument("--csv", help="also write records to CSV")
     add_runtime_flags(p)
     add_trace_flag(p)
     p.set_defaults(func=_cmd_fig7)
 
     p = sub.add_parser("fig8", help="Figure 8 degradation table")
-    p.add_argument("--n", type=int, default=6)
+    p.add_argument("--n", type=int, default=6,
+                   help="number of linecards N")
     p.add_argument("--loads", help="comma-separated loads in [0,1)")
-    p.add_argument("--b-bus", type=float, default=None, dest="b_bus")
-    p.add_argument("--csv")
+    p.add_argument("--b-bus", type=float, default=None, dest="b_bus",
+                   help="EIB bus bandwidth in Mbps (default: the paper's)")
+    p.add_argument("--csv", help="also write records to CSV")
     add_trace_flag(p)
     p.set_defaults(func=_cmd_fig8)
 
@@ -567,14 +660,18 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_mttf)
 
     p = sub.add_parser("cost", help="cost-effectiveness comparison")
-    p.add_argument("--n", type=int, default=8)
-    p.add_argument("--protocols", type=int, default=2)
+    p.add_argument("--n", type=int, default=8,
+                   help="number of linecards N")
+    p.add_argument("--protocols", type=int, default=2,
+                   help="protocols per linecard for the DRA design")
     add_trace_flag(p)
     p.set_defaults(func=_cmd_cost)
 
     p = sub.add_parser("importance", help="rate-elasticity tornado")
-    p.add_argument("--n", type=int, default=9)
-    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--n", type=int, default=9,
+                   help="number of linecards N")
+    p.add_argument("--m", type=int, default=4,
+                   help="protocol multiplicity M")
     add_trace_flag(p)
     p.set_defaults(func=_cmd_importance)
 
@@ -605,21 +702,47 @@ def main(argv: list[str] | None = None) -> int:
     add_trace_flag(p)
     p.set_defaults(func=_cmd_validate)
 
-    p = sub.add_parser("bench", help="parallel-scaling benchmark")
+    p = sub.add_parser("bench", help="performance benchmarks (scaling/throughput)")
+    p.add_argument("--suite", dest="bench_suite", default="scaling",
+                   choices=["scaling", "throughput"],
+                   help="scaling: one workload over a --jobs-list ladder; "
+                        "throughput: the hot-path kernel suite with the "
+                        "perf-regression gate (docs/performance.md)")
     p.add_argument("--target", default="mc", choices=["mc", "fig6", "validate"],
-                   help="workload: structure-function MC batch, the Figure 6 "
-                        "sweep, or the importance-sampling check")
+                   help="scaling workload: structure-function MC batch, the "
+                        "Figure 6 sweep, or the importance-sampling check")
     p.add_argument("--jobs-list", dest="jobs_list",
-                   help="comma-separated worker counts (default 1,2,4)")
+                   help="comma-separated worker counts for --suite scaling "
+                        "(default 1,2,4)")
     p.add_argument("--trials", type=int, default=1_000_000,
                    help="MC trials for --target mc")
     p.add_argument("--cycles", type=int, default=30_000,
                    help="cycles for --target validate")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--json-out", dest="json_out", default="BENCH_runtime.json",
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed; digests in the throughput report are "
+                        "a pure function of it")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for --suite throughput "
+                        "(0 = all cores; default 1 = serial)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="sample-budget multiplier for --suite throughput "
+                        "(CI uses <1 for a lighter run)")
+    p.add_argument("--baseline", metavar="FILE",
+                   default="benchmarks/BASELINE_throughput.json",
+                   help="committed throughput baseline to gate against "
+                        "(missing file skips the gate)")
+    p.add_argument("--update-baseline", dest="update_baseline",
+                   action="store_true",
+                   help="rewrite --baseline from this run instead of gating "
+                        "(see docs/performance.md for when that is legitimate)")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="override the baseline's recorded regression "
+                        "threshold (fraction, e.g. 0.15)")
+    p.add_argument("--json-out", dest="json_out", default=None,
                    metavar="PATH",
-                   help="machine-readable per-stage timings "
-                        "(default BENCH_runtime.json; empty string disables)")
+                   help="machine-readable report (default BENCH_runtime.json "
+                        "or BENCH_throughput.json per suite; empty string "
+                        "disables)")
     add_trace_flag(p)
     p.set_defaults(func=_cmd_bench)
 
@@ -683,7 +806,12 @@ def main(argv: list[str] | None = None) -> int:
     add_trace_flag(p)
     p.set_defaults(func=_cmd_lint)
 
-    args = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
     if trace_path:
         from repro.obs import tracing

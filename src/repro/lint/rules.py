@@ -8,7 +8,9 @@ Codes are grouped by contract family (``docs/static-analysis.md``):
 * ``DRA2xx`` -- observability (trace-event kinds and metric names must
   be literals registered in :mod:`repro.obs.schema`);
 * ``DRA3xx`` -- testing hygiene (tolerances come from
-  :mod:`repro.validate`, not magic epsilons).
+  :mod:`repro.validate`, not magic epsilons);
+* ``DRA4xx`` -- CLI surface (every public flag and subcommand carries a
+  help string, so ``--help`` and ``docs/cli.md`` can stay complete).
 
 Every rule is a pure function of a :class:`~repro.lint.context.FileContext`
 yielding :class:`~repro.lint.findings.Finding` records; the engine runs
@@ -543,3 +545,50 @@ def check_test_tolerances(ctx: FileContext) -> Iterator[Finding]:
                         "FLOAT_EPS, CI containment) so the budget is "
                         "derived, not guessed",
                     )
+
+
+# ---------------------------------------------------------------------------
+# DRA4xx -- CLI surface
+# ---------------------------------------------------------------------------
+
+#: argparse registration calls whose result shows up in ``--help``.
+_ARGPARSE_ADDERS = frozenset({"add_argument", "add_parser"})
+
+
+@rule(
+    "DRA401",
+    "cli.flag-help",
+    "every add_argument/add_parser call carries a help string",
+)
+def check_cli_help(ctx: FileContext) -> Iterator[Finding]:
+    """A flag without ``help=`` is invisible in ``--help`` output.
+
+    The docs-freshness check (``tests/test_docs_freshness.py``) keeps
+    ``docs/cli.md`` in sync with the parser, but it cannot document
+    semantics the parser itself never states; requiring ``help=`` at the
+    registration site keeps both surfaces complete.  Only calls whose
+    first argument is a string literal are checked -- that is how every
+    real flag/subcommand is registered, and it keeps the rule free of
+    false positives on unrelated ``add_argument`` methods.
+    """
+    if ctx.is_test_code:
+        return
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _ARGPARSE_ADDERS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            continue
+        if any(kw.arg == "help" for kw in node.keywords):
+            continue
+        what = "subcommand" if node.func.attr == "add_parser" else "flag"
+        yield _finding(
+            ctx, node, "DRA401",
+            f"{what} {node.args[0].value!r} has no help= string; "
+            "undocumented CLI surface drifts out of --help and "
+            "docs/cli.md",
+        )

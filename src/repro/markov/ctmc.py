@@ -173,17 +173,13 @@ class CTMC:
         """
         Q = self._Q.tocoo()
         rates = self.exit_rates()
-        rows, cols, vals = [], [], []
-        for i, j, q in zip(Q.row, Q.col, Q.data):
-            if i == j:
-                continue
-            rows.append(i)
-            cols.append(j)
-            vals.append(q / rates[i])
-        for i in np.flatnonzero(rates == 0.0):
-            rows.append(int(i))
-            cols.append(int(i))
-            vals.append(1.0)
+        off = Q.row != Q.col
+        absorbing = np.flatnonzero(rates == 0.0)
+        rows = np.concatenate([Q.row[off], absorbing])
+        cols = np.concatenate([Q.col[off], absorbing])
+        vals = np.concatenate(
+            [Q.data[off] / rates[Q.row[off]], np.ones(absorbing.size)]
+        )
         return sp.csr_matrix(
             (vals, (rows, cols)), shape=self._Q.shape, dtype=np.float64
         )

@@ -100,11 +100,13 @@ def stationary_distribution(
 def _solve_linear(chain: CTMC) -> np.ndarray:
     n = chain.n_states
     # pi Q = 0  <=>  Q^T pi^T = 0; replace the last equation by sum(pi) = 1.
-    A = chain.generator.T.tolil()
-    A[n - 1, :] = 1.0
+    # Assembled by stacking CSR blocks -- same matrix as the historical
+    # row-replacement on an LIL copy, without the O(nnz) format churn.
+    QT = chain.generator.T.tocsr()
+    A = sp.vstack([QT[: n - 1, :], np.ones((1, n))], format="csr")
     b = np.zeros(n)
     b[n - 1] = 1.0
-    pi = scipy.sparse.linalg.spsolve(A.tocsr(), b)
+    pi = scipy.sparse.linalg.spsolve(A, b)
     return _clean(pi)
 
 

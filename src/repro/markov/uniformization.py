@@ -101,10 +101,12 @@ def uniformized_distribution(
         )
 
     # Iterate v_k = pi0 @ P^k once up to K, accumulating the Poisson-weighted
-    # sum for every requested time point simultaneously.
-    weights = np.empty((t.size, K + 1))
-    for j, tj in enumerate(t):
-        weights[j] = stats.poisson.pmf(np.arange(K + 1), lam * tj)
+    # sum for every requested time point simultaneously.  The PMF broadcast
+    # evaluates elementwise, so the weight table matches a per-time loop bit
+    # for bit.
+    weights = stats.poisson.pmf(
+        np.arange(K + 1)[np.newaxis, :], (lam * t)[:, np.newaxis]
+    )
     out = np.zeros((t.size, chain.n_states))
     v = pi0.copy()
     for k in range(K + 1):

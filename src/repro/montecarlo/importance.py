@@ -22,6 +22,25 @@ estimator (Shahabuddin-style) on regenerative cycles:
 The estimator returns a point estimate with a delta-method standard
 error, and is validated in the benches against the exact stationary
 solve across six orders of magnitude of rarity.
+
+Two simulation back ends share the same estimator (``method=``):
+
+* ``"batched"`` (default) advances all cycles of a batch in lockstep --
+  one numpy step per jump *depth*, not per jump -- against per-state
+  cumulative jump distributions precomputed once into padded matrices.
+  Cycles that regenerate drop out of the active set; the per-cycle jump
+  cap applies to the lockstep depth, which bounds every cycle's length
+  exactly as the scalar loop does.
+* ``"scalar"`` is the original one-jump-at-a-time Python loop, kept as
+  the independent reference implementation: the differential tests check
+  the batched kernels against it, and ``bench --suite throughput``
+  measures the batched/scalar speedup (the perf-regression gate pins it).
+
+Both draw from the same ``numpy.random.Generator`` but consume the
+stream differently, so for a fixed seed they give *statistically
+identical*, not bit-identical, results.  Within one method, results are
+a pure function of the seed, which is what the parallel driver's
+bit-identical-across-``--jobs`` contract needs.
 """
 
 from __future__ import annotations
@@ -108,22 +127,68 @@ class _Rows:
     between repair (~1e-1/h) and failure (~1e-5/h) rates).
     """
 
-    def __init__(self, chain: CTMC, repair_threshold: float) -> None:
+    def __init__(self, chain: CTMC, repair_threshold: float, bias: float) -> None:
         Q = chain.generator
+        n = chain.n_states
+        indptr, indices, data = Q.indptr, Q.indices, Q.data
         self.exit = chain.exit_rates()
         self.targets: list[np.ndarray] = []
         self.probs: list[np.ndarray] = []
         self.is_repair: list[np.ndarray] = []
-        for i in range(chain.n_states):
-            row = Q.getrow(i).tocoo()
-            mask = (row.col != i) & (row.data > 0.0)
-            cols, rates = row.col[mask], row.data[mask]
-            self.targets.append(cols)
+        self.biased: list[np.ndarray] = []
+        for i in range(n):
+            cols = indices[indptr[i]:indptr[i + 1]]
+            rates = data[indptr[i]:indptr[i + 1]]
+            mask = (cols != i) & (rates > 0.0)
+            cols, rates = cols[mask], rates[mask]
+            self.targets.append(cols.astype(np.int64))
             total = rates.sum()
-            self.probs.append(rates / total if total > 0 else rates)
+            probs = rates / total if total > 0 else rates
+            self.probs.append(probs)
             # Scale-gap classification: "fast" transitions are repairs.
             cutoff = repair_threshold * (rates.min() if rates.size else 1.0)
-            self.is_repair.append(rates >= cutoff)
+            repair = rates >= cutoff
+            self.is_repair.append(repair)
+            self.biased.append(_balanced_bias(probs, repair, bias))
+
+        # Padded-matrix form for the lockstep-batched kernels: row ``i``
+        # holds state ``i``'s cumulative jump distributions, padded with
+        # 1.0 so a uniform draw below 1 never lands past the true
+        # out-degree (``last_slot`` guards the float-roundoff edge the
+        # scalar loop guards with ``min(k, size - 1)``).
+        degree = np.array([t.size for t in self.targets], dtype=np.int64)
+        width = max(int(degree.max()) if degree.size else 1, 1)
+        self.last_slot = np.maximum(degree - 1, 0)
+        self.pad_targets = np.zeros((n, width), dtype=np.int64)
+        self.plain_cum = np.ones((n, width))
+        self.biased_cum = np.ones((n, width))
+        self.ratio = np.ones((n, width))
+        for i in range(n):
+            d = int(degree[i])
+            if d == 0:
+                continue
+            self.pad_targets[i, :d] = self.targets[i]
+            self.pad_targets[i, d:] = self.targets[i][-1]
+            self.plain_cum[i, :d] = np.cumsum(self.probs[i])
+            self.biased_cum[i, :d] = np.cumsum(self.biased[i])
+            self.ratio[i, :d] = self.probs[i] / self.biased[i]
+
+
+def _balanced_bias(probs: np.ndarray, repair: np.ndarray, bias: float) -> np.ndarray:
+    """The balanced-failure-biased jump distribution of one state.
+
+    Failures share ``bias`` evenly, repairs share the rest
+    proportionally; states with only one transition kind keep their
+    plain distribution.
+    """
+    n_fail = int((~repair).sum())
+    if not 0 < n_fail < probs.size:
+        return probs
+    biased = np.empty_like(probs)
+    biased[~repair] = bias / n_fail
+    repair_total = probs[repair].sum()
+    biased[repair] = (1.0 - bias) * probs[repair] / repair_total
+    return biased
 
 
 def unavailability_importance_sampling(
@@ -136,6 +201,7 @@ def unavailability_importance_sampling(
     bias: float = 0.5,
     repair_threshold: float = 100.0,
     max_jumps_per_cycle: int = 100_000,
+    method: str = "batched",
 ) -> ImportanceSamplingResult:
     """Estimate steady-state unavailability by balanced failure biasing.
 
@@ -156,6 +222,10 @@ def unavailability_importance_sampling(
         kinds are available (0.5 is the standard choice).
     repair_threshold:
         Rate ratio separating repair from failure transitions.
+    method:
+        ``"batched"`` (lockstep numpy kernels, the default) or
+        ``"scalar"`` (the reference per-jump loop); see the module
+        docstring.
     """
     return result_from_statistics(
         collect_cycle_statistics(
@@ -167,6 +237,7 @@ def unavailability_importance_sampling(
             bias=bias,
             repair_threshold=repair_threshold,
             max_jumps_per_cycle=max_jumps_per_cycle,
+            method=method,
         )
     )
 
@@ -181,6 +252,7 @@ def collect_cycle_statistics(
     bias: float = 0.5,
     repair_threshold: float = 100.0,
     max_jumps_per_cycle: int = 100_000,
+    method: str = "batched",
 ) -> CycleStatistics:
     """Simulate ``n_cycles`` cycles and return their sufficient statistics.
 
@@ -189,7 +261,12 @@ def collect_cycle_statistics(
     the split :func:`unavailability_importance_sampling` has always used;
     that function is now a thin wrapper over this one.  Independent
     batches combine via :meth:`CycleStatistics.merge`.
+
+    ``method`` selects the lockstep-batched numpy kernels (``"batched"``,
+    the default) or the reference per-jump loop (``"scalar"``).
     """
+    if method not in ("batched", "scalar"):
+        raise ValueError(f"unknown method {method!r}; choose batched or scalar")
     if not 0.0 < bias < 1.0:
         raise ValueError(f"bias must lie in (0, 1), got {bias}")
     if n_cycles < 2:
@@ -198,24 +275,34 @@ def collect_cycle_statistics(
     failed = chain.index_of(failed_state)
     if failed == regen:
         raise ValueError("failed state cannot anchor the regeneration cycles")
-    rows = _Rows(chain, repair_threshold)
+    rows = _Rows(chain, repair_threshold, bias)
 
-    # --- denominator: E[cycle length], plain simulation -------------------
     n_plain = n_cycles // 2
-    lengths = np.empty(n_plain)
-    for c in range(n_plain):
-        lengths[c] = _plain_cycle_length(rows, regen, rng, max_jumps_per_cycle)
-
-    # --- numerator: E[downtime per cycle], biased + reweighted -------------
     n_biased = n_cycles - n_plain
-    downtimes = np.empty(n_biased)
-    hits = 0
-    for c in range(n_biased):
-        downtime, hit = _biased_cycle_downtime(
-            rows, regen, failed, bias, rng, max_jumps_per_cycle
+    if method == "batched":
+        # denominator: E[cycle length]; numerator: E[weighted downtime].
+        lengths = _plain_cycle_lengths_batch(
+            rows, regen, n_plain, rng, max_jumps_per_cycle
         )
-        downtimes[c] = downtime
-        hits += hit
+        downtimes, hit_flags = _biased_cycle_downtimes_batch(
+            rows, regen, failed, n_biased, rng, max_jumps_per_cycle
+        )
+        hits = int(np.count_nonzero(hit_flags))
+    else:
+        # --- denominator: E[cycle length], plain simulation ---------------
+        lengths = np.empty(n_plain)
+        for c in range(n_plain):
+            lengths[c] = _plain_cycle_length(rows, regen, rng, max_jumps_per_cycle)
+
+        # --- numerator: E[downtime per cycle], biased + reweighted ---------
+        downtimes = np.empty(n_biased)
+        hits = 0
+        for c in range(n_biased):
+            downtime, hit = _biased_cycle_downtime(
+                rows, regen, failed, rng, max_jumps_per_cycle
+            )
+            downtimes[c] = downtime
+            hits += hit
 
     if _metrics.REGISTRY is not None:
         reg = _metrics.REGISTRY
@@ -297,7 +384,6 @@ def _biased_cycle_downtime(
     rows: _Rows,
     regen: int,
     failed: int,
-    bias: float,
     rng: np.random.Generator,
     max_jumps: int,
 ) -> tuple[float, int]:
@@ -312,17 +398,7 @@ def _biased_cycle_downtime(
             downtime += dwell
             hit = 1
         probs = rows.probs[i]
-        repair_mask = rows.is_repair[i]
-        n_fail = int((~repair_mask).sum())
-        if 0 < n_fail < probs.size:
-            # Balanced failure biasing: failures share `bias` evenly,
-            # repairs share the rest proportionally.
-            biased = np.empty_like(probs)
-            biased[~repair_mask] = bias / n_fail
-            repair_total = probs[repair_mask].sum()
-            biased[repair_mask] = (1.0 - bias) * probs[repair_mask] / repair_total
-        else:
-            biased = probs
+        biased = rows.biased[i]
         cp = np.cumsum(biased)
         k = int(np.searchsorted(cp, rng.random(), side="right"))
         k = min(k, probs.size - 1)
@@ -330,4 +406,75 @@ def _biased_cycle_downtime(
         i = int(rows.targets[i][k])
         if i == regen:
             return downtime * weight, hit
+    raise RuntimeError("biased cycle did not regenerate within max_jumps")
+
+
+def _plain_cycle_lengths_batch(
+    rows: _Rows, regen: int, n: int, rng: np.random.Generator, max_jumps: int
+) -> np.ndarray:
+    """``n`` plain cycle lengths, all cycles advanced in lockstep.
+
+    Each loop iteration performs exactly one jump for every still-active
+    cycle: draw the batch of sojourn times, pick the batch of jump
+    targets against the padded cumulative distributions, retire the
+    cycles that returned to the regeneration anchor.
+    """
+    lengths = np.zeros(n)
+    state = np.full(n, regen, dtype=np.int64)
+    active = np.arange(n)
+    for _ in range(max_jumps):
+        if active.size == 0:
+            return lengths
+        s = state[active]
+        lengths[active] += rng.standard_exponential(active.size) / rows.exit[s]
+        u = rng.random(active.size)
+        k = (rows.plain_cum[s] <= u[:, np.newaxis]).sum(axis=1)
+        k = np.minimum(k, rows.last_slot[s])
+        nxt = rows.pad_targets[s, k]
+        state[active] = nxt
+        active = active[nxt != regen]
+    if active.size == 0:
+        return lengths
+    raise RuntimeError("cycle did not regenerate within max_jumps")
+
+
+def _biased_cycle_downtimes_batch(
+    rows: _Rows,
+    regen: int,
+    failed: int,
+    n: int,
+    rng: np.random.Generator,
+    max_jumps: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` biased cycles in lockstep: (weighted downtimes, hit flags).
+
+    The likelihood weight of a cycle multiplies the plain/biased
+    probability ratio of *every* jump up to regeneration, exactly as the
+    scalar loop accumulates it; the downtime sum picks up the sojourn
+    times spent in the failed state along the way.
+    """
+    downtime = np.zeros(n)
+    weight = np.ones(n)
+    hit = np.zeros(n, dtype=bool)
+    state = np.full(n, regen, dtype=np.int64)
+    active = np.arange(n)
+    for _ in range(max_jumps):
+        if active.size == 0:
+            return downtime * weight, hit
+        s = state[active]
+        dwell = rng.standard_exponential(active.size) / rows.exit[s]
+        in_failed = s == failed
+        if in_failed.any():
+            idx = active[in_failed]
+            downtime[idx] += dwell[in_failed]
+            hit[idx] = True
+        u = rng.random(active.size)
+        k = (rows.biased_cum[s] <= u[:, np.newaxis]).sum(axis=1)
+        k = np.minimum(k, rows.last_slot[s])
+        weight[active] *= rows.ratio[s, k]
+        nxt = rows.pad_targets[s, k]
+        state[active] = nxt
+        active = active[nxt != regen]
+    if active.size == 0:
+        return downtime * weight, hit
     raise RuntimeError("biased cycle did not regenerate within max_jumps")

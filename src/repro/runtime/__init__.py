@@ -19,7 +19,11 @@ without touching their semantics:
   and the code version;
 * :mod:`~repro.runtime.timing` -- wall-time / throughput instrumentation
   surfaced through ``repro.analysis.report`` and the ``bench`` CLI
-  subcommand.
+  subcommand;
+* :mod:`~repro.runtime.throughput` -- the hot-path throughput benchmark
+  suite behind ``bench --suite throughput`` and the perf-regression gate
+  that compares it against the committed
+  ``benchmarks/BASELINE_throughput.json``.
 
 See ``docs/performance.md`` for the worker model, the determinism
 guarantee and benchmarking instructions.
@@ -36,9 +40,23 @@ from repro.runtime.sweeps import (
     parallel_performance_sweep,
     parallel_reliability_sweep,
 )
+from repro.runtime.throughput import (
+    DEFAULT_BASELINE_PATH,
+    DEFAULT_THRESHOLD,
+    canonical_throughput_payload,
+    compare_to_baseline,
+    make_baseline,
+    run_throughput_suite,
+)
 from repro.runtime.timing import RuntimeMetrics, StageTiming, Stopwatch
 
 __all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_THRESHOLD",
+    "canonical_throughput_payload",
+    "compare_to_baseline",
+    "make_baseline",
+    "run_throughput_suite",
     "ResultCache",
     "stable_hash",
     "effective_jobs",

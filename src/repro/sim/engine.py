@@ -102,12 +102,16 @@ class Engine:
             raise SimulationError("engine is already running (re-entrant run call)")
         self._running = True
         fired = 0
+        # Hot loop: bind the heap and heappop locally; at throughput-suite
+        # event rates the repeated attribute lookups are measurable.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                ev = self._queue[0]
+            while queue:
+                ev = queue[0]
                 if until is not None and ev.time > until:
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
                 if ev.cancelled:
                     if _trace.TRACER is not None:
                         _trace.TRACER.emit(

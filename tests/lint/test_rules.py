@@ -1,4 +1,4 @@
-"""One known-bad and one known-good fixture per rule (DRA101-DRA301)."""
+"""One known-bad and one known-good fixture per rule (DRA101-DRA401)."""
 
 from __future__ import annotations
 
@@ -11,6 +11,7 @@ class TestRegistry:
         assert all_codes() == [
             "DRA101", "DRA102", "DRA103", "DRA104",
             "DRA105", "DRA201", "DRA202", "DRA301",
+            "DRA401",
         ]
 
     def test_rules_carry_names_and_summaries(self):
@@ -267,6 +268,54 @@ class TestDRA301TestTolerances:
         # the rule polices tests; library float guards are a design choice
         src = "def clamp(a, b):\n    return abs(a - b) < 1e-9\n"
         assert lint_codes("src/repro/core/x.py", src) == []
+
+
+class TestDRA401CliHelp:
+    def test_flag_without_help_flagged(self, lint_codes):
+        src = (
+            "import argparse\n"
+            "p = argparse.ArgumentParser()\n"
+            "p.add_argument('--seed', type=int, default=0)\n"
+        )
+        assert lint_codes("src/repro/cli.py", src) == ["DRA401"]
+
+    def test_subcommand_without_help_flagged(self, lint_codes):
+        src = (
+            "import argparse\n"
+            "sub = argparse.ArgumentParser().add_subparsers()\n"
+            "p = sub.add_parser('bench')\n"
+        )
+        assert lint_codes("src/repro/cli.py", src) == ["DRA401"]
+
+    def test_flag_with_help_ok(self, lint_codes):
+        src = (
+            "import argparse\n"
+            "p = argparse.ArgumentParser()\n"
+            "p.add_argument('--seed', type=int, default=0, help='root seed')\n"
+        )
+        assert lint_codes("src/repro/cli.py", src) == []
+
+    def test_positional_with_help_ok(self, lint_codes):
+        src = (
+            "import argparse\n"
+            "p = argparse.ArgumentParser()\n"
+            "p.add_argument('paths', nargs='*', help='files to scan')\n"
+        )
+        assert lint_codes("src/repro/cli.py", src) == []
+
+    def test_non_literal_first_arg_out_of_scope(self, lint_codes):
+        # only string-literal registrations are checked; anything else is
+        # not how real CLI surface is declared
+        src = "def reg(p, name):\n    p.add_argument(name)\n"
+        assert lint_codes("src/repro/cli.py", src) == []
+
+    def test_test_code_out_of_scope(self, lint_codes):
+        src = (
+            "import argparse\n"
+            "p = argparse.ArgumentParser()\n"
+            "p.add_argument('--x')\n"
+        )
+        assert lint_codes("tests/test_x.py", src) == []
 
 
 class TestDRA002ParseError:

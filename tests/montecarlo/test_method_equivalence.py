@@ -1,0 +1,120 @@
+"""The batched/scalar method contract (docs/performance.md).
+
+Every vectorized Monte Carlo kernel keeps its original scalar loop as a
+``method="scalar"`` reference.  The contract, over a seed matrix:
+
+* ``lifetime``: both methods draw the *same* numpy batches and evaluate
+  an exact max/min structure function, so they are **bit-identical**;
+* ``importance`` / ``ctmc_mc``: the batched kernels consume the RNG
+  stream in a different order, so results are not bit-identical -- each
+  method must independently agree with the analytic solvers within its
+  own confidence interval, and each method must be a deterministic
+  function of its seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DRAConfig, RepairPolicy, dra_availability
+from repro.core.availability import build_dra_availability_chain
+from repro.core.states import Failed
+from repro.markov import transient_distribution
+from repro.montecarlo import (
+    collect_cycle_statistics,
+    empirical_state_probabilities,
+    result_from_statistics,
+    sample_lc_failure_times,
+    unavailability_importance_sampling,
+)
+from repro.validate import assert_mc_fraction_consistent
+
+SEED_MATRIX = [0, 1, 12345]
+
+
+class TestLifetimeBitIdentity:
+    @pytest.mark.parametrize("seed", SEED_MATRIX)
+    def test_scalar_reproduces_vectorized_bitwise(self, seed):
+        cfg = DRAConfig(n=9, m=4)
+        vec = sample_lc_failure_times(cfg, 500, np.random.default_rng(seed))
+        sc = sample_lc_failure_times(
+            cfg, 500, np.random.default_rng(seed), method="scalar"
+        )
+        assert np.array_equal(vec, sc)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            sample_lc_failure_times(
+                DRAConfig(n=3, m=2), 10, np.random.default_rng(0), method="mystery"
+            )
+
+
+class TestImportanceSamplingMethods:
+    @pytest.mark.parametrize("seed", SEED_MATRIX)
+    @pytest.mark.parametrize("method", ["batched", "scalar"])
+    def test_each_method_consistent_with_exact(self, seed, method):
+        rp = RepairPolicy.three_hours()
+        cfg = DRAConfig(n=3, m=2)
+        chain = build_dra_availability_chain(cfg, rp)
+        exact = 1.0 - dra_availability(cfg, rp).availability
+        res = unavailability_importance_sampling(
+            chain, Failed, 8_000, np.random.default_rng(seed), method=method
+        )
+        assert res.consistent_with(exact, z=6.0)
+        assert res.hit_fraction > 0.05
+
+    @pytest.mark.parametrize("method", ["batched", "scalar"])
+    def test_method_is_deterministic_in_seed(self, method):
+        chain = build_dra_availability_chain(
+            DRAConfig(n=3, m=2), RepairPolicy.three_hours()
+        )
+        runs = [
+            collect_cycle_statistics(
+                chain, Failed, 1_000, np.random.default_rng(7), method=method
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        assert result_from_statistics(runs[0]) == result_from_statistics(runs[1])
+
+    def test_unknown_method_rejected(self, two_state_chain, rng):
+        with pytest.raises(ValueError, match="method"):
+            collect_cycle_statistics(
+                two_state_chain, "down", 100, rng, method="mystery"
+            )
+
+
+class TestTrajectoryMethods:
+    @pytest.mark.parametrize("seed", SEED_MATRIX)
+    @pytest.mark.parametrize("method", ["batched", "scalar"])
+    def test_each_method_consistent_with_solver(
+        self, seed, method, two_state_chain
+    ):
+        times = np.array([0.5, 2.0, 10.0])
+        n = 2_000
+        emp = empirical_state_probabilities(
+            two_state_chain, times, n, np.random.default_rng(seed), method=method
+        )
+        exact = transient_distribution(two_state_chain, times)
+        for i, t in enumerate(times):
+            for s in range(exact.shape[1]):
+                assert_mc_fraction_consistent(
+                    int(round(emp[i, s] * n)), n, float(exact[i, s]),
+                    z=5.0, label=f"{method} state {s} at t={t}",
+                )
+
+    @pytest.mark.parametrize("method", ["batched", "scalar"])
+    def test_method_is_deterministic_in_seed(self, method, two_state_chain):
+        times = np.array([1.0, 4.0])
+        runs = [
+            empirical_state_probabilities(
+                two_state_chain, times, 500, np.random.default_rng(3), method=method
+            )
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_unknown_method_rejected(self, two_state_chain, rng):
+        with pytest.raises(ValueError, match="method"):
+            empirical_state_probabilities(
+                two_state_chain, np.array([1.0]), 10, rng, method="mystery"
+            )
