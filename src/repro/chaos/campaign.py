@@ -152,7 +152,9 @@ def run_schedule(cfg: CampaignConfig, idx: int) -> dict:
         ],
     }
     if violations:
-        summary["trace_window"] = _trace_window(cfg, idx)
+        window, incidents = _violation_artifacts(cfg, idx)
+        summary["trace_window"] = window
+        summary["incident_report"] = incidents
     return summary
 
 
@@ -163,9 +165,17 @@ def _mean_detection_latency(detector) -> float | None:
     return float(sum(latencies) / len(latencies))
 
 
-def _trace_window(cfg: CampaignConfig, idx: int) -> list[dict]:
-    """Re-run a violating schedule under an in-memory tracer; return the
-    tail of its event stream as context for the violation report."""
+def _violation_artifacts(cfg: CampaignConfig, idx: int) -> tuple[list[dict], dict]:
+    """Re-run a violating schedule under an in-memory tracer.
+
+    Returns the tail of its event stream (context for the violation
+    report) plus the ``repro-incidents v1`` report folded from the
+    *full* replayed trace -- the causal timeline of every fault the
+    schedule injected, so a violation ships with its incident analysis
+    attached.
+    """
+    from repro.obs.spans import SpanBuilder, build_incident_report
+
     tracer = _trace.Tracer(path=None)
     prev = _trace.TRACER
     _trace.set_tracer(tracer)
@@ -174,10 +184,22 @@ def _trace_window(cfg: CampaignConfig, idx: int) -> list[dict]:
         _replay_for_trace(cfg, idx)
     finally:
         _trace.set_tracer(prev)
-    return [
+    window = [
         {"seq": ev.seq, "t": ev.t, "kind": ev.kind, "data": ev.data}
         for ev in tracer.events[-cfg.trace_events :]
     ]
+    spans = SpanBuilder().feed_all(tracer.events).spans()
+    incidents = build_incident_report(
+        spans, source=f"schedule[{idx}] seed={cfg.schedule_seed(idx)}"
+    )
+    return window, incidents
+
+
+def _trace_window(cfg: CampaignConfig, idx: int) -> list[dict]:
+    """Re-run a violating schedule under an in-memory tracer; return the
+    tail of its event stream as context for the violation report."""
+    window, _incidents = _violation_artifacts(cfg, idx)
+    return window
 
 
 def _replay_for_trace(cfg: CampaignConfig, idx: int) -> None:

@@ -73,6 +73,19 @@ class DetectionConfig:
             raise ValueError("heartbeat_period_s must be >= 0")
 
 
+def _encode_status(kind: ComponentKind, fault_id: int | None) -> str:
+    """Encode one HB ``fault_status`` entry (``sru`` or ``sru#7``)."""
+    if fault_id is None:
+        return kind.value
+    return f"{kind.value}#{fault_id}"
+
+
+def _decode_status(entry: str) -> tuple[ComponentKind, int | None]:
+    """Decode an HB ``fault_status`` entry back into (kind, fault_id)."""
+    value, sep, fid = entry.partition("#")
+    return ComponentKind(value), int(fid) if sep else None
+
+
 @dataclass(frozen=True)
 class DetectionEvent:
     """One entry of the detector's log.
@@ -102,7 +115,10 @@ class LocalFaultView:
     def __init__(self, owner_lc: int, faults: "FaultMap") -> None:
         self.owner_lc = owner_lc
         self._faults = faults
-        self._believed: dict[int, set[ComponentKind]] = {}
+        #: believed fault kind -> correlation id of the activation that
+        #: taught it (``None`` when learned without an id, e.g. a legacy
+        #: ``learn`` call or an HB from an uncorrelated belief).
+        self._believed: dict[int, dict[ComponentKind, int | None]] = {}
 
     @property
     def eib_healthy(self) -> bool:
@@ -111,12 +127,21 @@ class LocalFaultView:
 
     # -- writes (detector only) -------------------------------------------
 
-    def learn(self, lc_id: int, kind: ComponentKind) -> bool:
-        """Believe ``kind`` failed at ``lc_id``; True if this is news."""
-        kinds = self._believed.setdefault(lc_id, set())
+    def learn(
+        self, lc_id: int, kind: ComponentKind, fault_id: int | None = None
+    ) -> bool:
+        """Believe ``kind`` failed at ``lc_id``; True if this is news.
+
+        An already-believed kind silently adopts the newer correlation id
+        (a flap's next activation re-taught over a stale belief) without
+        counting as news, so log/notification behavior is unchanged.
+        """
+        kinds = self._believed.setdefault(lc_id, {})
         if kind in kinds:
+            if fault_id is not None:
+                kinds[kind] = fault_id
             return False
-        kinds.add(kind)
+        kinds[kind] = fault_id
         return True
 
     def forget(self, lc_id: int, kind: ComponentKind) -> bool:
@@ -124,31 +149,52 @@ class LocalFaultView:
         kinds = self._believed.get(lc_id)
         if kinds is None or kind not in kinds:
             return False
-        kinds.discard(kind)
+        del kinds[kind]
         if not kinds:
             del self._believed[lc_id]
         return True
 
-    def reconcile(self, lc_id: int, kinds: set[ComponentKind]) -> bool:
-        """Replace the believed set for ``lc_id`` (heartbeat); True on change."""
-        current = self._believed.get(lc_id, set())
-        if current == kinds:
-            return False
-        if kinds:
-            self._believed[lc_id] = set(kinds)
+    def reconcile(
+        self,
+        lc_id: int,
+        kinds: "set[ComponentKind] | dict[ComponentKind, int | None]",
+    ) -> bool:
+        """Replace the believed set for ``lc_id`` (heartbeat); True on change.
+
+        Accepts a plain set (ids unknown) or a kind -> fault_id mapping;
+        a change of correlation id alone (same kinds) does not count as
+        view change, matching :meth:`learn`'s news semantics.
+        """
+        advertised: dict[ComponentKind, int | None]
+        if isinstance(kinds, dict):
+            advertised = dict(kinds)
+        else:
+            advertised = {k: None for k in kinds}
+        current = self._believed.get(lc_id, {})
+        changed = set(current) != set(advertised)
+        if advertised:
+            merged = {
+                k: (fid if fid is not None else current.get(k))
+                for k, fid in advertised.items()
+            }
+            self._believed[lc_id] = merged
         else:
             self._believed.pop(lc_id, None)
-        return True
+        return changed
 
     # -- FaultMap read API -------------------------------------------------
 
     def failed_at(self, lc_id: int) -> set[ComponentKind]:
         """Believed-failed component kinds at ``lc_id``."""
-        return set(self._believed.get(lc_id, set()))
+        return set(self._believed.get(lc_id, {}))
+
+    def fault_id_of(self, lc_id: int, kind: ComponentKind) -> int | None:
+        """Correlation id attached to a believed fault, if any."""
+        return self._believed.get(lc_id, {}).get(kind)
 
     def is_failed(self, lc_id: int, kind: ComponentKind) -> bool:
         """True when this LC believes the given unit is down."""
-        return kind in self._believed.get(lc_id, set())
+        return kind in self._believed.get(lc_id, {})
 
     def any_failed(self, lc_id: int) -> bool:
         """True when this LC believes any unit of ``lc_id`` is down."""
@@ -167,6 +213,8 @@ class _FaultInstance:
     detectable: bool
     detected: bool = False
     detected_at: float | None = None
+    #: correlation id minted by :meth:`Router.inject_fault`
+    fault_id: int | None = None
 
 
 class FaultDetector:
@@ -214,13 +262,15 @@ class FaultDetector:
 
     # -- router hooks -------------------------------------------------------
 
-    def on_fault(self, lc_id: int, kind: ComponentKind) -> None:
+    def on_fault(
+        self, lc_id: int, kind: ComponentKind, fault_id: int | None = None
+    ) -> None:
         """A component just died (called from ``Router.inject_fault``)."""
         detectable = True
         if self.config.coverage < 1.0:
             detectable = float(self._rng.random()) < self.config.coverage
         self._instances[(lc_id, kind)] = _FaultInstance(
-            onset=self._router.engine.now, detectable=detectable
+            onset=self._router.engine.now, detectable=detectable, fault_id=fault_id
         )
 
     def on_repair(self, lc_id: int, kind: ComponentKind) -> None:
@@ -233,11 +283,20 @@ class FaultDetector:
         self.log.append(DetectionEvent(now, lc_id, lc_id, kind, "local_clear"))
         if _trace.TRACER is not None:
             _trace.TRACER.emit(
-                "detect.local_clear", t=now, lc=lc_id, component=kind.value
+                "detect.local_clear",
+                t=now,
+                lc=lc_id,
+                component=kind.value,
+                fault_id=inst.fault_id,
             )
         self._broadcast(
             lc_id,
-            ControlPacket(kind=ControlKind.FLT_C, init_lc=lc_id, faulty_component=kind),
+            ControlPacket(
+                kind=ControlKind.FLT_C,
+                init_lc=lc_id,
+                faulty_component=kind,
+                fault_id=inst.fault_id,
+            ),
         )
 
     # -- periodic loops -----------------------------------------------------
@@ -259,7 +318,7 @@ class FaultDetector:
                 inst.detected = True
                 inst.detected_at = now
                 self.latencies.append(now - inst.onset)
-                self.views[lc_id].learn(lc_id, kind)
+                self.views[lc_id].learn(lc_id, kind, inst.fault_id)
                 self.log.append(DetectionEvent(now, lc_id, lc_id, kind, "local_detect"))
                 if _trace.TRACER is not None:
                     _trace.TRACER.emit(
@@ -268,11 +327,15 @@ class FaultDetector:
                         lc=lc_id,
                         component=kind.value,
                         latency_s=now - inst.onset,
+                        fault_id=inst.fault_id,
                     )
                 self._broadcast(
                     lc_id,
                     ControlPacket(
-                        kind=ControlKind.FLT_N, init_lc=lc_id, faulty_component=kind
+                        kind=ControlKind.FLT_N,
+                        init_lc=lc_id,
+                        faulty_component=kind,
+                        fault_id=inst.fault_id,
                     ),
                 )
         self._router.engine.schedule_in(
@@ -282,8 +345,12 @@ class FaultDetector:
         )
 
     def _heartbeat(self, lc_id: int) -> None:
+        view = self.views[lc_id]
         status = tuple(
-            sorted(k.value for k in self.views[lc_id].failed_at(lc_id))
+            sorted(
+                _encode_status(kind, view.fault_id_of(lc_id, kind))
+                for kind in view.failed_at(lc_id)
+            )
         )
         self._broadcast(
             lc_id,
@@ -310,18 +377,72 @@ class FaultDetector:
         if cp.kind is ControlKind.FLT_N:
             kind = cp.faulty_component
             assert isinstance(kind, ComponentKind)
-            if view.learn(cp.init_lc, kind):
+            if view.learn(cp.init_lc, kind, cp.fault_id):
                 self.log.append(DetectionEvent(now, me, cp.init_lc, kind, "remote_learn"))
+                if _trace.TRACER is not None:
+                    _trace.TRACER.emit(
+                        "detect.remote_learn",
+                        t=now,
+                        observer=me,
+                        subject=cp.init_lc,
+                        component=kind.value,
+                        fault_id=cp.fault_id,
+                        via="flt_n",
+                    )
         elif cp.kind is ControlKind.FLT_C:
             kind = cp.faulty_component
             assert isinstance(kind, ComponentKind)
+            fault_id = (
+                cp.fault_id
+                if cp.fault_id is not None
+                else view.fault_id_of(cp.init_lc, kind)
+            )
             if view.forget(cp.init_lc, kind):
                 self.log.append(DetectionEvent(now, me, cp.init_lc, kind, "remote_clear"))
+                if _trace.TRACER is not None:
+                    _trace.TRACER.emit(
+                        "detect.remote_clear",
+                        t=now,
+                        observer=me,
+                        subject=cp.init_lc,
+                        component=kind.value,
+                        fault_id=fault_id,
+                        via="flt_c",
+                    )
         elif cp.kind is ControlKind.HB:
             assert cp.fault_status is not None
-            advertised = {ComponentKind(v) for v in cp.fault_status}
+            advertised = dict(_decode_status(v) for v in cp.fault_status)
+            before = {
+                kind: view.fault_id_of(cp.init_lc, kind)
+                for kind in view.failed_at(cp.init_lc)
+            }
             if view.reconcile(cp.init_lc, advertised):
                 self.log.append(DetectionEvent(now, me, cp.init_lc, None, "hb_reconcile"))
+                if _trace.TRACER is not None:
+                    for kind in sorted(
+                        set(advertised) - set(before), key=lambda k: k.value
+                    ):
+                        _trace.TRACER.emit(
+                            "detect.remote_learn",
+                            t=now,
+                            observer=me,
+                            subject=cp.init_lc,
+                            component=kind.value,
+                            fault_id=advertised[kind],
+                            via="hb",
+                        )
+                    for kind in sorted(
+                        set(before) - set(advertised), key=lambda k: k.value
+                    ):
+                        _trace.TRACER.emit(
+                            "detect.remote_clear",
+                            t=now,
+                            observer=me,
+                            subject=cp.init_lc,
+                            component=kind.value,
+                            fault_id=before[kind],
+                            via="hb",
+                        )
 
     # -- summaries ----------------------------------------------------------
 

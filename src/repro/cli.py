@@ -14,6 +14,7 @@ Usage::
     python -m repro chaos [--seeds 32] [--seed 0] [--jobs N] [--json-out FILE]
     python -m repro report [--jobs N] [--cache]
     python -m repro trace FILE [--kind PREFIX] [--limit N] [--json] [--strict]
+    python -m repro incidents FILE [FILE ...] [--json-out PATH] [--jobs N]
     python -m repro lint [PATHS ...] [--select CODES] [--ignore CODES]
                          [--format text|json] [--jobs N]
 
@@ -37,8 +38,15 @@ solver wall times), writes ``BENCH_throughput.json`` and -- when
 record a JSONL event trace (``docs/observability.md``); ``trace``
 summarizes, filters and schema-checks such a file (``--strict`` also
 rejects event kinds missing from the ``repro.obs.schema`` registry).
+``incidents`` folds a trace into per-fault incident spans -- the causal
+timeline injection -> detection -> notification -> coverage -> repair ->
+re-convergence, correlated by the ``fault_id`` minted at injection --
+and prints the timeline plus recovery-latency distributions (JSON report
+via ``--json-out``, byte-identical for any ``--jobs``).
 ``lint`` runs the AST invariant linter of ``docs/static-analysis.md``
-over the tree and exits nonzero on any finding.  See ``docs/cli.md``
+over the tree and exits nonzero on any finding.  ``--metrics-out FILE``
+on any trace-capable subcommand exports the run's metrics registry in
+Prometheus text format.  See ``docs/cli.md``
 and ``docs/performance.md``.
 """
 
@@ -438,16 +446,33 @@ def _bench_scaling(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    """Summarize, filter and schema-check a ``--trace`` JSONL file."""
-    from repro.obs import read_trace
+    """Summarize, filter and schema-check a ``--trace`` JSONL file.
+
+    Streams the file through :func:`repro.obs.iter_trace` in one pass,
+    so memory stays O(distinct kinds + --limit) however large the trace.
+    """
+    from repro.obs import iter_trace
     from repro.obs.schema import unknown_trace_kinds
 
+    all_kinds: set[str] = set()
+    by_kind: Counter[str] = Counter()
+    kept: list = []  # first --limit matching events, for printing
+    t_min = t_max = None
     try:
-        events = read_trace(args.file)
+        for ev in iter_trace(args.file):
+            all_kinds.add(ev.kind)
+            if args.kind and not ev.kind.startswith(args.kind):
+                continue
+            by_kind[ev.kind] += 1
+            if ev.t is not None:
+                t_min = ev.t if t_min is None else min(t_min, ev.t)
+                t_max = ev.t if t_max is None else max(t_max, ev.t)
+            if args.limit and len(kept) < args.limit:
+                kept.append(ev)
     except (OSError, ValueError) as exc:
         print(f"trace error: {exc}", file=sys.stderr)
         return 1
-    unknown = unknown_trace_kinds(ev.kind for ev in events)
+    unknown = unknown_trace_kinds(all_kinds)
     if unknown:
         print(
             f"trace warning: {len(unknown)} kind(s) not in the "
@@ -461,18 +486,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
-    if args.kind:
-        events = [ev for ev in events if ev.kind.startswith(args.kind)]
-    by_kind = Counter(ev.kind for ev in events)
-    stamps = [ev.t for ev in events if ev.t is not None]
-    span = (min(stamps), max(stamps)) if stamps else None
+    n_events = sum(by_kind.values())
+    span = (t_min, t_max) if t_min is not None else None
     if args.json:
         print(
             json.dumps(
                 {
                     "file": args.file,
                     "v": 1,
-                    "events": len(events),
+                    "events": n_events,
                     "kinds": dict(sorted(by_kind.items())),
                     "time_span_s": list(span) if span else None,
                 },
@@ -482,16 +504,121 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         return 0
     if args.limit:
-        for ev in events[: args.limit]:
+        for ev in kept:
             print(ev.to_json())
         print()
-    print(f"{args.file}: {len(events)} events, {len(by_kind)} kinds (schema v1 ok)")
+    print(f"{args.file}: {n_events} events, {len(by_kind)} kinds (schema v1 ok)")
     if span:
         print(f"sim-time span: {span[0]:.6g} s .. {span[1]:.6g} s")
     if by_kind:
         width = max(len(k) for k in by_kind)
         for kind, count in sorted(by_kind.items(), key=lambda kv: (-kv[1], kv[0])):
             print(f"  {kind:<{width}}  {count:>8}")
+    return 0
+
+
+def _fold_trace_file(path: str) -> dict:
+    """Fold one trace file into its incidents report (pool worker).
+
+    A pure function of the file contents -- spans are folded in trace
+    order and the report serializes with sorted keys -- so the output is
+    byte-identical whatever ``--jobs`` grouping dispatched it.
+    """
+    from repro.obs import (
+        SpanBuilder,
+        build_incident_report,
+        build_scorecards,
+        iter_trace,
+    )
+
+    spans = SpanBuilder().feed_all(iter_trace(path)).spans()
+    report = build_incident_report(spans, source=path)
+    report["health"] = build_scorecards(spans)
+    return report
+
+
+def _us(t: float | None) -> str:
+    """Microsecond rendering of an optional timestamp/latency."""
+    return "-" if t is None else f"{t * 1e6:.1f}"
+
+
+def _print_incident_report(report: dict) -> None:
+    """Human-readable timeline + latency + scorecard view of one report."""
+    totals = report["totals"]
+    print(
+        f"{report['source']}: {totals['spans']} incident span(s), "
+        f"{totals['open']} open, {totals['undetected']} undetected"
+    )
+    if totals["spans"]:
+        print(
+            f"  {'fault':>5} {'lc':>4} {'component':<10} {'mode':<12} "
+            f"{'inject':>9} {'detect':>9} {'remote':>9} {'plan':>9} "
+            f"{'cover':>9} {'repair':>9} {'converge':>9}  (us)"
+        )
+    for span in report["spans"]:
+        ph = span["phases"]
+        lc = "eib" if span["lc"] is None else span["lc"]
+        print(
+            f"  {span['fault_id']:>5} {lc:>4} {span['component']:<10} "
+            f"{span['mode']:<12} {_us(ph['injected']):>9} "
+            f"{_us(ph['first_local_detect']):>9} "
+            f"{_us(ph['first_remote_view']):>9} {_us(ph['plan_issued']):>9} "
+            f"{_us(ph['coverage_active']):>9} {_us(ph['repaired']):>9} "
+            f"{_us(ph['views_converged']):>9}"
+        )
+    print("  recovery latencies (us):")
+    for name, dist in report["latencies"].items():
+        if dist["count"] == 0:
+            print(f"    {name:<24} n=0")
+            continue
+        print(
+            f"    {name:<24} n={dist['count']:<4} mean={_us(dist['mean']):>8} "
+            f"p50={_us(dist['p50']):>8} p95={_us(dist['p95']):>8} "
+            f"max={_us(dist['max']):>8}"
+        )
+    health = report.get("health") or {}
+    if health:
+        print(
+            f"  {'lc':>4} {'faults':>7} {'flap_rate':>10} "
+            f"{'mean_detect_us':>15} {'duty_cycle':>11} {'open':>5} "
+            f"{'undet':>6}"
+        )
+        for lc, card in health.items():
+            mean_det = card["mean_detection_latency_s"]
+            print(
+                f"  {lc:>4} {card['faults']:>7} {card['flap_rate']:>10.3f} "
+                f"{_us(mean_det):>15} {card['coverage_duty_cycle']:>11.4f} "
+                f"{card['open']:>5} {card['undetected']:>6}"
+            )
+
+
+def _cmd_incidents(args: argparse.Namespace) -> int:
+    """Fold trace file(s) into per-fault incident spans and report."""
+    from repro.runtime import metered_parallel_map
+
+    try:
+        reports = metered_parallel_map(
+            _fold_trace_file, list(args.files), jobs=args.jobs
+        )
+    except (OSError, ValueError) as exc:
+        print(f"incidents error: {exc}", file=sys.stderr)
+        return 1
+    for report in reports:
+        _print_incident_report(report)
+    if args.json_out:
+        payload: dict
+        if len(reports) == 1:
+            payload = reports[0]
+        else:
+            payload = {
+                "schema": "repro-incidents",
+                "version": 1,
+                "reports": reports,
+            }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
     return 0
 
 
@@ -622,6 +749,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace", metavar="PATH", default=None,
                        help="record a JSONL event trace to PATH "
                             "(see docs/observability.md)")
+        p.add_argument("--metrics-out", dest="metrics_out", metavar="FILE",
+                       default=None,
+                       help="export the run's metrics registry to FILE in "
+                            "Prometheus text format (docs/observability.md)")
 
     p = sub.add_parser("fig6", help="Figure 6 reliability table")
     p.add_argument("--points", help="comma-separated hours")
@@ -787,6 +918,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
+        "incidents",
+        help="fold a --trace file into per-fault incident spans",
+    )
+    p.add_argument("files", nargs="+", metavar="FILE",
+                   help="trace file(s) written by --trace PATH")
+    p.add_argument("--json-out", dest="json_out", default="", metavar="PATH",
+                   help="write the repro-incidents v1 report as JSON "
+                        "(byte-identical for any --jobs)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes folding files in parallel "
+                        "(0 = all cores; default 1 = serial)")
+    add_trace_flag(p)
+    p.set_defaults(func=_cmd_incidents)
+
+    p = sub.add_parser(
         "lint",
         help="AST invariant linter (determinism/observability contracts)",
     )
@@ -811,16 +957,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from contextlib import ExitStack
+
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
-    if trace_path:
-        from repro.obs import tracing
+    metrics_out = getattr(args, "metrics_out", None)
+    registry = None
+    with ExitStack() as stack:
+        if metrics_out:
+            from repro.obs import MetricsRegistry, collecting
 
-        with tracing(trace_path):
-            rc = args.func(args)
+            registry = MetricsRegistry()
+            stack.enter_context(collecting(registry))
+        if trace_path:
+            from repro.obs import tracing
+
+            stack.enter_context(tracing(trace_path))
+        rc = args.func(args)
+    if trace_path:
         print(f"wrote trace {trace_path}", file=sys.stderr)
-        return rc
-    return args.func(args)
+    if registry is not None:
+        from repro.obs import write_prometheus
+
+        write_prometheus(registry, metrics_out)
+        print(f"wrote metrics {metrics_out}", file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

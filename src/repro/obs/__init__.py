@@ -17,6 +17,12 @@ Three cooperating layers, all **zero-overhead when disabled**:
   kind and metric name, consumed by the ``trace --strict`` CLI guard,
   the ``repro.lint`` DRA2xx rules and the docs catalogue.
 
+On top of those sit the causal-analysis layers: :mod:`~repro.obs.spans`
+folds a trace into per-fault :class:`IncidentSpan` timelines (the
+``incidents`` subcommand's engine), :mod:`~repro.obs.health` derives
+per-LC health scorecards from the spans, and :mod:`~repro.obs.export`
+renders a metrics registry in Prometheus text format (``--metrics-out``).
+
 Enable tracing from the CLI with ``--trace PATH`` on any subcommand and
 inspect the result with ``python -m repro trace PATH``; see
 ``docs/observability.md`` for the event catalogue and the overhead
@@ -48,10 +54,20 @@ from repro.obs.trace import (
     TraceEvent,
     Tracer,
     get_tracer,
+    iter_trace,
     read_trace,
     set_tracer,
     tracing,
 )
+from repro.obs.spans import (
+    INCIDENTS_SCHEMA_VERSION,
+    PHASES,
+    IncidentSpan,
+    SpanBuilder,
+    build_incident_report,
+)
+from repro.obs.health import build_scorecards
+from repro.obs.export import render_prometheus, write_prometheus
 
 __all__ = [
     "TRACE_EVENT_KINDS",
@@ -67,7 +83,16 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "tracing",
+    "iter_trace",
     "read_trace",
+    "INCIDENTS_SCHEMA_VERSION",
+    "PHASES",
+    "IncidentSpan",
+    "SpanBuilder",
+    "build_incident_report",
+    "build_scorecards",
+    "render_prometheus",
+    "write_prometheus",
     "METRICS_SCHEMA_VERSION",
     "CounterMetric",
     "GaugeMetric",

@@ -1,0 +1,104 @@
+"""Prometheus text-format export of a metrics registry.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot in the
+Prometheus exposition format (text version 0.0.4) so a run's metrics can
+be dropped into any Prometheus-compatible toolchain (promtool, Grafana
+dashboards, CI artifact diffing).  Wired to the CLI as ``--metrics-out
+FILE`` on every trace-capable subcommand.
+
+Mapping rules:
+
+* metric names are prefixed ``repro_`` and dots become underscores
+  (``bus.ctl.sent`` -> ``repro_bus_ctl_sent``);
+* counters render as ``counter``, gauges as ``gauge`` (the last
+  observed value, with the min/max envelope as ``_min``/``_max``
+  gauges);
+* histograms render in the native Prometheus histogram convention:
+  cumulative ``_bucket{le="..."}`` series per bound (plus ``+Inf``),
+  ``_sum`` and ``_count``;
+* ``# HELP`` text comes from the central schema registry
+  (:mod:`repro.obs.schema`) when the name is registered there.
+
+Output is deterministic: metrics sort by name, buckets by bound, and
+floats render via ``repr`` -- equal registries produce byte-identical
+files.
+"""
+
+from __future__ import annotations
+
+from repro.obs import schema as _schema
+from repro.obs.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+)
+
+__all__ = ["render_prometheus", "write_prometheus"]
+
+
+def _prom_name(name: str) -> str:
+    """Prometheus-safe series name for a registry metric name."""
+    return "repro_" + "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def _prom_value(value: float) -> str:
+    """Render one sample value (integers without a trailing ``.0``)."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _help_text(name: str) -> str | None:
+    """Schema description for ``name``, exact or family-prefixed."""
+    desc = _schema.METRIC_NAMES.get(name)
+    if desc is not None:
+        return desc
+    family = _schema.metric_family(name)
+    if family is not None:
+        return f"member of the {family}* metric family"
+    return None
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name in registry.names():
+        metric = registry._metrics[name]
+        prom = _prom_name(name)
+        help_text = _help_text(name)
+        if help_text is not None:
+            lines.append(f"# HELP {prom} {help_text}")
+        if isinstance(metric, CounterMetric):
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_prom_value(metric.value)}")
+        elif isinstance(metric, GaugeMetric):
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_value(metric.last)}")
+            if metric.updates:
+                lines.append(f"{prom}_min {_prom_value(metric.min_value)}")
+                lines.append(f"{prom}_max {_prom_value(metric.max_value)}")
+        elif isinstance(metric, HistogramMetric):
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cumulative += count
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{prom}_sum {_prom_value(metric.total)}")
+            lines.append(f"{prom}_count {metric.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    """Write the registry to ``path`` in Prometheus text format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_prometheus(registry))

@@ -1,0 +1,107 @@
+"""Per-LC health scorecards derived from incident spans.
+
+The paper's dependability argument is per-linecard: each LC fails, is
+detected, covered by its neighbours and repaired independently, so the
+operator-facing question after a chaos campaign is "which LC is the sick
+one, and how well did the architecture absorb it?".  A scorecard folds
+one LC's incident spans into that answer:
+
+* fault activations, split by fault mode (a flapping intermittent unit
+  shows up as many activations, which is exactly the signal);
+* ``flap_rate`` -- the fraction of activations that were intermittent
+  flaps, the restlessness indicator;
+* mean self-test detection latency over the detected activations;
+* ``coverage_duty_cycle`` -- the fraction of the observed trace window
+  this LC spent with an active coverage stream standing in for one of
+  its units (high duty cycle = the LC leans on its neighbours);
+* open (unrepaired at trace end) and undetected (coverage draw below
+  ``c``) activation counts.
+
+When a metrics registry is active, each scorecard field is also set on
+a ``health.lc.<id>.<field>`` gauge (a registered dynamic metric family)
+so exporters pick the scorecards up alongside the incident histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs import metrics as _metrics
+from repro.obs.spans import IncidentSpan
+
+__all__ = ["build_scorecards"]
+
+
+def _lc_key(span: IncidentSpan) -> str:
+    """Scorecard key of a span ("0", "1", ... or "eib")."""
+    return "eib" if span.lc is None else str(span.lc)
+
+
+def build_scorecards(spans: list[IncidentSpan]) -> dict[str, dict[str, Any]]:
+    """Fold spans into per-LC scorecards (key = LC id string or "eib").
+
+    A pure function of the span set; keys and nested dictionaries are
+    emitted in sorted order so serialized scorecards are deterministic.
+    """
+    # The observed window spans the first injection to the last known
+    # phase timestamp; duty cycles are fractions of this window.
+    stamps = [
+        t for s in spans for t in s.phase_times().values() if t is not None
+    ]
+    window_start = min(stamps) if stamps else 0.0
+    window_end = max(stamps) if stamps else 0.0
+    window = window_end - window_start
+
+    groups: dict[str, list[IncidentSpan]] = {}
+    for span in spans:
+        groups.setdefault(_lc_key(span), []).append(span)
+
+    cards: dict[str, dict[str, Any]] = {}
+    for key in sorted(groups, key=lambda k: (k == "eib", k.zfill(8))):
+        members = groups[key]
+        by_mode: dict[str, int] = {}
+        for span in members:
+            by_mode[span.mode] = by_mode.get(span.mode, 0) + 1
+        flaps = by_mode.get("intermittent", 0)
+        detection = [
+            s.detection_latency_s
+            for s in members
+            if s.detection_latency_s is not None
+        ]
+        covered = 0.0
+        for span in members:
+            if span.coverage_active is None:
+                continue
+            until = span.repaired if span.repaired is not None else window_end
+            covered += max(0.0, until - span.coverage_active)
+        cards[key] = {
+            "faults": len(members),
+            "by_mode": dict(sorted(by_mode.items())),
+            "flap_rate": flaps / len(members),
+            "mean_detection_latency_s": (
+                sum(detection) / len(detection) if detection else None
+            ),
+            "coverage_duty_cycle": (
+                min(1.0, covered / window) if window > 0.0 else 0.0
+            ),
+            "open": sum(1 for s in members if s.open),
+            "undetected": sum(1 for s in members if not s.detected),
+        }
+
+    reg = _metrics.REGISTRY
+    if reg is not None:
+        for key, card in cards.items():
+            reg.gauge(f"health.lc.{key}.faults").set(float(card["faults"]))
+            reg.gauge(f"health.lc.{key}.flap_rate").set(card["flap_rate"])
+            if card["mean_detection_latency_s"] is not None:
+                reg.gauge(f"health.lc.{key}.mean_detection_latency_s").set(
+                    card["mean_detection_latency_s"]
+                )
+            reg.gauge(f"health.lc.{key}.coverage_duty_cycle").set(
+                card["coverage_duty_cycle"]
+            )
+            reg.gauge(f"health.lc.{key}.open_faults").set(float(card["open"]))
+            reg.gauge(f"health.lc.{key}.undetected_faults").set(
+                float(card["undetected"])
+            )
+    return cards

@@ -132,6 +132,40 @@ class HistogramMetric:
         """Mean of observed samples (0.0 before any sample)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile from the bucket counts.
+
+        Deterministic linear interpolation inside the covering bucket,
+        with the observed ``min``/``max`` closing the open-ended first
+        and overflow buckets -- exact at the extremes, bucket-resolution
+        accurate in between.  ``None`` before any sample.  Derived from
+        the same sufficient statistics that merge exactly, so the
+        estimate is identical whatever ``--jobs`` grouping produced the
+        histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            below = cum
+            cum += c
+            if cum >= target:
+                lo = self.min_value if i == 0 else max(self.bounds[i - 1], self.min_value)
+                hi = (
+                    self.max_value
+                    if i == len(self.bounds)
+                    else min(self.bounds[i], self.max_value)
+                )
+                if hi <= lo:
+                    return lo
+                return lo + (hi - lo) * ((target - below) / c)
+        return self.max_value
+
     def merge(self, other: "HistogramMetric") -> None:
         if other.bounds != self.bounds:
             raise ValueError(
@@ -145,6 +179,9 @@ class HistogramMetric:
         self.max_value = max(self.max_value, other.max_value)
 
     def snapshot(self) -> dict[str, Any]:
+        # p50/p95/p99 are *derived* keys: merge_snapshot ignores them and
+        # reconstructs from the sufficient statistics, so adding them
+        # keeps cross-worker reduction exact.
         return {
             "type": "histogram",
             "bounds": list(self.bounds),
@@ -153,6 +190,9 @@ class HistogramMetric:
             "count": self.count,
             "min": self.min_value,
             "max": self.max_value,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -270,6 +310,12 @@ class MetricsRegistry:
                 shown = f"{m.value:,.0f}" if m.value == int(m.value) else f"{m.value:,.3f}"
             elif isinstance(m, GaugeMetric):
                 shown = f"{m.last:.6g} [{m.min_value:.6g}, {m.max_value:.6g}]"
+            elif m.count:
+                p50, p95, p99 = (m.quantile(q) for q in (0.50, 0.95, 0.99))
+                shown = (
+                    f"n={m.count} mean={m.mean:.4g} "
+                    f"p50={p50:.3g} p95={p95:.3g} p99={p99:.3g}"
+                )
             else:
                 shown = f"n={m.count} mean={m.mean:.6g}"
             lines.append(f"{name:<44} {type(m).__name__[:-6].lower():<10} {shown:>20}")

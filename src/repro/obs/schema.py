@@ -64,9 +64,14 @@ TRACE_EVENT_KINDS: Mapping[str, str] = {
     "protocol.stream_failed": "a REQ_D solicitation timed out unanswered",
     # router datapath (src/repro/router/router.py)
     "router.packet_drop": "a packet is terminally dropped by the datapath",
+    # fault lifecycle correlation (src/repro/router/router.py)
+    "fault.injected": "a hardware fault activates (mints its fault_id)",
+    "fault.repaired": "a hardware fault deactivates (repair or auto-clear)",
     # fault detection (src/repro/chaos/detection.py)
     "detect.local_detect": "a self-test detects a local fault",
     "detect.local_clear": "a repaired local fault is cleared from the view",
+    "detect.remote_learn": "an LC's view learns a remote fault (FLT_N or HB)",
+    "detect.remote_clear": "an LC's view clears a remote fault (FLT_C or HB)",
     # solvers (src/repro/markov/, src/repro/montecarlo/) -- t is null
     "solver.uniformization": "uniformization picked its Poisson truncation",
     "solver.stationary": "a stationary solve finished",
@@ -115,6 +120,14 @@ METRIC_NAMES: Mapping[str, str] = {
     "lint.files": "counter: files scanned",
     "lint.findings": "counter: unsuppressed findings",
     "lint.suppressions": "counter: findings silenced by dra: noqa",
+    # causal incident analysis (repro.obs.spans, the `incidents` subcommand)
+    "incident.spans": "counter: incident spans folded out of a trace",
+    "incident.open_spans": "counter: spans never repaired within the trace",
+    "incident.undetected_spans": "counter: spans no self-test ever detected",
+    "incident.detection_latency_s": "histogram: injection to first local detect",
+    "incident.notification_fanout_s": "histogram: local detect to first remote view",
+    "incident.time_to_coverage_s": "histogram: injection to active coverage stream",
+    "incident.mttr_s": "histogram: injection to repair",
 }
 
 #: Dynamic metric families: literal prefix -> known suffixes (``None``
@@ -127,6 +140,8 @@ METRIC_FAMILIES: Mapping[str, tuple[str, ...] | None] = {
     "bus.data.dropped.": ("no_lp", "unhealthy", "buffer_full", "rate_limited"),
     "coverage.plans.": ("case1", "case2", "case3", "dropped"),
     "lint.findings.": None,  # one per DRA rule code
+    # per-LC health scorecards (repro.obs.health): health.lc.<id>.<field>
+    "health.lc.": None,
 }
 
 

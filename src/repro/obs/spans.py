@@ -1,0 +1,349 @@
+"""Causal incident analysis: fold a trace into per-fault incident spans.
+
+Every hardware fault the router injects mints a correlation id
+(``fault_id``) that rides through the whole dependability machinery:
+the injection event, the self-test that detects it locally, the
+FLT_N/FLT_C/HB packets that spread and clear the belief, the coverage
+plans and streams that route around it, and the repair that retires it.
+:class:`SpanBuilder` folds a schema-v1 JSONL trace (streamed, one event
+at a time) into one :class:`IncidentSpan` per fault activation, each
+carrying the causal phase timeline
+
+    injected -> first_local_detect -> first_remote_view
+             -> plan_issued -> coverage_active -> repaired
+             -> views_converged
+
+and the derived recovery latencies the paper's dependability models
+parameterize analytically (detection latency, notification fan-out,
+time-to-coverage, MTTR).  The timeline is a *partial* order: a repair
+can race the FLT_N broadcast, an undetected fault (coverage draw below
+``c``) has only ``injected``/``repaired``, and a fault that outlives the
+trace stays open.
+
+:func:`build_incident_report` renders a span set as the schema-versioned
+``repro-incidents v1`` report consumed by the ``incidents`` CLI
+subcommand and attached to violating chaos schedules -- a pure function
+of the trace contents, so the report is byte-identical whatever
+``--jobs`` fan-out produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs import metrics as _metrics
+from repro.obs.trace import TraceEvent
+
+__all__ = [
+    "INCIDENTS_SCHEMA_VERSION",
+    "PHASES",
+    "IncidentSpan",
+    "SpanBuilder",
+    "build_incident_report",
+]
+
+#: Version stamp of the ``repro-incidents`` report format.
+INCIDENTS_SCHEMA_VERSION = 1
+
+#: Causal phase names, in nominal lifecycle order.
+PHASES: tuple[str, ...] = (
+    "injected",
+    "first_local_detect",
+    "first_remote_view",
+    "plan_issued",
+    "coverage_active",
+    "repaired",
+    "views_converged",
+)
+
+
+@dataclass
+class IncidentSpan:
+    """The causal timeline of one fault activation.
+
+    Phase fields hold simulation timestamps; ``None`` means the phase
+    never happened within the trace (an uncovered fault is never
+    detected, a fault that needed no detour never gets a stream, an
+    unrepaired fault stays open).
+    """
+
+    fault_id: int
+    lc: int | None  # None = EIB passive-line fault
+    component: str
+    mode: str
+    injected: float
+    first_local_detect: float | None = None
+    first_remote_view: float | None = None
+    plan_issued: float | None = None
+    coverage_active: float | None = None
+    repaired: float | None = None
+    views_converged: float | None = None
+    #: LCs whose views learned this fault, sorted.
+    learners: list[int] = field(default_factory=list)
+    #: LCs whose views cleared this fault, sorted.
+    clearers: list[int] = field(default_factory=list)
+
+    # -- derived recovery latencies ----------------------------------------
+
+    @property
+    def detection_latency_s(self) -> float | None:
+        """Injection to first local self-test detection."""
+        if self.first_local_detect is None:
+            return None
+        return self.first_local_detect - self.injected
+
+    @property
+    def notification_fanout_s(self) -> float | None:
+        """First local detection to first remote view update."""
+        if self.first_local_detect is None or self.first_remote_view is None:
+            return None
+        return self.first_remote_view - self.first_local_detect
+
+    @property
+    def time_to_coverage_s(self) -> float | None:
+        """Injection to the first coverage stream established for it."""
+        if self.coverage_active is None:
+            return None
+        return self.coverage_active - self.injected
+
+    @property
+    def mttr_s(self) -> float | None:
+        """Injection to repair (None while the fault is open)."""
+        if self.repaired is None:
+            return None
+        return self.repaired - self.injected
+
+    @property
+    def detected(self) -> bool:
+        """Whether any self-test ever saw this fault."""
+        return self.first_local_detect is not None
+
+    @property
+    def open(self) -> bool:
+        """Whether the fault outlived the trace unrepaired."""
+        return self.repaired is None
+
+    def phase_times(self) -> dict[str, float | None]:
+        """Phase name -> timestamp, in :data:`PHASES` order."""
+        return {p: getattr(self, p) for p in PHASES}
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able canonical form (deterministic key and list order)."""
+        return {
+            "fault_id": self.fault_id,
+            "lc": self.lc,
+            "component": self.component,
+            "mode": self.mode,
+            "phases": self.phase_times(),
+            "latencies": {
+                "detection_latency_s": self.detection_latency_s,
+                "notification_fanout_s": self.notification_fanout_s,
+                "time_to_coverage_s": self.time_to_coverage_s,
+                "mttr_s": self.mttr_s,
+            },
+            "learners": sorted(self.learners),
+            "clearers": sorted(self.clearers),
+            "detected": self.detected,
+            "open": self.open,
+        }
+
+
+class SpanBuilder:
+    """Folds schema-v1 trace events into incident spans.
+
+    Feed events in trace order (``seq``-ascending, as written); call
+    :meth:`spans` at the end.  Events without a ``fault_id`` payload --
+    or with one that never appeared in a ``fault.injected`` event, e.g.
+    a trace windowed after the injection -- are ignored, so the builder
+    can consume a full campaign trace unfiltered.
+    """
+
+    def __init__(self) -> None:
+        self._spans: dict[int, IncidentSpan] = {}
+        #: per-span first learn time per observer LC
+        self._learned: dict[int, dict[int, float]] = {}
+        #: per-span last clear time per observer LC
+        self._cleared: dict[int, dict[int, float]] = {}
+
+    # -- folding -----------------------------------------------------------
+
+    def feed(self, ev: TraceEvent) -> None:
+        """Fold one trace event into the span set."""
+        kind = ev.kind
+        if kind == "fault.injected":
+            fid = ev.data.get("fault_id")
+            if isinstance(fid, int) and fid not in self._spans:
+                self._spans[fid] = IncidentSpan(
+                    fault_id=fid,
+                    lc=ev.data.get("lc"),
+                    component=str(ev.data.get("component")),
+                    mode=str(ev.data.get("mode", "crash")),
+                    injected=ev.t if ev.t is not None else 0.0,
+                )
+            return
+        span = self._span_of(ev)
+        if span is None or ev.t is None:
+            return
+        if kind == "detect.local_detect":
+            if span.first_local_detect is None:
+                span.first_local_detect = ev.t
+        elif kind == "detect.remote_learn":
+            observer = ev.data.get("observer")
+            if span.first_remote_view is None:
+                span.first_remote_view = ev.t
+            if isinstance(observer, int):
+                self._learned.setdefault(span.fault_id, {}).setdefault(observer, ev.t)
+        elif kind == "detect.remote_clear":
+            observer = ev.data.get("observer")
+            if isinstance(observer, int):
+                self._cleared.setdefault(span.fault_id, {})[observer] = ev.t
+        elif kind == "coverage.plan":
+            for fid in ev.data.get("fault_ids") or ():
+                plan_span = self._spans.get(fid)
+                if plan_span is not None and plan_span.plan_issued is None:
+                    plan_span.plan_issued = ev.t
+        elif kind == "protocol.stream_active":
+            if span.coverage_active is None:
+                span.coverage_active = ev.t
+        elif kind == "fault.repaired":
+            if span.repaired is None:
+                span.repaired = ev.t
+
+    def feed_all(self, events: Iterable[TraceEvent]) -> "SpanBuilder":
+        """Fold an event stream; returns self for chaining."""
+        for ev in events:
+            self.feed(ev)
+        return self
+
+    def _span_of(self, ev: TraceEvent) -> IncidentSpan | None:
+        fid = ev.data.get("fault_id")
+        if not isinstance(fid, int):
+            return None
+        return self._spans.get(fid)
+
+    # -- results -----------------------------------------------------------
+
+    def spans(self) -> list[IncidentSpan]:
+        """Finalized spans, sorted by ``fault_id`` (= injection order).
+
+        ``views_converged`` is resolved here: the last belief-clear among
+        the LCs that had learned the fault, once every learner has
+        cleared and the fault is repaired.  A repaired fault nobody ever
+        learned remotely converges at its repair time (the views never
+        diverged); an open fault, or one with a still-stale learner,
+        has ``views_converged = None``.
+        """
+        for fid, span in self._spans.items():
+            learned = self._learned.get(fid, {})
+            cleared = self._cleared.get(fid, {})
+            span.learners = sorted(learned)
+            span.clearers = sorted(cleared)
+            if span.repaired is None:
+                span.views_converged = None
+            elif not learned:
+                span.views_converged = span.repaired
+            elif set(learned) <= set(cleared):
+                span.views_converged = max(
+                    [span.repaired] + [cleared[obs] for obs in learned]
+                )
+            else:
+                span.views_converged = None
+        return [self._spans[fid] for fid in sorted(self._spans)]
+
+
+def _distribution(values: list[float]) -> dict[str, Any]:
+    """Deterministic summary of one latency population."""
+    if not values:
+        return {"count": 0, "mean": None, "min": None, "max": None,
+                "p50": None, "p95": None, "p99": None}
+    ordered = sorted(values)
+
+    def pct(q: float) -> float:
+        # linear interpolation between closest ranks (numpy default)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p50": pct(0.50),
+        "p95": pct(0.95),
+        "p99": pct(0.99),
+    }
+
+
+#: The latency populations summarized in a report (field -> span property).
+_LATENCY_FIELDS: tuple[str, ...] = (
+    "detection_latency_s",
+    "notification_fanout_s",
+    "time_to_coverage_s",
+    "mttr_s",
+)
+
+
+def build_incident_report(
+    spans: list[IncidentSpan], *, source: str | None = None
+) -> dict[str, Any]:
+    """Render spans as a ``repro-incidents v1`` report dictionary.
+
+    A pure function of the span set (itself a pure function of the
+    trace), so serializing with sorted keys yields byte-identical
+    reports for any ``--jobs`` value.  When a metrics registry is
+    active, the ``incident.*`` counters and latency histograms are
+    observed as a side effect so the report generation shows up in
+    ``--metrics-out`` exports.
+    """
+    totals_by_mode: dict[str, int] = {}
+    totals_by_component: dict[str, int] = {}
+    for span in spans:
+        totals_by_mode[span.mode] = totals_by_mode.get(span.mode, 0) + 1
+        totals_by_component[span.component] = (
+            totals_by_component.get(span.component, 0) + 1
+        )
+    latencies = {
+        name: _distribution(
+            [v for s in spans if (v := getattr(s, name)) is not None]
+        )
+        for name in _LATENCY_FIELDS
+    }
+    n_open = sum(1 for s in spans if s.open)
+    n_undetected = sum(1 for s in spans if not s.detected)
+    reg = _metrics.REGISTRY
+    if reg is not None:
+        reg.counter("incident.spans").inc(len(spans))
+        reg.counter("incident.open_spans").inc(n_open)
+        reg.counter("incident.undetected_spans").inc(n_undetected)
+        for span in spans:
+            if span.detection_latency_s is not None:
+                reg.histogram("incident.detection_latency_s").observe(
+                    span.detection_latency_s
+                )
+            if span.notification_fanout_s is not None:
+                reg.histogram("incident.notification_fanout_s").observe(
+                    span.notification_fanout_s
+                )
+            if span.time_to_coverage_s is not None:
+                reg.histogram("incident.time_to_coverage_s").observe(
+                    span.time_to_coverage_s
+                )
+            if span.mttr_s is not None:
+                reg.histogram("incident.mttr_s").observe(span.mttr_s)
+    return {
+        "schema": "repro-incidents",
+        "version": INCIDENTS_SCHEMA_VERSION,
+        "source": source,
+        "totals": {
+            "spans": len(spans),
+            "open": n_open,
+            "undetected": n_undetected,
+            "by_mode": dict(sorted(totals_by_mode.items())),
+            "by_component": dict(sorted(totals_by_component.items())),
+        },
+        "latencies": latencies,
+        "spans": [s.to_dict() for s in spans],
+    }

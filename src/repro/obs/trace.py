@@ -40,6 +40,7 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "tracing",
+    "iter_trace",
     "read_trace",
 ]
 
@@ -199,6 +200,25 @@ def tracing(path_or_tracer: str | Tracer | None = None) -> Iterator[Tracer]:
             tracer.close()
 
 
+def iter_trace(path: str) -> Iterator[TraceEvent]:
+    """Stream and schema-validate a JSONL trace file, one event at a time.
+
+    The streaming counterpart of :func:`read_trace`: memory stays O(1) in
+    trace length, so the ``trace`` and ``incidents`` subcommands can chew
+    through multi-gigabyte campaign traces.  Raises :class:`ValueError`
+    naming the offending line number on any schema violation.
+    """
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield TraceEvent.from_json(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+
+
 def read_trace(path: str) -> list[TraceEvent]:
     """Load and schema-validate a JSONL trace file.
 
@@ -206,14 +226,4 @@ def read_trace(path: str) -> list[TraceEvent]:
     schema violation -- this is what lets ``python -m repro trace`` act
     as a CI schema guard.
     """
-    events: list[TraceEvent] = []
-    with open(path, encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(TraceEvent.from_json(line))
-            except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: {exc}") from exc
-    return events
+    return list(iter_trace(path))

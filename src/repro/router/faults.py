@@ -70,6 +70,10 @@ class FaultEvent:
     kind: ComponentKind | None  # None for EIB passive-line events
     action: str
     mode: str = FaultMode.CRASH.value
+    #: correlation id minted by :meth:`Router.inject_fault` linking this
+    #: log entry to its incident span (None for degrade/ctl episodes,
+    #: which never enter the fault map).
+    fault_id: int | None = None
 
 
 @dataclass(frozen=True)
@@ -276,9 +280,11 @@ class FaultInjector:
         if mode is FaultMode.FAIL_SLOW:
             self._fire_fail_slow(lc_id, kind)
             return
-        self._router.inject_fault(lc_id, kind)
+        fault_id = self._router.inject_fault(lc_id, kind, mode=mode.value)
         self.log.append(
-            FaultEvent(self._router.engine.now, lc_id, kind, "fail", mode.value)
+            FaultEvent(
+                self._router.engine.now, lc_id, kind, "fail", mode.value, fault_id
+            )
         )
         if mode is FaultMode.TRANSIENT:
             assert self._modes is not None
@@ -301,24 +307,26 @@ class FaultInjector:
             )
 
     def _fire_repair(self, lc_id: int, kind: ComponentKind) -> None:
-        self._router.repair_fault(lc_id, kind)
-        self.log.append(FaultEvent(self._router.engine.now, lc_id, kind, "repair"))
+        fault_id = self._router.repair_fault(lc_id, kind)
+        self.log.append(
+            FaultEvent(self._router.engine.now, lc_id, kind, "repair", fault_id=fault_id)
+        )
         self._arm_failure(lc_id, kind)
 
     def _fire_clear(self, lc_id: int, kind: ComponentKind, mode: str) -> None:
         """Auto-recovery of a transient fault (no repair crew)."""
         unit = self._router.linecards[lc_id].unit(kind)
         if unit is not None and not unit.healthy:
-            self._router.repair_fault(lc_id, kind)
+            fault_id = self._router.repair_fault(lc_id, kind)
             self.log.append(
-                FaultEvent(self._router.engine.now, lc_id, kind, "clear", mode)
+                FaultEvent(self._router.engine.now, lc_id, kind, "clear", mode, fault_id)
             )
         self._arm_failure(lc_id, kind)
 
     def _flap_clear(self, lc_id: int, kind: ComponentKind) -> None:
         unit = self._router.linecards[lc_id].unit(kind)
         if unit is not None and not unit.healthy:
-            self._router.repair_fault(lc_id, kind)
+            fault_id = self._router.repair_fault(lc_id, kind)
             self.log.append(
                 FaultEvent(
                     self._router.engine.now,
@@ -326,6 +334,7 @@ class FaultInjector:
                     kind,
                     "clear",
                     FaultMode.INTERMITTENT.value,
+                    fault_id,
                 )
             )
         if self._stopped:
@@ -346,10 +355,17 @@ class FaultInjector:
         if unit is None or not unit.healthy:
             return  # already failed through another path
         assert self._modes is not None
-        self._router.inject_fault(lc_id, kind)
+        fault_id = self._router.inject_fault(
+            lc_id, kind, mode=FaultMode.INTERMITTENT.value
+        )
         self.log.append(
             FaultEvent(
-                self._router.engine.now, lc_id, kind, "fail", FaultMode.INTERMITTENT.value
+                self._router.engine.now,
+                lc_id,
+                kind,
+                "fail",
+                FaultMode.INTERMITTENT.value,
+                fault_id,
             )
         )
         delay = float(self._rng.exponential(self._modes.flap_period_s))
@@ -402,15 +418,19 @@ class FaultInjector:
             return
         if self._router.eib is None or not self._router.eib.healthy:
             return
-        self._router.fail_eib()
-        self.log.append(FaultEvent(self._router.engine.now, None, None, "fail"))
+        fault_id = self._router.fail_eib()
+        self.log.append(
+            FaultEvent(self._router.engine.now, None, None, "fail", fault_id=fault_id)
+        )
         if self._repair_rate is not None:
             delay = float(self._rng.exponential(1.0 / self._repair_rate))
             self._router.engine.schedule_in(delay, self._fire_eib_repair, label="repair:eib")
 
     def _fire_eib_repair(self) -> None:
-        self._router.repair_eib()
-        self.log.append(FaultEvent(self._router.engine.now, None, None, "repair"))
+        fault_id = self._router.repair_eib()
+        self.log.append(
+            FaultEvent(self._router.engine.now, None, None, "repair", fault_id=fault_id)
+        )
         self._arm_eib_failure()
 
     # -- control-plane degradation ------------------------------------------------

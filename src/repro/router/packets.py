@@ -160,10 +160,13 @@ class ControlPacket:
       ``protocol`` (for LC_inter protocol matching), ``faulty_component``
       (drives the packets-vs-cells delivery decision at healthy LCs),
       ``lookup_addr`` / ``lookup_result`` (REQ_L / REP_L payloads),
-      ``lp_id`` (logical-path being created or released), and
+      ``lp_id`` (logical-path being created or released),
       ``fault_status`` (an HB's full advertised local fault set, as
-      component-kind value strings, enabling anti-entropy reconvergence
-      after lost FLT_N/FLT_C packets).
+      component-kind value strings -- optionally suffixed ``#<fault_id>``
+      with the sender's correlation id -- enabling anti-entropy
+      reconvergence after lost FLT_N/FLT_C packets), and ``fault_id``
+      (the correlation id of the fault an FLT_N/FLT_C refers to, minted
+      at injection so incident spans can link detection to its cause).
     """
 
     kind: ControlKind
@@ -176,6 +179,7 @@ class ControlPacket:
     lookup_result: int | None = None
     lp_id: int | None = None
     fault_status: tuple[str, ...] | None = None
+    fault_id: int | None = None
 
     #: Control packets are small and fixed-size; 32 bytes covers the tier
     #: fields plus framing.

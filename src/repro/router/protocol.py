@@ -67,6 +67,8 @@ class CoverageStream:
     protocol: Protocol | None = None
     rec_lc: int | None = None
     sender_is_coverer: bool = False
+    #: correlation id of the fault this stream covers (span analysis)
+    fault_id: int | None = None
     state: StreamState = StreamState.SOLICITING
     covering_lc: int | None = None
     req_id: int = -1
@@ -146,6 +148,7 @@ class EIBProtocol:
         protocol: Protocol | None = None,
         rec_lc: int | None = None,
         sender_is_coverer: bool = False,
+        fault_id: int | None = None,
     ) -> None:
         """Get-or-establish a coverage stream; ``callback`` fires with the
         active stream, or ``None`` when no LC can (currently) cover.
@@ -182,6 +185,7 @@ class EIBProtocol:
             protocol=protocol,
             rec_lc=rec_lc,
             sender_is_coverer=sender_is_coverer,
+            fault_id=fault_id,
         )
         stream.req_id = self._next_req()
         stream.waiters.append(callback)
@@ -519,6 +523,7 @@ class EIBProtocol:
                 covering_lc=stream.covering_lc,
                 rate_bps=stream.rate_bps,
                 req_id=req_id,
+                fault_id=stream.fault_id,
             )
         self._flush_waiters(stream, stream)
 
@@ -544,6 +549,7 @@ class EIBProtocol:
                 t=self._engine.now,
                 init_lc=stream.init_lc,
                 req_id=stream.req_id,
+                fault_id=stream.fault_id,
             )
         self._flush_waiters(stream, None)
 

@@ -36,7 +36,9 @@ class FaultMap:
     """Shared registry of failed components per LC plus EIB state."""
 
     def __init__(self) -> None:
-        self._failed: dict[int, set[ComponentKind]] = {}
+        #: per-LC map of failed kind -> fault_id of the causing fault
+        #: (``None`` when the caller did not thread a correlation id).
+        self._failed: dict[int, dict[ComponentKind, int | None]] = {}
         self.eib_healthy = True
         #: optional simulation-clock callable used to timestamp trace
         #: events (wired by :class:`~repro.router.router.Router`).
@@ -45,14 +47,20 @@ class FaultMap:
     def _now(self) -> float | None:
         return self.clock() if self.clock is not None else None
 
-    def mark_failed(self, lc_id: int, kind: ComponentKind) -> None:
-        """Record a component failure."""
-        self._failed.setdefault(lc_id, set()).add(kind)
+    def mark_failed(
+        self, lc_id: int, kind: ComponentKind, fault_id: int | None = None
+    ) -> None:
+        """Record a component failure (``fault_id`` correlates its events)."""
+        self._failed.setdefault(lc_id, {})[kind] = fault_id
         if _metrics.REGISTRY is not None:
             _metrics.REGISTRY.counter("recovery.faults_marked").inc()
         if _trace.TRACER is not None:
             _trace.TRACER.emit(
-                "recovery.fault_mark", t=self._now(), lc=lc_id, component=kind.value
+                "recovery.fault_mark",
+                t=self._now(),
+                lc=lc_id,
+                component=kind.value,
+                fault_id=fault_id,
             )
 
     def mark_repaired(self, lc_id: int, kind: ComponentKind) -> None:
@@ -63,24 +71,33 @@ class FaultMap:
         accumulating empty sets for every LC that ever failed.
         """
         faults = self._failed.get(lc_id)
+        fault_id = None
         if faults is not None:
-            faults.discard(kind)
+            fault_id = faults.pop(kind, None)
             if not faults:
                 del self._failed[lc_id]
         if _metrics.REGISTRY is not None:
             _metrics.REGISTRY.counter("recovery.faults_repaired").inc()
         if _trace.TRACER is not None:
             _trace.TRACER.emit(
-                "recovery.fault_clear", t=self._now(), lc=lc_id, component=kind.value
+                "recovery.fault_clear",
+                t=self._now(),
+                lc=lc_id,
+                component=kind.value,
+                fault_id=fault_id,
             )
 
     def failed_at(self, lc_id: int) -> set[ComponentKind]:
         """Failed component kinds at ``lc_id``."""
-        return set(self._failed.get(lc_id, set()))
+        return set(self._failed.get(lc_id, {}))
+
+    def fault_id_of(self, lc_id: int, kind: ComponentKind) -> int | None:
+        """Correlation id of the live fault at (``lc_id``, ``kind``), if any."""
+        return self._failed.get(lc_id, {}).get(kind)
 
     def is_failed(self, lc_id: int, kind: ComponentKind) -> bool:
         """True when the given unit is currently down."""
-        return kind in self._failed.get(lc_id, set())
+        return kind in self._failed.get(lc_id, {})
 
     def any_failed(self, lc_id: int) -> bool:
         """True when any unit of the LC is down."""
@@ -137,6 +154,27 @@ class CoveragePlan:
     egress_mode: EgressMode = EgressMode.FABRIC
     #: fault kind at the egress LC being covered (PDLU or SRU), if any
     egress_fault: ComponentKind | None = None
+    #: correlation ids of the faults this plan responds to, as known by
+    #: the planning view (``None`` when the view has no id, e.g. a
+    #: belief learned before the fault was ever correlated)
+    ingress_fault_id: int | None = None
+    egress_fault_id: int | None = None
+    lookup_fault_id: int | None = None
+
+    @property
+    def fault_ids(self) -> list[int]:
+        """Sorted distinct correlation ids the plan covers."""
+        return sorted(
+            {
+                fid
+                for fid in (
+                    self.ingress_fault_id,
+                    self.egress_fault_id,
+                    self.lookup_fault_id,
+                )
+                if fid is not None
+            }
+        )
 
     @property
     def uses_eib(self) -> bool:
@@ -223,6 +261,7 @@ class CoveragePlanner:
                     cases=plan.case_tags,
                     egress_mode=plan.egress_mode.value,
                     drop=plan.drop,
+                    fault_ids=plan.fault_ids,
                 )
                 if plan.egress_mode is not EgressMode.FABRIC:
                     _trace.TRACER.emit(
@@ -256,10 +295,13 @@ class CoveragePlanner:
             plan.ingress_fault = ComponentKind.PDLU
         elif ComponentKind.SRU in f_src:
             plan.ingress_fault = ComponentKind.SRU
+        if plan.ingress_fault is not None:
+            plan.ingress_fault_id = fmap.fault_id_of(src, plan.ingress_fault)
         if ComponentKind.LFE in f_src and plan.ingress_fault is None:
             # With a PDLU/SRU coverage stream the covering LC also does the
             # lookup; only a lone LFE fault needs the REQ_L service.
             plan.remote_lookup = True
+            plan.lookup_fault_id = fmap.fault_id_of(src, ComponentKind.LFE)
 
         # --- egress side (Case 3) ---
         dst_pdlu_down = ComponentKind.PDLU in f_dst and dst != src
@@ -273,8 +315,10 @@ class CoveragePlanner:
             # of LC_out": whole packets over the EIB, skipping dst's SRU.
             plan.egress_mode = EgressMode.EIB_DIRECT
             plan.egress_fault = ComponentKind.SRU
+            plan.egress_fault_id = fmap.fault_id_of(dst, ComponentKind.SRU)
         elif dst_pdlu_down:
             plan.egress_fault = ComponentKind.PDLU
+            plan.egress_fault_id = fmap.fault_id_of(dst, ComponentKind.PDLU)
             src_lc = self._lcs[src]
             dst_lc = self._lcs[dst]
             same_protocol = (

@@ -161,6 +161,14 @@ class Router:
             i: ReassemblyBuffer(self.engine) for i in self.linecards
         }
 
+        #: fault-correlation bookkeeping: every fault *activation* (LC
+        #: component or EIB lines) mints one monotonically increasing
+        #: ``fault_id`` that is threaded through detection, planning,
+        #: coverage streams and repair, so a trace folds into per-fault
+        #: incident spans (:mod:`repro.obs.spans`).
+        self._fault_seq = 0
+        self._active_fault_ids: dict[tuple, int] = {}
+
     # ------------------------------------------------------------------
     # wiring helpers
     # ------------------------------------------------------------------
@@ -231,33 +239,84 @@ class Router:
     # fault management
     # ------------------------------------------------------------------
 
-    def inject_fault(self, lc_id: int, kind: ComponentKind) -> None:
-        """Fail one component immediately (tests / fault injector)."""
+    def _mint_fault_id(self, key: tuple) -> int:
+        """New (or still-active) correlation id for the fault at ``key``."""
+        active = self._active_fault_ids.get(key)
+        if active is not None:
+            return active
+        fault_id = self._fault_seq
+        self._fault_seq += 1
+        self._active_fault_ids[key] = fault_id
+        return fault_id
+
+    def inject_fault(
+        self, lc_id: int, kind: ComponentKind, *, mode: str = "crash"
+    ) -> int:
+        """Fail one component immediately (tests / fault injector).
+
+        Every activation mints a ``fault_id`` (one per intermittent flap,
+        reused if the component is already down) that correlates the
+        fault's trace events end to end; ``mode`` labels the taxonomy
+        member on the ``fault.injected`` event.  Returns the id.
+        """
         unit = self.linecards[lc_id].unit(kind)
         if unit is None:
             raise ValueError(f"{self.mode.value} linecards have no {kind.value}")
+        fault_id = self._mint_fault_id((lc_id, kind))
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "fault.injected",
+                t=self.engine.now,
+                fault_id=fault_id,
+                lc=lc_id,
+                component=kind.value,
+                mode=mode,
+            )
         unit.fail()
-        self.faults.mark_failed(lc_id, kind)
+        self.faults.mark_failed(lc_id, kind, fault_id)
         if self.detector is not None:
-            self.detector.on_fault(lc_id, kind)
+            self.detector.on_fault(lc_id, kind, fault_id)
         if kind is ComponentKind.SRU:
             # Partial packets inside the failed SRU are destroyed; their
             # drop accounting happens through the buffers' abort callbacks.
             self.reassembly[lc_id].flush()
         if self.mode is RouterMode.SPARED and kind is not ComponentKind.PIU:
             self._start_spare_swap(lc_id, kind)
+        return fault_id
 
-    def repair_fault(self, lc_id: int, kind: ComponentKind) -> None:
-        """Repair one component (hot-swap) and retire its coverage streams."""
+    def _retire_fault_id(
+        self, lc_id: int | None, kind: ComponentKind | None
+    ) -> int | None:
+        """Pop the active correlation id and emit ``fault.repaired``."""
+        key: tuple = ("eib",) if lc_id is None else (lc_id, kind)
+        fault_id = self._active_fault_ids.pop(key, None)
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "fault.repaired",
+                t=self.engine.now,
+                fault_id=fault_id,
+                lc=lc_id,
+                component="eib" if kind is None else kind.value,
+            )
+        return fault_id
+
+    def repair_fault(self, lc_id: int, kind: ComponentKind) -> int | None:
+        """Repair one component (hot-swap) and retire its coverage streams.
+
+        Returns the correlation id of the fault being cleared, if one was
+        active.
+        """
         unit = self.linecards[lc_id].unit(kind)
         if unit is None:
             raise ValueError(f"{self.mode.value} linecards have no {kind.value}")
         unit.repair()
+        fault_id = self._retire_fault_id(lc_id, kind)
         self.faults.mark_repaired(lc_id, kind)
         if self.detector is not None:
             self.detector.on_repair(lc_id, kind)
         if self.protocol is not None:
             self.protocol.release_streams_for_fault(lc_id, kind)
+        return fault_id
 
     def _start_spare_swap(self, lc_id: int, kind: ComponentKind) -> None:
         """SPARED mode: fail over to a standby card when one remains.
@@ -280,6 +339,7 @@ class Router:
             unit = self.linecards[lc_id].unit(kind)
             if unit is not None and not unit.healthy:
                 unit.repair()
+                self._retire_fault_id(lc_id, kind)
                 self.faults.mark_repaired(lc_id, kind)
 
         self.engine.schedule_in(
@@ -301,21 +361,34 @@ class Router:
         """Repair a fabric card (returns as standby)."""
         self.fabric.repair_card(card_id)
 
-    def fail_eib(self) -> None:
-        """Fail the EIB passive lines (``lam_bus`` event)."""
+    def fail_eib(self) -> int:
+        """Fail the EIB passive lines (``lam_bus`` event); returns the
+        minted fault id."""
         if self.eib is None:
             raise RuntimeError("BDR routers have no EIB")
+        fault_id = self._mint_fault_id(("eib",))
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "fault.injected",
+                t=self.engine.now,
+                fault_id=fault_id,
+                lc=None,
+                component="eib",
+                mode="crash",
+            )
         self.eib.fail()
         self.faults.eib_healthy = False
         assert self.protocol is not None
         self.protocol.on_eib_failure()
+        return fault_id
 
-    def repair_eib(self) -> None:
-        """Repair the EIB passive lines."""
+    def repair_eib(self) -> int | None:
+        """Repair the EIB passive lines; returns the cleared fault id."""
         if self.eib is None:
             raise RuntimeError("BDR routers have no EIB")
         self.eib.repair()
         self.faults.eib_healthy = True
+        return self._retire_fault_id(None, None)
 
     # ------------------------------------------------------------------
     # packet pipeline
@@ -438,6 +511,7 @@ class Router:
             with_stream,
             fault_kind=fault,
             protocol=src.protocol,
+            fault_id=plan.ingress_fault_id,
         )
 
     def _process_at(
@@ -582,6 +656,7 @@ class Router:
             self._stream_rate(packet.src_lc),
             with_stream,
             rec_lc=dst,
+            fault_id=plan.egress_fault_id,
         )
 
     def _egress_via_inter(
@@ -634,6 +709,7 @@ class Router:
             fault_kind=ComponentKind.PDLU,
             protocol=dst_protocol,
             sender_is_coverer=True,
+            fault_id=plan.egress_fault_id,
         )
 
     def _egress_after_eib(self, packet: Packet, plan: CoveragePlan, dst: int) -> None:

@@ -1,0 +1,57 @@
+"""Prometheus text-format exporter: mapping rules and determinism."""
+
+from repro.obs import MetricsRegistry, render_prometheus, write_prometheus
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("bus.ctl.sent").inc(5)
+    reg.gauge("solver.stationary.residual").set(0.25)
+    h = reg.histogram("incident.mttr_s", bounds=(1.0, 2.0))
+    for v in (0.5, 1.5, 1.6, 3.0):
+        h.observe(v)
+    return reg
+
+
+class TestRenderPrometheus:
+    def test_counter_line(self):
+        out = render_prometheus(_registry())
+        assert "# TYPE repro_bus_ctl_sent counter" in out
+        assert "\nrepro_bus_ctl_sent 5\n" in out
+
+    def test_help_text_comes_from_schema(self):
+        out = render_prometheus(_registry())
+        assert (
+            "# HELP repro_bus_ctl_sent counter: control broadcasts attempted"
+            in out
+        )
+
+    def test_gauge_with_envelope(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("bus.lp.open")
+        g.set(3.0)
+        g.set(1.0)
+        out = render_prometheus(reg)
+        assert "repro_bus_lp_open 1\n" in out
+        assert "repro_bus_lp_open_min 1\n" in out
+        assert "repro_bus_lp_open_max 3\n" in out
+
+    def test_histogram_cumulative_buckets(self):
+        out = render_prometheus(_registry())
+        assert '\nrepro_incident_mttr_s_bucket{le="1"} 1\n' in out
+        assert 'repro_incident_mttr_s_bucket{le="2"} 3\n' in out
+        assert 'repro_incident_mttr_s_bucket{le="+Inf"} 4\n' in out
+        assert "repro_incident_mttr_s_sum 6.6\n" in out
+        assert "repro_incident_mttr_s_count 4\n" in out
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_deterministic_bytes(self):
+        assert render_prometheus(_registry()) == render_prometheus(_registry())
+
+    def test_write_prometheus_round_trips(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        reg = _registry()
+        write_prometheus(reg, str(path))
+        assert path.read_text(encoding="utf-8") == render_prometheus(reg)

@@ -1,0 +1,91 @@
+"""Per-LC health scorecards: aggregation rules and gauge emission."""
+
+import pytest
+
+from repro.obs import build_scorecards, collecting
+from repro.obs.spans import IncidentSpan
+
+
+def _span(fid, lc, mode="crash", **phases):
+    return IncidentSpan(
+        fault_id=fid,
+        lc=lc,
+        component="sru",
+        mode=mode,
+        injected=phases.pop("injected", 0.0),
+        **phases,
+    )
+
+
+@pytest.fixture
+def spans():
+    return [
+        _span(
+            0,
+            1,
+            injected=0.0,
+            first_local_detect=1e-5,
+            coverage_active=2e-5,
+            repaired=1e-4,
+        ),
+        _span(1, 1, mode="intermittent", injected=2e-4, repaired=2.5e-4),
+        _span(2, None, injected=1e-4),  # open EIB fault
+    ]
+
+
+class TestScorecards:
+    def test_grouping_and_counts(self, spans):
+        cards = build_scorecards(spans)
+        assert list(cards) == ["1", "eib"]
+        assert cards["1"]["faults"] == 2
+        assert cards["1"]["by_mode"] == {"crash": 1, "intermittent": 1}
+        assert cards["eib"]["faults"] == 1
+        assert cards["eib"]["open"] == 1
+
+    def test_flap_rate_is_intermittent_fraction(self, spans):
+        cards = build_scorecards(spans)
+        assert cards["1"]["flap_rate"] == pytest.approx(0.5)
+        assert cards["eib"]["flap_rate"] == 0.0
+
+    def test_mean_detection_latency_over_detected_only(self, spans):
+        cards = build_scorecards(spans)
+        assert cards["1"]["mean_detection_latency_s"] == pytest.approx(1e-5)
+        assert cards["eib"]["mean_detection_latency_s"] is None
+        assert cards["1"]["undetected"] == 1
+
+    def test_coverage_duty_cycle_fraction_of_window(self, spans):
+        # window = [0, 2.5e-4]; LC 1 covered from 2e-5 to its repair 1e-4
+        cards = build_scorecards(spans)
+        expected = (1e-4 - 2e-5) / 2.5e-4
+        assert cards["1"]["coverage_duty_cycle"] == pytest.approx(expected)
+        assert cards["eib"]["coverage_duty_cycle"] == 0.0
+
+    def test_open_coverage_extends_to_window_end(self):
+        spans = [
+            _span(0, 2, injected=0.0, coverage_active=1e-5),
+            _span(1, 3, injected=0.0, repaired=1e-4),
+        ]
+        cards = build_scorecards(spans)
+        assert cards["2"]["coverage_duty_cycle"] == pytest.approx(
+            (1e-4 - 1e-5) / 1e-4
+        )
+
+    def test_empty_spans_yield_empty_cards(self):
+        assert build_scorecards([]) == {}
+
+    def test_gauges_emitted_under_family_prefix(self, spans):
+        with collecting() as reg:
+            build_scorecards(spans)
+        names = reg.names()
+        assert "health.lc.1.faults" in names
+        assert "health.lc.1.flap_rate" in names
+        assert "health.lc.eib.coverage_duty_cycle" in names
+        assert all(n.startswith("health.lc.") for n in names)
+        assert reg.gauge("health.lc.1.faults").last == 2.0
+
+    def test_deterministic(self, spans):
+        import json
+
+        a = json.dumps(build_scorecards(spans), sort_keys=True)
+        b = json.dumps(build_scorecards(list(spans)), sort_keys=True)
+        assert a == b

@@ -113,3 +113,73 @@ class TestGlobalHook:
         table = reg.format_table()
         assert "bus.ctl.collisions" in table and "counter" in table
         assert "solver.residual" in table and "gauge" in table
+
+
+class TestHistogramQuantiles:
+    def test_exact_at_extremes(self):
+        h = HistogramMetric(bounds=(1.0, 10.0, 100.0))
+        for v in (0.5, 2.0, 5.0, 50.0, 200.0):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.5  # observed min, exactly
+        assert h.quantile(1.0) == 200.0  # observed max, exactly
+
+    def test_interpolates_within_covering_bucket(self):
+        h = HistogramMetric(bounds=(10.0,))
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        # all four samples in the first bucket [min=1, bound-clamped max=4]
+        q = h.quantile(0.5)
+        assert 1.0 <= q <= 4.0
+
+    def test_none_before_any_sample_and_range_checked(self):
+        h = HistogramMetric()
+        assert h.quantile(0.5) is None
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_single_bucket_degenerate_returns_bucket_floor(self):
+        h = HistogramMetric(bounds=(1.0, 2.0))
+        h.observe(1.5)
+        h.observe(1.5)
+        assert h.quantile(0.5) == 1.5  # min == max collapses the bucket
+
+    def test_snapshot_carries_derived_percentiles(self):
+        h = HistogramMetric()
+        for v in (1e-6, 1e-4, 1e-2):
+            h.observe(v)
+        snap = h.snapshot()
+        assert {"p50", "p95", "p99"} <= set(snap)
+        assert snap["p50"] is not None
+
+    def test_merge_ignores_derived_keys_and_stays_exact(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1e-6, 1e-3):
+            a.histogram("incident.mttr_s").observe(v)
+        for v in (1e-2, 1e-1):
+            b.histogram("incident.mttr_s").observe(v)
+        a.merge_snapshot(b.snapshot())
+        merged = a.histogram("incident.mttr_s")
+        direct = HistogramMetric()
+        for v in (1e-6, 1e-3, 1e-2, 1e-1):
+            direct.observe(v)
+        assert merged.snapshot() == direct.snapshot()
+
+    def test_grouping_independent_estimates(self):
+        values = [10.0 ** (i % 7 - 6) for i in range(50)]
+        whole = HistogramMetric()
+        for v in values:
+            whole.observe(v)
+        left, right = HistogramMetric(), HistogramMetric()
+        for i, v in enumerate(values):
+            (left if i % 2 else right).observe(v)
+        left.merge(right)
+        for q in (0.5, 0.95, 0.99):
+            assert left.quantile(q) == whole.quantile(q)
+
+    def test_format_table_shows_percentiles(self):
+        reg = MetricsRegistry()
+        for v in (1e-5, 1e-4, 1e-3):
+            reg.histogram("incident.detection_latency_s").observe(v)
+        table = reg.format_table()
+        assert "p50=" in table and "p95=" in table and "p99=" in table

@@ -78,3 +78,70 @@ class TestGlobalHook:
             assert active is t
         t.emit("demo.after")  # not closed: caller owns it
         assert t.emitted == 1
+
+
+class TestIterTrace:
+    def test_streaming_matches_read_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(str(path)) as t:
+            for i in range(5):
+                t.emit("demo.stream", t=float(i), i=i)
+        from repro.obs.trace import iter_trace
+
+        streamed = list(iter_trace(str(path)))
+        assert streamed == read_trace(str(path))
+        assert [e.data["i"] for e in streamed] == list(range(5))
+
+    def test_is_a_lazy_generator(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            TraceEvent(seq=0, kind="ok").to_json() + "\n{broken\n"
+        )
+        from repro.obs.trace import iter_trace
+
+        it = iter_trace(str(path))
+        assert next(it).kind == "ok"  # first line parses before the bad one
+        with pytest.raises(ValueError, match=r":2"):
+            next(it)
+
+
+# -- property-based JSON round-trip ----------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+#: JSON-scalar payload values an emit site can pass (no NaN/inf: JSON
+#: serialization of non-finite floats is not round-trippable).
+_payload_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, allow_subnormal=False),
+    st.text(max_size=40),
+    st.lists(st.integers(min_value=-1000, max_value=1000), max_size=5),
+)
+
+_events = st.builds(
+    TraceEvent,
+    seq=st.integers(min_value=0, max_value=2**53),
+    kind=st.text(min_size=1, max_size=60),
+    t=st.one_of(
+        st.none(),
+        st.floats(allow_nan=False, allow_infinity=False, allow_subnormal=False),
+    ),
+    data=st.dictionaries(st.text(min_size=1, max_size=20), _payload_values, max_size=6),
+)
+
+
+class TestJsonRoundTripProperty:
+    @given(ev=_events)
+    @settings(max_examples=200, deadline=None)
+    def test_to_json_from_json_is_identity(self, ev):
+        assert TraceEvent.from_json(ev.to_json()) == ev
+
+    @given(evs=st.lists(_events, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_file_round_trip_preserves_order(self, evs, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "prop.jsonl"
+        path.write_text("".join(ev.to_json() + "\n" for ev in evs))
+        assert read_trace(str(path)) == evs

@@ -270,3 +270,64 @@ class TestChaosCommand:
         events = read_trace(str(trace_path))
         assert events  # schedule 0 re-ran in-process under the tracer
         assert get_tracer() is None  # tracer torn down cleanly
+
+
+class TestIncidentsCommand:
+    """The incidents subcommand: fold traces into repro-incidents v1."""
+
+    @pytest.fixture
+    def chaos_trace(self, tmp_path):
+        path = tmp_path / "chaos.jsonl"
+        assert main([
+            "chaos", "--seeds", "2", "--duration", "0.002",
+            "--trace", str(path),
+        ]) == 0
+        return str(path)
+
+    def test_incidents_summarizes_and_writes_json(
+        self, chaos_trace, tmp_path, capsys
+    ):
+        capsys.readouterr()
+        out_json = tmp_path / "incidents.json"
+        assert main([
+            "incidents", chaos_trace, "--json-out", str(out_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "incident span(s)" in out
+        report = json.loads(out_json.read_text())
+        assert report["schema"] == "repro-incidents"
+        assert report["version"] == 1
+        assert report["totals"]["spans"] == len(report["spans"])
+        assert report["totals"]["spans"] > 0
+        assert "health" in report
+
+    def test_incidents_byte_identical_across_jobs(
+        self, chaos_trace, tmp_path, capsys
+    ):
+        serial = tmp_path / "serial.json"
+        fanned = tmp_path / "fanned.json"
+        assert main(["incidents", chaos_trace, chaos_trace,
+                     "--jobs", "1", "--json-out", str(serial)]) == 0
+        assert main(["incidents", chaos_trace, chaos_trace,
+                     "--jobs", "4", "--json-out", str(fanned)]) == 0
+        assert serial.read_bytes() == fanned.read_bytes()
+        multi = json.loads(serial.read_text())
+        assert multi["schema"] == "repro-incidents"
+        assert len(multi["reports"]) == 2
+
+    def test_incidents_metrics_out_writes_prometheus(
+        self, chaos_trace, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "metrics.prom"
+        assert main([
+            "incidents", chaos_trace, "--metrics-out", str(metrics_path),
+        ]) == 0
+        text = metrics_path.read_text(encoding="utf-8")
+        assert "repro_incident_spans" in text
+        assert "# TYPE repro_incident_mttr_s histogram" in text
+        assert "repro_health_lc_" in text
+        assert f"wrote metrics {metrics_path}" in capsys.readouterr().err
+
+    def test_incidents_missing_file_fails(self, tmp_path, capsys):
+        assert main(["incidents", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
