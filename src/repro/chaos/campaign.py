@@ -74,6 +74,10 @@ class CampaignConfig:
     #: quiet time required before view convergence is asserted; the
     #: drain window exceeds this by construction
     settle_s: float = 0.002
+    #: planner v2 coverage policy every schedule runs under ("static"
+    #: keeps the paper's slot-rank first-fit; "adaptive" adds scoring,
+    #: replanning and fair degradation -- same 13 invariant families).
+    coverage_policy: str = "static"
 
     def __post_init__(self) -> None:
         if self.seeds <= 0:
@@ -99,7 +103,10 @@ def run_schedule(cfg: CampaignConfig, idx: int) -> dict:
     seed = cfg.schedule_seed(idx)
     router = Router(
         RouterConfig(
-            n_linecards=cfg.n_linecards, mode=RouterMode.DRA, seed=seed
+            n_linecards=cfg.n_linecards,
+            mode=RouterMode.DRA,
+            seed=seed,
+            coverage_policy=cfg.coverage_policy,
         )
     )
     detector = router.enable_detection(cfg.detection)
@@ -206,7 +213,10 @@ def _replay_for_trace(cfg: CampaignConfig, idx: int) -> None:
     seed = cfg.schedule_seed(idx)
     router = Router(
         RouterConfig(
-            n_linecards=cfg.n_linecards, mode=RouterMode.DRA, seed=seed
+            n_linecards=cfg.n_linecards,
+            mode=RouterMode.DRA,
+            seed=seed,
+            coverage_policy=cfg.coverage_policy,
         )
     )
     router.enable_detection(cfg.detection)

@@ -374,6 +374,8 @@ class FaultDetector:
     def _on_control(self, me: int, cp: ControlPacket) -> None:
         now = self._router.engine.now
         view = self.views[me]
+        protocol = self._router.protocol
+        assert protocol is not None
         if cp.kind is ControlKind.FLT_N:
             kind = cp.faulty_component
             assert isinstance(kind, ComponentKind)
@@ -389,6 +391,9 @@ class FaultDetector:
                         fault_id=cp.fault_id,
                         via="flt_n",
                     )
+                # Planner v2: the observer's streams react to the news
+                # (tear off a failed covering LC, re-solicit with backoff).
+                protocol.on_fault_news(me, cp.init_lc, kind, repaired=False)
         elif cp.kind is ControlKind.FLT_C:
             kind = cp.faulty_component
             assert isinstance(kind, ComponentKind)
@@ -409,6 +414,10 @@ class FaultDetector:
                         fault_id=fault_id,
                         via="flt_c",
                     )
+                # Planner v2: a recovered LC is a fresh candidate, so the
+                # observer's failed streams get a prompt (backoff-reset)
+                # retry instead of waiting out the cooldown.
+                protocol.on_fault_news(me, cp.init_lc, kind, repaired=True)
         elif cp.kind is ControlKind.HB:
             assert cp.fault_status is not None
             advertised = dict(_decode_status(v) for v in cp.fault_status)
@@ -418,10 +427,10 @@ class FaultDetector:
             }
             if view.reconcile(cp.init_lc, advertised):
                 self.log.append(DetectionEvent(now, me, cp.init_lc, None, "hb_reconcile"))
+                learned = sorted(set(advertised) - set(before), key=lambda k: k.value)
+                cleared = sorted(set(before) - set(advertised), key=lambda k: k.value)
                 if _trace.TRACER is not None:
-                    for kind in sorted(
-                        set(advertised) - set(before), key=lambda k: k.value
-                    ):
+                    for kind in learned:
                         _trace.TRACER.emit(
                             "detect.remote_learn",
                             t=now,
@@ -431,9 +440,7 @@ class FaultDetector:
                             fault_id=advertised[kind],
                             via="hb",
                         )
-                    for kind in sorted(
-                        set(before) - set(advertised), key=lambda k: k.value
-                    ):
+                    for kind in cleared:
                         _trace.TRACER.emit(
                             "detect.remote_clear",
                             t=now,
@@ -443,6 +450,12 @@ class FaultDetector:
                             fault_id=before[kind],
                             via="hb",
                         )
+                # Planner v2: anti-entropy deliveries count as fault news
+                # too -- a lost FLT_N/FLT_C must not suppress replanning.
+                for kind in learned:
+                    protocol.on_fault_news(me, cp.init_lc, kind, repaired=False)
+                for kind in cleared:
+                    protocol.on_fault_news(me, cp.init_lc, kind, repaired=True)
 
     # -- summaries ----------------------------------------------------------
 

@@ -637,6 +637,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         accel=args.accel,
         detection=detection,
+        coverage_policy=args.coverage_policy,
     )
 
     # Campaign workers fork from this process; a file-backed tracer must
@@ -894,6 +895,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--detection-latency", dest="detection_latency",
                    type=float, default=10e-6,
                    help="minimum fault age before self-test detection (s)")
+    p.add_argument("--coverage-policy", dest="coverage_policy",
+                   choices=("static", "adaptive"), default="static",
+                   help="planner v2 LC_inter selection policy: static "
+                        "(paper's slot-rank first-fit) or adaptive "
+                        "(headroom/health/spread scoring with replanning "
+                        "and fair degradation)")
     p.add_argument("--json-out", dest="json_out", default="",
                    metavar="PATH", help="write the full campaign report as JSON")
     add_trace_flag(p)

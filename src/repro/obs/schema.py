@@ -62,6 +62,10 @@ TRACE_EVENT_KINDS: Mapping[str, str] = {
     "coverage.egress_mode": "the egress leg leaves the fabric",
     "protocol.stream_active": "a coverage stream is established",
     "protocol.stream_failed": "a REQ_D solicitation timed out unanswered",
+    "protocol.reserve_race": "the winning responder's headroom evaporated before resolution",
+    # planner v2 (src/repro/router/planner2.py, protocol.py)
+    "coverage.replan": "a failed stream re-solicits ahead of the retry cooldown",
+    "coverage.degraded": "proportional rate shed under aggregate EIB overload",
     # router datapath (src/repro/router/router.py)
     "router.packet_drop": "a packet is terminally dropped by the datapath",
     # fault lifecycle correlation (src/repro/router/router.py)
@@ -102,6 +106,10 @@ METRIC_NAMES: Mapping[str, str] = {
     "coverage.plans.dropped": "counter: coverage plans that had to drop",
     "protocol.streams_established": "counter: coverage streams established",
     "protocol.streams_failed": "counter: coverage solicitations timed out",
+    "protocol.reserve_races": "counter: reservations lost to the REP_D/resolution race",
+    # planner v2
+    "coverage.replans": "counter: backoff re-solicitations fired",
+    "coverage.degradations": "counter: proportional rate-shedding rounds",
     # solvers
     "solver.stationary.solves": "counter: stationary solves",
     "solver.stationary.iterations": "counter: power-method iterations",

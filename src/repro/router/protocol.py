@@ -17,6 +17,14 @@ Implements the control-packet exchanges over the CSMA/CD control lines:
 Streams sharing one initiating LC share that LC's logical path on the
 data lines (the arbiter assigns IDs per LC); the allocator sees their
 combined requested rate.
+
+Candidate contention is delegated to a pluggable
+:class:`~repro.router.planner2.CoveragePolicy` (planner v2): the static
+policy reproduces the paper's slot-rank first-fit bit for bit, while the
+adaptive policy scores candidates by headroom/health/spread, replans
+active streams on FLT_N/FLT_C news with exponential backoff, and sheds
+rate proportionally across streams when aggregate coverage demand
+exceeds the EIB data capacity (fair graceful degradation).
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from repro.router.bus import EIB
 from repro.router.components import ComponentKind
 from repro.router.linecard import Linecard
 from repro.router.packets import ControlKind, ControlPacket, Protocol
+from repro.router.planner2 import CoveragePolicy, StaticPolicy
 from repro.router.stats import RouterStats
 from repro.sim import Engine
 from repro.sim.events import EventHandle
@@ -100,6 +109,7 @@ class EIBProtocol:
         lookup_timeout_s: float = 150e-6,
         reply_jitter_s: float = 10e-6,
         retry_cooldown_s: float = 1e-3,
+        policy: CoveragePolicy | None = None,
     ) -> None:
         self._engine = engine
         self._eib = eib
@@ -110,6 +120,12 @@ class EIBProtocol:
         self._lookup_timeout = lookup_timeout_s
         self._reply_jitter = reply_jitter_s
         self._retry_cooldown = retry_cooldown_s
+        self._policy = policy if policy is not None else StaticPolicy()
+        self._policy.bind(linecards, self._coverage_load, lambda: self._engine.now)
+        #: replan bookkeeping (adaptive policy): per-key backoff attempts
+        #: and the armed retry timers (cancelled on release / EIB death).
+        self._replan_attempts: dict[tuple, int] = {}
+        self._replan_handles: dict[tuple, EventHandle] = {}
 
         self._req_counter = 0
         self._streams: dict[tuple, CoverageStream] = {}
@@ -136,6 +152,23 @@ class EIBProtocol:
     def stream(self, key: tuple) -> CoverageStream | None:
         """The stream registered under ``key``, if any."""
         return self._streams.get(key)
+
+    @property
+    def policy(self) -> CoveragePolicy:
+        """The active coverage policy (planner v2)."""
+        return self._policy
+
+    def _coverage_load(self, lc_id: int) -> tuple[int, float]:
+        """Coverage duty LC ``lc_id`` currently carries: number of
+        ACTIVE streams it covers and their summed reserved rate (the
+        adaptive policy's spread signal)."""
+        count = 0
+        rate = 0.0
+        for stream in self._streams.values():
+            if stream.state is StreamState.ACTIVE and stream.covering_lc == lc_id:
+                count += 1
+                rate += stream.rate_bps
+        return count, rate
 
     def ensure_stream(
         self,
@@ -234,6 +267,7 @@ class EIBProtocol:
         handle = self._timeouts.pop(stream.req_id, None)
         if handle is not None:
             handle.cancel()
+        self._drop_replan(key)
         if stream.state is StreamState.ACTIVE:
             if stream.covering_lc is not None:
                 self._lcs[stream.covering_lc].release(stream.rate_bps)
@@ -277,6 +311,9 @@ class EIBProtocol:
                 self._lcs[stream.covering_lc].release(stream.rate_bps)
             stream.state = StreamState.CLOSED
             self._flush_waiters(stream, None)
+        for key in list(self._replan_handles):
+            self._drop_replan(key)
+        self._replan_attempts.clear()
         self._lp_refs.clear()
         self._lp_rates.clear()
 
@@ -381,6 +418,8 @@ class EIBProtocol:
                 return
             if not lc.can_cover(fault, cp.protocol, cp.data_rate):
                 return
+            # Contention resolution is the policy's call: the delay it
+            # returns decides which candidate's REP_D wins the wire.
             self._schedule_reply(
                 me,
                 cp.lp_id,
@@ -391,6 +430,9 @@ class EIBProtocol:
                     lp_id=cp.lp_id,
                 ),
                 jitter=True,
+                delay=self._policy.reply_delay(
+                    me, cp.init_lc, len(self._lcs), cp.data_rate, self._rng
+                ),
             )
         elif cp.rec_lc == me:
             # Reverse path: I am the faulty destination being offered data.
@@ -457,16 +499,27 @@ class EIBProtocol:
         return self._req_counter
 
     def _schedule_reply(
-        self, me: int, req_id: int | None, reply: ControlPacket, *, jitter: bool
+        self,
+        me: int,
+        req_id: int | None,
+        reply: ControlPacket,
+        *,
+        jitter: bool,
+        delay: float | None = None,
     ) -> None:
         if req_id is None:
             return
-        if jitter:
-            # Rank-based contention resolution: the candidate "closest"
-            # (in slot order) to the requester replies first; the others'
-            # timers are spaced far enough apart that hearing the winning
-            # reply cancels them before they fire.  A small random term
-            # breaks the remaining ties; CSMA/CD handles true collisions.
+        if delay is not None:
+            # REQ_D coverage replies: the policy already resolved the
+            # contention delay (see planner2; static = rank formula).
+            pass
+        elif jitter:
+            # Rank-based contention resolution for the lookup service:
+            # the candidate "closest" (in slot order) to the requester
+            # replies first; the others' timers are spaced far enough
+            # apart that hearing the winning reply cancels them before
+            # they fire.  A small random term breaks the remaining ties;
+            # CSMA/CD handles true collisions.
             requester = reply.rec_lc if reply.rec_lc is not None else 0
             rank = (me - requester) % max(len(self._lcs), 1)
             delay = 0.5e-6 + 2e-6 * rank + float(self._rng.uniform(0.0, 0.4e-6))
@@ -501,16 +554,30 @@ class EIBProtocol:
         # Reverse-path streams address a fixed receiver; solicited streams
         # reserve coverage capacity on the winning LC_inter.
         if stream.rec_lc is None:
+            self._maybe_degrade(stream)
             if not self._lcs[responder].reserve(stream.rate_bps):
                 # The responder's headroom evaporated between its REP_D and
                 # now (a race the paper resolves with a fresh REQ_D): fail
                 # and let the cooldown trigger re-solicitation.
+                if _metrics.REGISTRY is not None:
+                    _metrics.REGISTRY.counter("protocol.reserve_races").inc()
+                if _trace.TRACER is not None:
+                    _trace.TRACER.emit(
+                        "protocol.reserve_race",
+                        t=self._engine.now,
+                        init_lc=stream.init_lc,
+                        responder=responder,
+                        rate_bps=stream.rate_bps,
+                        req_id=req_id,
+                        fault_id=stream.fault_id,
+                    )
                 self._fail_stream(stream)
                 return
             stream.covering_lc = responder
         else:
             stream.covering_lc = stream.rec_lc
         stream.state = StreamState.ACTIVE
+        self._replan_attempts.pop(key, None)
         self._acquire_lp(stream.sender_lc, stream.rate_bps)
         self._stats.streams_established += 1
         if _metrics.REGISTRY is not None:
@@ -552,6 +619,15 @@ class EIBProtocol:
                 fault_id=stream.fault_id,
             )
         self._flush_waiters(stream, None)
+        if self._policy.replans:
+            attempts = self._replan_attempts.get(stream.key, 0)
+            if attempts < self._policy.replan_max_attempts:
+                self._replan_attempts[stream.key] = attempts + 1
+                self._schedule_replan(
+                    stream.key,
+                    delay=self._policy.replan_base_s * (2.0**attempts)
+                    + float(self._rng.uniform(0.0, self._policy.replan_jitter_s)),
+                )
 
     def _flush_waiters(
         self, stream: CoverageStream, result: CoverageStream | None
@@ -579,3 +655,158 @@ class EIBProtocol:
                 self._eib.data.close_lp(lc_id)
         else:
             self._eib.allocator.update_request(lc_id, self._lp_rates[lc_id])
+
+    # ------------------------------------------------------------------
+    # planner v2: online replanning + fair graceful degradation
+    # ------------------------------------------------------------------
+
+    def on_fault_news(
+        self,
+        observer: int | None,
+        subject: int,
+        kind: ComponentKind | None,
+        *,
+        repaired: bool,
+    ) -> None:
+        """React to FLT_N / FLT_C news under a replanning policy.
+
+        ``observer`` is the LC whose view just changed (``None`` for the
+        oracle fault map, where every LC learns at once); ``subject`` is
+        the LC the news is about.  Fresh fault news tears active streams
+        off a failed covering LC and re-solicits with backoff; repair
+        news gives failed streams a prompt retry (the recovered LC is a
+        new candidate) and resets their backoff.  No-op under the static
+        policy, which keeps the paper's fixed retry cooldown.
+        """
+        del kind  # any component fault disqualifies the covering LC
+        if not self._policy.replans:
+            return
+        if repaired:
+            for key, stream in list(self._streams.items()):
+                if stream.state is not StreamState.FAILED:
+                    continue
+                if observer is not None and stream.init_lc != observer:
+                    continue
+                self._replan_attempts.pop(key, None)
+                self._schedule_replan(
+                    key,
+                    delay=1e-6
+                    + float(self._rng.uniform(0.0, self._policy.replan_jitter_s)),
+                )
+        else:
+            for _key, stream in list(self._streams.items()):
+                if stream.state is not StreamState.ACTIVE:
+                    continue
+                if stream.covering_lc != subject or stream.init_lc == subject:
+                    continue
+                if observer is not None and stream.init_lc != observer:
+                    continue
+                self._replan_stream(stream)
+
+    def _replan_stream(self, stream: CoverageStream) -> None:
+        """Tear an ACTIVE stream off its (newly faulty) covering LC and
+        re-solicit: releases the reservation and LP share, then fails
+        the stream, which arms the backoff retry."""
+        if stream.state is not StreamState.ACTIVE:
+            return
+        if stream.rec_lc is None and stream.covering_lc is not None:
+            self._lcs[stream.covering_lc].release(stream.rate_bps)
+        self._release_lp(stream.sender_lc, stream.rate_bps)
+        self._fail_stream(stream)
+
+    def _schedule_replan(self, key: tuple, *, delay: float) -> None:
+        prev = self._replan_handles.pop(key, None)
+        if prev is not None:
+            prev.cancel()
+        self._replan_handles[key] = self._engine.schedule_in(
+            delay, lambda: self._replan_fire(key), label="eib:replan"
+        )
+
+    def _drop_replan(self, key: tuple) -> None:
+        self._replan_attempts.pop(key, None)
+        handle = self._replan_handles.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _replan_fire(self, key: tuple) -> None:
+        """Backoff timer fired: forget the failed attempt (bypassing the
+        fixed retry cooldown) and re-solicit the stream."""
+        self._replan_handles.pop(key, None)
+        stream = self._streams.get(key)
+        if stream is None or stream.state is not StreamState.FAILED:
+            return
+        self._by_req.pop(stream.req_id, None)
+        del self._streams[key]
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("coverage.replans").inc()
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "coverage.replan",
+                t=self._engine.now,
+                init_lc=stream.init_lc,
+                req_id=stream.req_id,
+                attempt=self._replan_attempts.get(key, 0),
+                fault_id=stream.fault_id,
+            )
+        self.ensure_stream(
+            key,
+            stream.init_lc,
+            stream.rate_bps,
+            lambda _s: None,
+            fault_kind=stream.fault_kind,
+            protocol=stream.protocol,
+            rec_lc=stream.rec_lc,
+            sender_is_coverer=stream.sender_is_coverer,
+            fault_id=stream.fault_id,
+        )
+        if key not in self._streams:
+            # ensure_stream bounced (EIB or our bus controller down):
+            # nothing left to retry, so drop the backoff state.
+            self._replan_attempts.pop(key, None)
+
+    def _maybe_degrade(self, stream: CoverageStream) -> None:
+        """Fair graceful degradation (adaptive policy only).
+
+        When admitting ``stream`` would push aggregate coverage demand
+        past the EIB data capacity, shed rate *proportionally* across
+        every active stream and the newcomer instead of letting the TDM
+        allocator starve whoever asked last.  Reservations, LP rates and
+        stream rates stay mutually consistent (the chaos invariants
+        check all three).
+        """
+        if not self._policy.degrades:
+            return
+        capacity = float(self._eib.allocator.capacity_bps)
+        total = sum(self._lp_rates.values()) + stream.rate_bps
+        if total <= capacity:
+            return
+        factor = capacity / total
+        shed = 0.0
+        for other in self._streams.values():
+            if other.state is not StreamState.ACTIVE:
+                continue
+            diff = other.rate_bps * (1.0 - factor)
+            if diff <= 0.0:
+                continue
+            if other.rec_lc is None and other.covering_lc is not None:
+                self._lcs[other.covering_lc].release(diff)
+            sender = other.sender_lc
+            if sender in self._lp_rates:
+                self._lp_rates[sender] = max(0.0, self._lp_rates[sender] - diff)
+                self._eib.allocator.update_request(sender, self._lp_rates[sender])
+            other.rate_bps -= diff
+            shed += diff
+        shed += stream.rate_bps * (1.0 - factor)
+        stream.rate_bps *= factor
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("coverage.degradations").inc()
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "coverage.degraded",
+                t=self._engine.now,
+                factor=factor,
+                demand_bps=total,
+                capacity_bps=capacity,
+                shed_bps=shed,
+                reason="eib_overload",
+            )

@@ -352,9 +352,12 @@ class CoveragePlanner:
         per the analysis assumption that it stays clean of coverage duty.
         """
         src = self._lcs[packet.src_lc]
+        # sorted(): candidate ranking must not depend on dict insertion
+        # order (DRA103 spirit -- LCs are usually built 0..N-1, but any
+        # construction order must yield the same ranking).
         return [
             lc_id
-            for lc_id, lc in self._lcs.items()
+            for lc_id, lc in sorted(self._lcs.items())
             if lc_id not in (packet.src_lc, packet.dst_lc)
             and lc.can_cover(fault, src.protocol, rate_bps)
         ]
@@ -364,7 +367,7 @@ class CoveragePlanner:
         dst = self._lcs[packet.dst_lc]
         return [
             lc_id
-            for lc_id, lc in self._lcs.items()
+            for lc_id, lc in sorted(self._lcs.items())
             if lc_id not in (packet.src_lc, packet.dst_lc)
             and lc.can_cover(ComponentKind.PDLU, dst.protocol, rate_bps)
             and lc.sru.healthy

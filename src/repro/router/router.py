@@ -24,6 +24,7 @@ from repro.router.components import ComponentKind
 from repro.router.fabric import SwitchFabric
 from repro.router.linecard import Linecard
 from repro.router.packets import Packet, Protocol, segment
+from repro.router.planner2 import POLICY_NAMES, make_policy
 from repro.router.protocol import CoverageStream, EIBProtocol
 from repro.router.reassembly import ReassemblyBuffer
 from repro.router.recovery import (
@@ -74,12 +75,22 @@ class RouterConfig:
     spares_per_protocol: int = 1
     spare_swap_delay_s: float = 2e-3
     seed: int = 0
+    #: planner v2 coverage policy: "static" reproduces the paper's
+    #: slot-rank first-fit contention bit for bit; "adaptive" scores
+    #: LC_inter candidates by headroom/health/spread, replans active
+    #: streams on fault news, and sheds rate fairly under EIB overload.
+    coverage_policy: str = "static"
 
     def __post_init__(self) -> None:
         if self.n_linecards < 2:
             raise ValueError(f"need at least 2 linecards, got {self.n_linecards}")
         if not self.protocols:
             raise ValueError("protocols must not be empty")
+        if self.coverage_policy not in POLICY_NAMES:
+            raise ValueError(
+                f"unknown coverage policy {self.coverage_policy!r} "
+                f"(choose from {POLICY_NAMES})"
+            )
 
     def protocol_of(self, lc_id: int) -> Protocol:
         """Protocol assigned to ``lc_id`` (cycling)."""
@@ -141,7 +152,12 @@ class Router:
             )
             self.planner.clock = lambda: self.engine.now
             self.protocol: EIBProtocol | None = EIBProtocol(
-                self.engine, self.eib, self.linecards, self.stats, self.rng.stream("protocol")
+                self.engine,
+                self.eib,
+                self.linecards,
+                self.stats,
+                self.rng.stream("protocol"),
+                policy=make_policy(config.coverage_policy),
             )
         else:
             self.eib = None
@@ -274,8 +290,16 @@ class Router:
             )
         unit.fail()
         self.faults.mark_failed(lc_id, kind, fault_id)
+        if self.protocol is not None:
+            # Health history for the adaptive policy: every activation
+            # (including each intermittent flap) is one unit of penalty.
+            self.protocol.policy.observe_fault(lc_id, self.engine.now)
         if self.detector is not None:
             self.detector.on_fault(lc_id, kind, fault_id)
+        elif self.protocol is not None:
+            # Oracle dissemination: every LC learns instantly, so the
+            # replanning hook fires once for all observers.
+            self.protocol.on_fault_news(None, lc_id, kind, repaired=False)
         if kind is ComponentKind.SRU:
             # Partial packets inside the failed SRU are destroyed; their
             # drop accounting happens through the buffers' abort callbacks.
@@ -312,10 +336,14 @@ class Router:
         unit.repair()
         fault_id = self._retire_fault_id(lc_id, kind)
         self.faults.mark_repaired(lc_id, kind)
+        if self.protocol is not None:
+            self.protocol.policy.observe_repair(lc_id, self.engine.now)
         if self.detector is not None:
             self.detector.on_repair(lc_id, kind)
         if self.protocol is not None:
             self.protocol.release_streams_for_fault(lc_id, kind)
+            if self.detector is None:
+                self.protocol.on_fault_news(None, lc_id, kind, repaired=True)
         return fault_id
 
     def _start_spare_swap(self, lc_id: int, kind: ComponentKind) -> None:

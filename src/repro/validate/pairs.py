@@ -24,6 +24,9 @@ pair                        analytic vs empirical                       judgment
 ``coverage.feasibility``    coverage-planner feasibility fraction        Wilson CI
                             over all (src, dst) pairs vs delivered
                             fraction of randomly addressed packets
+``coverage.policy_          static-policy delivered fraction vs the      dominance
+dominance``                 adaptive policy on the same multi-fault
+                            schedule (adaptive must deliver >= static)
 ==========================  ==========================================  =========
 
 Each pair function takes ``(n, rng, perturb)`` and returns a plain-dict
@@ -515,6 +518,92 @@ def _pair_coverage_feasibility(
     )
 
 
+def _pair_coverage_policy_dominance(
+    n: int, rng: np.random.Generator, perturb: Mapping[str, float], z: float
+) -> dict[str, Any]:
+    """Planner v2 pin: the adaptive policy must dominate the static one.
+
+    Two identically-seeded routers replay the same multi-fault schedule
+    under each coverage policy: PDLU faults at LC0/LC1 force two ingress
+    coverage streams (static slot-rank piles both onto LC2), then an SRU
+    fault at LC2 mid-window kills the covering card.  The static policy
+    keeps its streams pointed at the dead LC (packets drop mid-flight
+    until repair); the adaptive policy replans onto healthy candidates
+    within its backoff window.  ``n`` identically-drawn probe packets
+    are offered to both; adaptive delivered count must be at least the
+    static count minus a small in-flight quantisation slack.
+    """
+    from repro.router import ComponentKind, Router, RouterConfig, RouterMode
+    from repro.router.packets import Packet, Protocol
+    from repro.traffic.generators import _draw_dst_addr
+
+    del perturb  # no analytic side: the static policy is the baseline
+
+    spacing = 2e-6
+    fault_t = (n // 2) * spacing
+    # One shared draw sequence so both routers see byte-identical traffic.
+    dsts = [int(d) for d in rng.integers(3, 6, size=n)]
+    addr_rng = np.random.default_rng(2**31 - 1)
+    addrs = [_draw_dst_addr(d, addr_rng) for d in dsts]
+
+    def run_policy(policy: str) -> int:
+        router = Router(
+            RouterConfig(
+                n_linecards=6,
+                mode=RouterMode.DRA,
+                seed=23,
+                coverage_policy=policy,
+            )
+        )
+        router.inject_fault(0, ComponentKind.PDLU)
+        router.inject_fault(1, ComponentKind.PDLU)
+        router.engine.schedule(
+            fault_t,
+            lambda: router.inject_fault(2, ComponentKind.SRU),
+            label="validate:dominance:fault",
+        )
+        for k in range(n):
+            t = (k + 1) * spacing
+            pkt = Packet(
+                src_lc=k % 2,
+                dst_lc=dsts[k],
+                dst_addr=addrs[k],
+                size_bytes=500,
+                protocol=Protocol.ETHERNET,
+                created_at=t,
+            )
+            router.engine.schedule(
+                t, lambda p=pkt: router.inject(p), label="validate:dominance:inject"
+            )
+        router.run(until=(n + 1) * spacing + 20e-3)
+        return router.stats.delivered
+
+    delivered_static = run_policy("static")
+    delivered_adaptive = run_policy("adaptive")
+    frac_s = delivered_static / n
+    frac_e = delivered_adaptive / n
+    # In-flight quantisation: packets straddling the fault instant can
+    # die on either side of the replan race regardless of policy.
+    slack = 3
+    ci = wilson_interval(delivered_adaptive, n, z=z)
+    return pair_result(
+        "coverage.policy_dominance",
+        method="dominance",
+        analytic=frac_s,
+        empirical=frac_e,
+        ci_lo=ci.lo,
+        ci_hi=ci.hi,
+        n=n,
+        passed=delivered_adaptive >= delivered_static - slack,
+        detail={
+            "delivered_static": delivered_static,
+            "delivered_adaptive": delivered_adaptive,
+            "slack_packets": slack,
+            "fault_t_s": fault_t,
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
@@ -579,6 +668,11 @@ PAIRS: dict[str, PairSpec] = {
         PairSpec(
             "coverage.feasibility",
             _pair_coverage_feasibility,
+            {"smoke": 400, "full": 1_200},
+        ),
+        PairSpec(
+            "coverage.policy_dominance",
+            _pair_coverage_policy_dominance,
             {"smoke": 400, "full": 1_200},
         ),
     )

@@ -54,3 +54,42 @@ class TestCampaign:
         window = _trace_window(SMALL, 0)
         assert 0 < len(window) <= SMALL.trace_events
         assert all({"seq", "t", "kind", "data"} <= set(ev) for ev in window)
+
+
+class TestPolicyMatrix:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            run_schedule(
+                CampaignConfig(seeds=1, coverage_policy="greedy"), 0
+            )
+
+    @pytest.mark.parametrize("base_seed", [0, 1, 12345])
+    def test_static_policy_bit_identical_to_default(self, base_seed):
+        # coverage_policy="static" must be a pure refactor of the
+        # pre-planner-v2 code path: byte-identical schedules (and
+        # jobs-independent) for every base seed.
+        default = CampaignConfig(
+            seeds=2, base_seed=base_seed, duration_s=0.002, drain_s=0.012
+        )
+        explicit = CampaignConfig(
+            seeds=2,
+            base_seed=base_seed,
+            duration_s=0.002,
+            drain_s=0.012,
+            coverage_policy="static",
+        )
+        r1 = run_campaign(default, jobs=1)
+        r2 = run_campaign(explicit, jobs=2)
+        assert json.dumps(r1["schedules"], sort_keys=True) == json.dumps(
+            r2["schedules"], sort_keys=True
+        )
+
+    def test_adaptive_policy_holds_invariants_and_jobs_identity(self):
+        cfg = CampaignConfig(
+            seeds=3, duration_s=0.002, drain_s=0.012, coverage_policy="adaptive"
+        )
+        r1 = run_campaign(cfg, jobs=1)
+        r2 = run_campaign(cfg, jobs=2)
+        assert json.dumps(r1, sort_keys=True) == json.dumps(r2, sort_keys=True)
+        assert r1["totals"]["violations"] == 0
+        assert r1["config"]["coverage_policy"] == "adaptive"

@@ -1,0 +1,342 @@
+"""Planner v2 coverage policies: static bit-identity, adaptive scoring,
+replanning, fair degradation, and the reserve-race observability."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry, collecting
+from repro.obs import trace as _trace
+from repro.router.bus import EIB
+from repro.router.components import ComponentKind
+from repro.router.linecard import Linecard
+from repro.router.packets import Packet, Protocol
+from repro.router.planner2 import (
+    POLICY_NAMES,
+    AdaptivePolicy,
+    StaticPolicy,
+    make_policy,
+)
+from repro.router.protocol import EIBProtocol, StreamState
+from repro.router.router import Router, RouterConfig, RouterMode
+from repro.router.routing import RouteProcessor
+from repro.router.stats import RouterStats
+from repro.sim import Engine
+
+
+def make_world(n=4, protocols=(Protocol.ETHERNET,), policy=None, data_rate_bps=20e9):
+    eng = Engine()
+    lcs = {i: Linecard(i, protocols[i % len(protocols)], dra=True) for i in range(n)}
+    rp = RouteProcessor()
+    rp.default_full_mesh(n)
+    for lc in lcs.values():
+        lc.table = rp.distribute()
+    eib = EIB(eng, list(lcs), np.random.default_rng(0), data_rate_bps=data_rate_bps)
+    stats = RouterStats()
+    proto = EIBProtocol(
+        eng, eib, lcs, stats, np.random.default_rng(1), policy=policy
+    )
+    return eng, lcs, eib, proto, stats
+
+
+def make_router(policy="adaptive", n=6, seed=11):
+    return Router(
+        RouterConfig(
+            n_linecards=n, mode=RouterMode.DRA, seed=seed, coverage_policy=policy
+        )
+    )
+
+
+def probe(src, dst, created_at=0.0):
+    return Packet(src, dst, 0x0A000001 + (dst << 16), 500, Protocol.ETHERNET, created_at)
+
+
+class TestFactoryAndConfig:
+    def test_registered_names(self):
+        assert POLICY_NAMES == ("static", "adaptive")
+        assert isinstance(make_policy("static"), StaticPolicy)
+        assert isinstance(make_policy("adaptive"), AdaptivePolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown coverage policy"):
+            make_policy("greedy")
+        with pytest.raises(ValueError, match="unknown coverage policy"):
+            RouterConfig(coverage_policy="greedy")
+
+    def test_default_is_static(self):
+        _eng, _lcs, _eib, proto, _stats = make_world()
+        assert isinstance(proto.policy, StaticPolicy)
+        assert not proto.policy.replans
+        assert not proto.policy.degrades
+
+    def test_adaptive_rejects_bad_decay(self):
+        with pytest.raises(ValueError, match="health_decay_s"):
+            AdaptivePolicy(health_decay_s=0.0)
+
+
+class TestStaticBitIdentity:
+    def test_reply_delay_matches_paper_formula(self):
+        # The StaticPolicy delay must be the exact pre-policy inline
+        # formula: same rank arithmetic, same single uniform draw.
+        policy = StaticPolicy()
+        for me, requester, n in ((1, 0, 4), (0, 3, 4), (5, 2, 6)):
+            r1 = np.random.default_rng(9)
+            r2 = np.random.default_rng(9)
+            got = policy.reply_delay(me, requester, n, 1e9, r1)
+            rank = (me - requester) % n
+            want = 0.5e-6 + 2e-6 * rank + float(r2.uniform(0.0, 0.4e-6))
+            assert got == want
+
+    def test_explicit_static_router_matches_default(self):
+        # policy="static" must be indistinguishable from the pre-policy
+        # default: identical deliveries under identical fault schedules.
+        def run(policy_kwargs):
+            router = Router(
+                RouterConfig(
+                    n_linecards=6, mode=RouterMode.DRA, seed=5, **policy_kwargs
+                )
+            )
+            router.inject_fault(0, ComponentKind.PDLU)
+            for k in range(40):
+                t = (k + 1) * 2e-6
+                pkt = probe(0, 3 + k % 3, t)
+                router.engine.schedule(
+                    t, lambda p=pkt: router.inject(p), label="test:inject"
+                )
+            router.run(until=5e-3)
+            return (
+                router.stats.delivered,
+                dict(router.stats.drops),
+                router.stats.latency.mean,
+            )
+
+        assert run({}) == run({"coverage_policy": "static"})
+
+
+class TestAdaptiveScoring:
+    def test_flap_history_decays(self):
+        policy = AdaptivePolicy(health_decay_s=1e-3)
+        policy.observe_fault(2, 0.0)
+        policy.observe_fault(2, 0.0)
+        policy.observe_fault(2, 0.0)
+        assert policy._decayed(2, 0.0) == pytest.approx(3.0)
+        assert policy._decayed(2, 1e-3) == pytest.approx(3.0 * np.exp(-1.0))
+        assert policy._decayed(2, 10e-3) < 0.001
+
+    def test_repair_keeps_history(self):
+        # A flapping card that repairs fast must still look restless.
+        policy = AdaptivePolicy()
+        policy.observe_fault(1, 0.0)
+        policy.observe_repair(1, 1e-5)
+        assert policy._decayed(1, 1e-5) > 0.9
+
+    def test_loaded_candidate_scores_lower(self):
+        eng, lcs, eib, proto, stats = make_world(policy=AdaptivePolicy())
+        policy = proto.policy
+        baseline = policy.score(2, 1e9)
+        lcs[2].reserve(8e9)  # near-full card
+        assert policy.score(2, 1e9) < baseline
+
+    def test_scores_order_not_veto(self):
+        # Every candidate flapping and loaded: delays still finite, so a
+        # solicitation cannot deadlock -- the least-bad candidate wins.
+        eng, lcs, eib, proto, stats = make_world(policy=AdaptivePolicy())
+        for i in (1, 2, 3):
+            for _ in range(50):
+                proto.policy.observe_fault(i, 0.0)
+            lcs[i].reserve(9e9)
+        results = []
+        proto.ensure_stream(
+            ("ingress", 0, ComponentKind.SRU), 0, 0.5e9, results.append,
+            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET,
+        )
+        eng.run(until=0.01)
+        assert results[0] is not None
+        assert results[0].state is StreamState.ACTIVE
+
+
+class TestSpread:
+    def test_second_stream_avoids_busy_coverer(self):
+        # With one coverage stream active, the spread term (0.2 weight,
+        # 0.8 us of delay span) dominates the 0.2 us jitter: the second
+        # solicitation must elect a different LC_inter.
+        eng, lcs, eib, proto, stats = make_world(n=6, policy=AdaptivePolicy())
+        first, second = [], []
+        proto.ensure_stream(
+            ("ingress", 0, ComponentKind.SRU), 0, 1e9, first.append,
+            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET,
+        )
+        eng.run(until=1e-3)
+        proto.ensure_stream(
+            ("ingress", 1, ComponentKind.SRU), 1, 1e9, second.append,
+            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET,
+        )
+        eng.run(until=2e-3)
+        assert first[0].state is StreamState.ACTIVE
+        assert second[0].state is StreamState.ACTIVE
+        assert second[0].covering_lc != first[0].covering_lc
+
+
+class TestReplanning:
+    def _covered_router(self, policy="adaptive"):
+        router = make_router(policy=policy)
+        router.inject_fault(0, ComponentKind.PDLU)
+        router.engine.schedule(
+            1e-6, lambda: router.inject(probe(0, 3, 1e-6)), label="test:inject"
+        )
+        router.run(until=1e-3)
+        stream = router.protocol.stream(("ingress", 0, ComponentKind.PDLU))
+        assert stream is not None and stream.state is StreamState.ACTIVE
+        return router, stream
+
+    def test_adaptive_replans_on_covering_lc_fault(self):
+        registry = MetricsRegistry()
+        with collecting(registry):
+            router, stream = self._covered_router()
+            dead = stream.covering_lc
+            router.inject_fault(dead, ComponentKind.SRU)
+            router.run(until=3e-3)
+        replanned = router.protocol.stream(("ingress", 0, ComponentKind.PDLU))
+        assert replanned is not None
+        assert replanned.state is StreamState.ACTIVE
+        assert replanned.covering_lc != dead
+        assert registry.counter("coverage.replans").value >= 1
+
+    def test_static_keeps_paper_behavior(self):
+        # The static policy must NOT replan: the stream stays pointed at
+        # the dead coverer until the covered fault itself is repaired.
+        router, stream = self._covered_router(policy="static")
+        dead = stream.covering_lc
+        router.inject_fault(dead, ComponentKind.SRU)
+        router.run(until=3e-3)
+        after = router.protocol.stream(("ingress", 0, ComponentKind.PDLU))
+        assert after is stream
+        assert after.state is StreamState.ACTIVE
+        assert after.covering_lc == dead
+
+    def test_replan_races_repair_flt_c(self):
+        # Covering LC faults, then repairs before/while the backoff
+        # retry is pending: the repaired-news prompt retry and the
+        # armed backoff must not double-fire or corrupt stream state.
+        router, stream = self._covered_router()
+        dead = stream.covering_lc
+        router.inject_fault(dead, ComponentKind.SRU)
+        router.engine.schedule(
+            router.engine.now + 20e-6,
+            lambda: router.repair_fault(dead, ComponentKind.SRU),
+            label="test:repair",
+        )
+        router.run(until=5e-3)
+        after = router.protocol.stream(("ingress", 0, ComponentKind.PDLU))
+        assert after is not None
+        assert after.state is StreamState.ACTIVE
+        snap = router.protocol.snapshot_state()
+        assert snap["soliciting_without_timeout"] == []
+        assert snap["stale_timeouts"] == []
+
+    def test_backoff_attempts_are_bounded(self):
+        # With every candidate permanently unable to cover, replanning
+        # must give up after replan_max_attempts rather than re-solicit
+        # forever.
+        eng, lcs, eib, proto, stats = make_world(policy=AdaptivePolicy())
+        for i in (1, 2, 3):
+            lcs[i].sru.fail()
+        results = []
+        proto.ensure_stream(
+            ("ingress", 0, ComponentKind.SRU), 0, 1e9, results.append,
+            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET,
+        )
+        eng.run(until=1.0)  # far past any backoff horizon
+        assert results == [None]
+        max_solicits = proto.policy.replan_max_attempts + 1
+        assert stats.streams_failed <= max_solicits
+
+
+class TestFairDegradation:
+    def _establish(self, proto, eng, init_lc, rate):
+        results = []
+        proto.ensure_stream(
+            ("ingress", init_lc, ComponentKind.SRU), init_lc, rate, results.append,
+            fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET,
+        )
+        eng.run(until=eng.now + 1e-3)
+        assert results[0] is not None and results[0].state is StreamState.ACTIVE
+        return results[0]
+
+    def test_proportional_shed_over_capacity(self):
+        registry = MetricsRegistry()
+        tracer = _trace.Tracer(path=None)
+        prev = _trace.TRACER
+        _trace.set_tracer(tracer)
+        try:
+            with collecting(registry):
+                eng, lcs, eib, proto, stats = make_world(
+                    n=6, policy=AdaptivePolicy(), data_rate_bps=1e9
+                )
+                a = self._establish(proto, eng, 0, 0.8e9)
+                b = self._establish(proto, eng, 1, 0.6e9)
+        finally:
+            _trace.set_tracer(prev)
+        factor = 1e9 / 1.4e9
+        assert a.rate_bps == pytest.approx(0.8e9 * factor)
+        assert b.rate_bps == pytest.approx(0.6e9 * factor)
+        # Bookkeeping stays mutually consistent: LP rates match stream
+        # rates and the coverers' reservations were shrunk by the shed.
+        snap = proto.snapshot_state()
+        assert sum(snap["lp_rates"].values()) == pytest.approx(1e9)
+        assert snap["active_rate_by_sender"] == pytest.approx(snap["lp_rates"])
+        assert lcs[a.covering_lc].committed_bps == pytest.approx(a.rate_bps)
+        assert registry.counter("coverage.degradations").value == 1
+        events = [ev for ev in tracer.events if ev.kind == "coverage.degraded"]
+        assert len(events) == 1
+        assert events[0].data["factor"] == pytest.approx(factor)
+        assert events[0].data["reason"] == "eib_overload"
+
+    def test_exactly_at_capacity_no_shed(self):
+        registry = MetricsRegistry()
+        with collecting(registry):
+            eng, lcs, eib, proto, stats = make_world(
+                n=6, policy=AdaptivePolicy(), data_rate_bps=1e9
+            )
+            a = self._establish(proto, eng, 0, 0.6e9)
+            b = self._establish(proto, eng, 1, 0.4e9)
+        assert a.rate_bps == 0.6e9
+        assert b.rate_bps == 0.4e9
+        assert registry.counter("coverage.degradations").value == 0
+
+    def test_static_policy_never_degrades(self):
+        eng, lcs, eib, proto, stats = make_world(n=6, data_rate_bps=1e9)
+        a = self._establish(proto, eng, 0, 0.8e9)
+        b = self._establish(proto, eng, 1, 0.6e9)
+        assert a.rate_bps == 0.8e9  # paper behavior: no shedding
+        assert b.rate_bps == 0.6e9
+
+
+class TestReserveRace:
+    def test_race_emits_event_and_counter(self):
+        registry = MetricsRegistry()
+        tracer = _trace.Tracer(path=None)
+        prev = _trace.TRACER
+        _trace.set_tracer(tracer)
+        try:
+            with collecting(registry):
+                eng, lcs, eib, proto, stats = make_world()
+                results = []
+                proto.ensure_stream(
+                    ("ingress", 0, ComponentKind.SRU), 0, 2e9, results.append,
+                    fault_kind=ComponentKind.SRU, protocol=Protocol.ETHERNET,
+                )
+                # Let the REQ_D reach the candidates (their can_cover
+                # passed), then burn every candidate's headroom before
+                # the winning REP_D resolves the stream.
+                eng.run(until=1.5e-6)
+                for i in (1, 2, 3):
+                    assert lcs[i].reserve(9e9)
+                eng.run(until=0.01)
+        finally:
+            _trace.set_tracer(prev)
+        assert results == [None]
+        assert registry.counter("protocol.reserve_races").value == 1
+        events = [ev for ev in tracer.events if ev.kind == "protocol.reserve_race"]
+        assert len(events) == 1
+        assert events[0].data["init_lc"] == 0
+        assert events[0].data["responder"] in (1, 2, 3)

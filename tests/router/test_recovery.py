@@ -180,6 +180,16 @@ class TestCandidates:
         cands = planner.ingress_candidates(pkt(src=0, dst=1), ComponentKind.SRU, 1e9)
         assert set(cands) == {4, 5}
 
+    def test_candidates_sorted_regardless_of_dict_order(self):
+        # DRA103 spirit: candidate ranking must not depend on the
+        # construction order of the linecard dict.
+        reversed_lcs = dict(sorted(make_lcs().items(), reverse=True))
+        planner = CoveragePlanner(reversed_lcs, FaultMap())
+        ing = planner.ingress_candidates(pkt(src=0, dst=1), ComponentKind.SRU, 1e9)
+        egr = planner.egress_inter_candidates(pkt(src=0, dst=1), 1e9)
+        assert ing == sorted(ing) == [2, 3, 4, 5]
+        assert egr == sorted(egr) == [2, 3, 4, 5]
+
 
 class TestFaultMapHygiene:
     def test_mark_repaired_prunes_empty_entries(self):
