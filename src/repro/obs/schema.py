@@ -55,6 +55,8 @@ TRACE_EVENT_KINDS: Mapping[str, str] = {
     "bus.lp.close": "a logical path finishes draining and closes",
     "bus.tdm.grant": "the TDM scheduler grants a slot",
     "bus.data.drop": "a data transfer is dropped",
+    # switching fabric (src/repro/router/fabric.py)
+    "fabric.drop": "a dead fabric clears a port queue (cells discarded)",
     # recovery / coverage (src/repro/router/recovery.py, protocol.py)
     "recovery.fault_mark": "the fault map marks a component faulty",
     "recovery.fault_clear": "the fault map clears a repaired component",
@@ -100,6 +102,8 @@ METRIC_NAMES: Mapping[str, str] = {
     "bus.lp.open": "gauge: logical paths currently open",
     "bus.tdm.grants": "counter: TDM slots granted",
     "bus.data.dropped": "counter: data transfers dropped",
+    # switching fabric
+    "fabric.cells_dropped": "counter: cells discarded when a dead fabric clears a port queue",
     # recovery / coverage / protocol
     "recovery.faults_marked": "counter: fault-map mark transitions",
     "recovery.faults_repaired": "counter: fault-map clear transitions",

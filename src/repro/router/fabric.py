@@ -12,18 +12,46 @@ shows the service impact the analysis abstracts away.
 Transfer model: one FIFO queue per output port drained at the port's cell
 rate (a standard output-queued crossbar abstraction); the fabric is
 non-blocking on inputs.
+
+Cell-clock dispatch comes in two flavours, mirroring the Monte Carlo
+kernels' ``method=`` switch (``docs/performance.md``):
+
+* ``cell_dispatch="scalar"`` -- the reference oracle: every cell crossing
+  a port schedules its own heap event, exactly the original per-cell
+  clock.
+* ``cell_dispatch="batched"`` (default) -- a run of queued cells is
+  driven by one :meth:`~repro.sim.Engine.schedule_run` burst whose
+  per-cell callbacks fire at their computed timestamps inside it.  The
+  effective rate is re-read at every cell boundary -- the same instant
+  the scalar clock reads it -- so a mid-run ``active_fraction`` change
+  (card fail/repair/spare swap) splits the burst onto the new rate with
+  timestamps bit-identical to the scalar reference.
+
+Both dispatchers read the cached ``_fraction`` maintained by
+:meth:`fail_card` / :meth:`repair_card`; card-health changes must go
+through those methods for the data path to see them.  The only
+observable difference between the modes is queue accounting granularity:
+the scalar clock holds the in-service cell outside the queue while the
+batched clock pops at delivery, so ``queue_depth`` can differ by one
+mid-flight.  Delivery timestamps, trace events, drop accounting and
+counters are bit-identical (``tests/router/test_fabric_dispatch.py``).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sim import Engine
 from repro.router.packets import Cell
 
-__all__ = ["FabricCard", "SwitchFabric"]
+__all__ = ["FabricCard", "SwitchFabric", "CELL_DISPATCH_MODES"]
+
+#: Recognised cell-clock dispatch modes (``scalar`` is the oracle).
+CELL_DISPATCH_MODES = ("batched", "scalar")
 
 
 @dataclass
@@ -51,6 +79,7 @@ class _OutputPort:
     queue: deque = field(default_factory=deque)
     busy: bool = False
     delivered_cells: int = 0
+    dropped_cells: int = 0
 
 
 class SwitchFabric:
@@ -68,6 +97,9 @@ class SwitchFabric:
         Fabric card complement (default 4 + 1, the Cisco 12000 layout).
         Port rate scales with ``active_fraction`` when cards are lost
         beyond the spares.
+    cell_dispatch:
+        ``"batched"`` (one burst event per run of queued cells) or
+        ``"scalar"`` (one heap event per cell, the reference oracle).
     """
 
     def __init__(
@@ -78,15 +110,22 @@ class SwitchFabric:
         port_rate_cells_per_s: float = 25e6,
         n_active_cards: int = 4,
         n_spare_cards: int = 1,
+        cell_dispatch: str = "batched",
     ) -> None:
         if n_ports < 1:
             raise ValueError(f"fabric needs at least one port, got {n_ports}")
         if n_active_cards < 1 or n_spare_cards < 0:
             raise ValueError("invalid fabric card complement")
+        if cell_dispatch not in CELL_DISPATCH_MODES:
+            raise ValueError(
+                f"unknown cell_dispatch {cell_dispatch!r}; "
+                f"choose from {CELL_DISPATCH_MODES}"
+            )
         self._engine = engine
         self._ports = [_OutputPort() for _ in range(n_ports)]
         self._rate = port_rate_cells_per_s
         self._n_active_required = n_active_cards
+        self.cell_dispatch = cell_dispatch
         self.cards = [
             FabricCard(i, port_rate_cells_per_s / n_active_cards)
             for i in range(n_active_cards + n_spare_cards)
@@ -94,6 +133,9 @@ class SwitchFabric:
         for spare in self.cards[n_active_cards:]:
             spare.active = False
         self.swaps = 0  # spare activations, for stats
+        #: cached ``active_fraction``, refreshed by fail/repair; both
+        #: dispatchers read this at every cell boundary.
+        self._fraction = self.active_fraction
 
     @property
     def n_ports(self) -> int:
@@ -109,17 +151,19 @@ class SwitchFabric:
     @property
     def operational(self) -> bool:
         """True while any card capacity remains."""
-        return self.active_fraction > 0.0
+        return self._fraction > 0.0
 
     def fail_card(self, card_id: int) -> None:
         """Fail a fabric card and swap in a spare when one is available."""
         self.cards[card_id].fail()
         self._activate_spares()
+        self._fraction = self.active_fraction
 
     def repair_card(self, card_id: int) -> None:
         """Repair a card (returns as standby, promoted if capacity short)."""
         self.cards[card_id].repair()
         self._activate_spares()
+        self._fraction = self.active_fraction
 
     def _activate_spares(self) -> None:
         active = sum(1 for c in self.cards if c.active and c.healthy)
@@ -146,8 +190,44 @@ class SwitchFabric:
         port = self._ports[dst_port]
         port.queue.append((cell, on_delivered))
         if not port.busy:
-            self._drain(dst_port)
+            self._begin(dst_port)
         return True
+
+    def transfer_run(
+        self,
+        cells: Iterable[Cell],
+        dst_port: int,
+        on_delivered: Callable[[Cell], None],
+    ) -> bool:
+        """Enqueue a run of cells for ``dst_port`` as one scheduled unit.
+
+        The run-batched counterpart of per-cell :meth:`transfer`: one
+        operational check, one queue extension and at most one clock
+        start for the whole run (a segmented packet's cells enter the
+        fabric together).  Synchronously equivalent to calling
+        :meth:`transfer` per cell -- the fabric cannot die between the
+        iterations of a same-instant loop.
+        """
+        if not self.operational:
+            return False
+        if not 0 <= dst_port < len(self._ports):
+            raise ValueError(f"destination port {dst_port} out of range")
+        port = self._ports[dst_port]
+        append = port.queue.append
+        for cell in cells:
+            append((cell, on_delivered))
+        if not port.busy and port.queue:
+            self._begin(dst_port)
+        return True
+
+    def _begin(self, port_idx: int) -> None:
+        """Start the configured cell clock on an idle, non-empty port."""
+        if self.cell_dispatch == "batched":
+            self._start_run(port_idx)
+        else:
+            self._drain(port_idx)
+
+    # -- scalar dispatch: one heap event per cell (the reference oracle) ----
 
     def _drain(self, port_idx: int) -> None:
         port = self._ports[port_idx]
@@ -155,13 +235,13 @@ class SwitchFabric:
             port.busy = False
             return
         port.busy = True
-        cell, callback = port.queue.popleft()
-        rate = self._rate * self.active_fraction
+        rate = self._rate * self._fraction
         if rate <= 0.0:
-            # Fabric died with cells in flight: drop the queue.
-            port.queue.clear()
-            port.busy = False
+            # Fabric died with cells in flight: the queue is dropped,
+            # with the loss accounted (metric, trace event, counters).
+            self._drop_queue(port_idx)
             return
+        cell, callback = port.queue.popleft()
         delay = 1.0 / rate
 
         def finish() -> None:
@@ -171,6 +251,51 @@ class SwitchFabric:
 
         self._engine.schedule_in(delay, finish, label=f"fabric:port{port_idx}")
 
+    # -- batched dispatch: one burst run per run of queued cells ------------
+
+    def _start_run(self, port_idx: int) -> None:
+        port = self._ports[port_idx]
+        port.busy = True
+        engine = self._engine
+        queue = port.queue
+        rate = self._rate * self._fraction
+
+        def step() -> float | None:
+            cell, callback = queue.popleft()
+            port.delivered_cells += 1
+            callback(cell)
+            if not queue:
+                port.busy = False
+                return None
+            # Re-read the effective rate at the cell boundary -- the
+            # same instant the scalar clock reads it -- so a mid-run
+            # active_fraction change splits the burst onto the new rate.
+            rate = self._rate * self._fraction
+            if rate <= 0.0:
+                self._drop_queue(port_idx)
+                return None
+            return engine.now + 1.0 / rate
+
+        engine.schedule_run(
+            engine.now + 1.0 / rate, step, label=f"fabric:port{port_idx}"
+        )
+
+    def _drop_queue(self, port_idx: int) -> None:
+        """Drop every queued cell of a port on a dead fabric, accounted."""
+        port = self._ports[port_idx]
+        n = len(port.queue)
+        port.queue.clear()
+        port.busy = False
+        if n == 0:
+            return
+        port.dropped_cells += n
+        if _metrics.REGISTRY is not None:
+            _metrics.REGISTRY.counter("fabric.cells_dropped").inc(n)
+        if _trace.TRACER is not None:
+            _trace.TRACER.emit(
+                "fabric.drop", t=self._engine.now, port=port_idx, cells=n
+            )
+
     def queue_depth(self, port_idx: int) -> int:
         """Cells waiting at an output port (diagnostics)."""
         return len(self._ports[port_idx].queue)
@@ -178,3 +303,7 @@ class SwitchFabric:
     def delivered_cells(self, port_idx: int) -> int:
         """Cells delivered through an output port so far."""
         return self._ports[port_idx].delivered_cells
+
+    def dropped_cells(self, port_idx: int) -> int:
+        """Cells dropped at an output port by fabric death so far."""
+        return self._ports[port_idx].dropped_cells

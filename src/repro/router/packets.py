@@ -24,6 +24,7 @@ __all__ = [
     "Packet",
     "Cell",
     "CELL_PAYLOAD_BYTES",
+    "cell_count",
     "segment",
     "ControlKind",
     "ControlPacket",
@@ -107,6 +108,17 @@ class Cell:
             raise ValueError(f"invalid cell payload {self.payload_bytes}")
 
 
+def cell_count(size_bytes: int) -> int:
+    """Fabric cells a packet of ``size_bytes`` segments into.
+
+    >>> cell_count(1500)
+    32
+    >>> cell_count(48), cell_count(49)
+    (1, 2)
+    """
+    return -(-size_bytes // CELL_PAYLOAD_BYTES)  # ceil division
+
+
 def segment(packet: Packet, dst_lc: int | None = None) -> list[Cell]:
     """Split ``packet`` into fabric cells (the SRU's segmentation step).
 
@@ -114,15 +126,28 @@ def segment(packet: Packet, dst_lc: int | None = None) -> list[Cell]:
     packet's destination LC (used when cells detour through an LC_inter).
     """
     dst = packet.dst_lc if dst_lc is None else dst_lc
-    n_cells = -(-packet.size_bytes // CELL_PAYLOAD_BYTES)  # ceil division
-    cells = []
-    remaining = packet.size_bytes
-    for seq in range(n_cells):
-        payload = min(CELL_PAYLOAD_BYTES, remaining)
-        cells.append(
-            Cell(pkt_id=packet.pkt_id, seq=seq, total=n_cells, payload_bytes=payload, dst_lc=dst)
+    n_cells = cell_count(packet.size_bytes)
+    pkt_id = packet.pkt_id
+    last = packet.size_bytes - (n_cells - 1) * CELL_PAYLOAD_BYTES
+    cells = [
+        Cell(
+            pkt_id=pkt_id,
+            seq=seq,
+            total=n_cells,
+            payload_bytes=CELL_PAYLOAD_BYTES,
+            dst_lc=dst,
         )
-        remaining -= payload
+        for seq in range(n_cells - 1)
+    ]
+    cells.append(
+        Cell(
+            pkt_id=pkt_id,
+            seq=n_cells - 1,
+            total=n_cells,
+            payload_bytes=last,
+            dst_lc=dst,
+        )
+    )
     return cells
 
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from repro.obs import trace as _trace
 from repro.router.bus import EIB
 from repro.router.components import ComponentKind
-from repro.router.fabric import SwitchFabric
+from repro.router.fabric import CELL_DISPATCH_MODES, SwitchFabric
 from repro.router.linecard import Linecard
 from repro.router.packets import Packet, Protocol, segment
 from repro.router.planner2 import POLICY_NAMES, make_policy
@@ -80,6 +80,10 @@ class RouterConfig:
     #: LC_inter candidates by headroom/health/spread, replans active
     #: streams on fault news, and sheds rate fairly under EIB overload.
     coverage_policy: str = "static"
+    #: fabric cell-clock dispatch: "batched" drives a run of queued cells
+    #: with one burst event; "scalar" is the per-cell reference oracle
+    #: (bit-identical results, docs/performance.md).
+    cell_dispatch: str = "batched"
 
     def __post_init__(self) -> None:
         if self.n_linecards < 2:
@@ -90,6 +94,11 @@ class RouterConfig:
             raise ValueError(
                 f"unknown coverage policy {self.coverage_policy!r} "
                 f"(choose from {POLICY_NAMES})"
+            )
+        if self.cell_dispatch not in CELL_DISPATCH_MODES:
+            raise ValueError(
+                f"unknown cell_dispatch {self.cell_dispatch!r} "
+                f"(choose from {CELL_DISPATCH_MODES})"
             )
 
     def protocol_of(self, lc_id: int) -> Protocol:
@@ -134,6 +143,7 @@ class Router:
             port_rate_cells_per_s=config.fabric_cell_rate,
             n_active_cards=config.fabric_active_cards,
             n_spare_cards=config.fabric_spare_cards,
+            cell_dispatch=config.cell_dispatch,
         )
 
         self.faults = FaultMap()
@@ -634,10 +644,10 @@ class Router:
                 lambda reason: self._drop(packet, f"reassembly_{reason}"),
             )
 
-        for cell in cells:
-            if not self.fabric.transfer(cell, dst, cell_arrived):
-                self._drop(packet, DropReason.FABRIC_DOWN)
-                return
+        # The whole segmented packet enters the fabric as one scheduled
+        # unit: one operational check and at most one cell-clock start.
+        if not self.fabric.transfer_run(cells, dst, cell_arrived):
+            self._drop(packet, DropReason.FABRIC_DOWN)
 
     def _egress_fabric(self, packet: Packet, plan: CoveragePlan, dst: int) -> None:
         lc = self.linecards[dst]

@@ -35,6 +35,9 @@ class Engine:
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        #: the ``until`` horizon of the active :meth:`run` call; burst
+        #: runs consult it so inline sub-events never fire past it.
+        self._until: float | None = None
 
     @property
     def now(self) -> float:
@@ -88,6 +91,79 @@ class Engine:
             raise SimulationError(f"negative delay {delay}")
         return self.schedule(self._now + delay, action, priority=priority, label=label)
 
+    def schedule_run(
+        self,
+        first_time: float,
+        step: Callable[[], float | None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule a batched run of sub-events sharing one heap entry.
+
+        ``step()`` fires at ``first_time`` and must return the absolute
+        time of the next firing (or ``None`` to end the run).  The run
+        reuses a single :class:`Event` object: after each firing it is
+        re-keyed with a fresh sequence number -- so equal-time ties
+        against independently scheduled events break exactly as if each
+        sub-event had been scheduled individually at its predecessor's
+        firing -- and, while no other pending event (and no ``until``
+        horizon) comes first, the next sub-event fires *inline* without
+        touching the heap at all.  A run of N sub-events therefore costs
+        one event allocation and O(interruptions) heap operations
+        instead of N of each, while producing the same clock
+        advancement, the same per-sub-event ``sim.fire`` trace events
+        and the same ``events_processed`` total as N scalar events.
+
+        Inline sub-events are not counted against :meth:`run`'s
+        ``max_events`` guard (runs are finite by construction: each
+        firing consumes one ``step`` result).  Cancelling the returned
+        handle stops the run at the next firing boundary.
+        """
+        if first_time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={first_time} before current time t={self._now}"
+            )
+        ev = Event(
+            time=first_time, priority=priority, seq=self._seq,
+            action=lambda: None, label=label,
+        )
+        self._seq += 1
+
+        def fire() -> None:
+            queue = self._queue
+            heappush = heapq.heappush
+            while True:
+                next_time = step()
+                if next_time is None or ev.cancelled:
+                    return
+                if next_time < self._now:
+                    raise SimulationError(
+                        f"run {label!r} stepped backwards to t={next_time} "
+                        f"at current time t={self._now}"
+                    )
+                ev.time = next_time
+                ev.seq = self._seq
+                self._seq += 1
+                until = self._until
+                if (until is not None and next_time > until) or (
+                    queue and queue[0] < ev
+                ):
+                    heappush(queue, ev)
+                    return
+                # Fire the next sub-event inline: same clock/trace/
+                # counter protocol as the main loop, minus heap traffic.
+                self._now = next_time
+                if _trace.TRACER is not None:
+                    _trace.TRACER.emit(
+                        "sim.fire", t=next_time, label=label, event_seq=ev.seq
+                    )
+                self._events_processed += 1
+
+        ev.action = fire
+        heapq.heappush(self._queue, ev)
+        return EventHandle(ev)
+
     def run(
         self, until: float | None = None, *, max_events: int | None = None
     ) -> None:
@@ -101,6 +177,7 @@ class Engine:
         if self._running:
             raise SimulationError("engine is already running (re-entrant run call)")
         self._running = True
+        self._until = until
         fired = 0
         # Hot loop: bind the heap and heappop locally; at throughput-suite
         # event rates the repeated attribute lookups are measurable.
@@ -135,9 +212,22 @@ class Engine:
                 self._now = until
         finally:
             self._running = False
+            self._until = None
 
     def step(self) -> bool:
-        """Fire the single next non-cancelled event; False if queue empty."""
+        """Fire the single next non-cancelled event; False if queue empty.
+
+        A burst run (:meth:`schedule_run`) fires exactly one sub-event
+        per ``step`` call: the horizon is pinned so the run re-queues
+        instead of continuing inline.
+        """
+        self._until = float("-inf")
+        try:
+            return self._step_one()
+        finally:
+            self._until = None
+
+    def _step_one(self) -> bool:
         while self._queue:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:

@@ -39,6 +39,7 @@ class TestSuiteReport:
         names = {e["name"] for e in report["entries"]}
         assert {
             "calibration.numpy", "sim.events",
+            "sim.cells.batched", "sim.cells.scalar",
             "mc.lifetime.vectorized", "mc.lifetime.scalar",
             "mc.is.batched", "mc.is.scalar",
         } <= names
@@ -51,11 +52,20 @@ class TestSuiteReport:
         m = report["metrics"]
         for key in (
             "calibration.ops_per_sec", "sim.events_per_sec",
+            "sim.cells_per_sec", "sim.cells.speedup_vs_scalar",
             "mc.lifetime.trials_per_sec", "mc.lifetime.speedup_vs_scalar",
             "mc.is.cycles_per_sec", "mc.is.speedup_vs_scalar",
         ):
             assert m[key] > 0.0
         assert sum(k.startswith("solver.") for k in m) == 6
+
+    def test_cell_dispatch_digests_agree(self, report):
+        # The cell entry runs the identical workload under both dispatch
+        # modes; equal digests mean equal delivery counts, summed
+        # delivery timestamps, final clock and event totals -- the
+        # equivalence oracle rides inside the benchmark itself.
+        digests = {e["name"]: e["digest"] for e in report["entries"]}
+        assert digests["sim.cells.batched"] == digests["sim.cells.scalar"]
 
     def test_invalid_scale_rejected(self):
         with pytest.raises(ValueError, match="scale"):
@@ -94,6 +104,11 @@ class TestGate:
             "value": report["metrics"]["sim.events_per_sec"],
             "mode": "higher", "normalize": True,
         }
+        assert specs["sim.cells_per_sec"] == {
+            "value": report["metrics"]["sim.cells_per_sec"],
+            "mode": "higher", "normalize": True,
+        }
+        assert specs["sim.cells.speedup_vs_scalar"]["normalize"] is False
         assert specs["mc.is.speedup_vs_scalar"]["normalize"] is False
         for name, spec in specs.items():
             if name.startswith("solver."):
@@ -221,5 +236,6 @@ class TestSpeedupFloor:
         # The PR's headline acceptance: >= 3x over the scalar reference
         # on the committed workload shapes (full scale runs 10-30x).
         m = run_throughput_suite(seed=0, jobs=1, scale=0.3)["metrics"]
+        assert m["sim.cells.speedup_vs_scalar"] >= 3
         assert m["mc.lifetime.speedup_vs_scalar"] >= 3
         assert m["mc.is.speedup_vs_scalar"] >= 3
