@@ -702,7 +702,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             select=_parse_codes(args.select),
             ignore=_parse_codes(args.ignore),
             jobs=args.jobs,
+            interprocedural=args.interprocedural,
+            graph_out=args.graph_out,
         )
+    # timing goes to stderr: stdout (text or JSON) must stay
+    # byte-identical across runs and --jobs values
+    print(f"lint: wall {report.wall_ms:.1f} ms", file=sys.stderr)
     if args.format == "json":
         print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
         return 0 if report.ok else 1
@@ -963,6 +968,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "JSON document")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (0 = all cores; default 1 = serial)")
+    p.add_argument("--interprocedural", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="run the whole-project DRA5xx call-graph/dataflow "
+                        "pass (docs/static-analysis.md); on by default")
+    p.add_argument("--graph-out", dest="graph_out", metavar="FILE",
+                   default=None,
+                   help="export the project call graph as schema-versioned "
+                        "JSON (repro-callgraph v1; byte-identical for any "
+                        "--jobs)")
     add_trace_flag(p)
     p.set_defaults(func=_cmd_lint)
 

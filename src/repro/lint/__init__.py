@@ -11,8 +11,16 @@ This package checks those contracts mechanically over the Python AST
 (stdlib :mod:`ast`, no third-party dependency) and backs the
 ``repro-dra lint`` CLI subcommand and its CI gate.
 
+Rules come in two tiers: the per-file checks (``DRA1xx``--``DRA4xx``)
+see one :class:`~repro.lint.context.FileContext` at a time, while the
+interprocedural pass (:mod:`repro.lint.flow`, ``DRA5xx``) builds a
+whole-project symbol table and call graph -- crossing function, module
+and process-pool boundaries -- and can export that graph as
+schema-versioned JSON (``lint --graph-out``).
+
 See ``docs/static-analysis.md`` for the rule catalogue (``DRA1xx``
-determinism, ``DRA2xx`` observability, ``DRA3xx`` testing hygiene), the
+determinism, ``DRA2xx`` observability, ``DRA3xx`` testing hygiene,
+``DRA4xx`` CLI surface, ``DRA5xx`` interprocedural), the
 ``# dra: noqa[CODE] reason=...`` suppression policy, and how to add a
 rule.
 """
@@ -23,12 +31,17 @@ from repro.lint.engine import (
     LintReport,
     iter_python_files,
     lint_paths,
+    round_robin_chunks,
 )
 from repro.lint.findings import Finding
+from repro.lint.flow import GRAPH_SCHEMA_VERSION, analyze_project
+from repro.lint.flow.rules5xx import FLOW_RULES
 from repro.lint.rules import RULES, Rule, all_codes, rule
 from repro.lint.suppress import SUPPRESSION_CODE, Suppression, scan_suppressions
 
 __all__ = [
+    "FLOW_RULES",
+    "GRAPH_SCHEMA_VERSION",
     "LINT_SCHEMA_VERSION",
     "PARSE_ERROR_CODE",
     "SUPPRESSION_CODE",
@@ -38,8 +51,10 @@ __all__ = [
     "Rule",
     "Suppression",
     "all_codes",
+    "analyze_project",
     "iter_python_files",
     "lint_paths",
+    "round_robin_chunks",
     "rule",
     "scan_suppressions",
 ]

@@ -1,9 +1,23 @@
-"""Per-file context handed to every lint rule."""
+"""Per-file context handed to every lint rule.
+
+A :class:`FileContext` is built **once per file per run** (satellite of
+PR 10): the source text is read once, parsed once and scanned for
+suppressions once, and every rule -- local DRA1xx--4xx and the
+interprocedural DRA5xx pass alike -- shares the same AST, the cached
+:attr:`nodes` walk and the cached :attr:`parents` map instead of
+re-walking per rule.
+"""
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
+from functools import cached_property
+from pathlib import PurePosixPath
+
+from repro.lint.findings import Finding
+from repro.lint.suppress import Suppression, scan_suppressions
 
 __all__ = ["FileContext", "SIM_SUBPACKAGES"]
 
@@ -25,6 +39,51 @@ class FileContext:
     parts: tuple[str, ...]
     tree: ast.Module
     lines: tuple[str, ...]
+    #: raw source text (empty when constructed from a bare tree in tests)
+    source: str = ""
+    #: per-line waiver table from the one suppression scan
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+    #: DRA001 findings produced by that scan
+    suppression_findings: tuple[Finding, ...] = ()
+
+    @classmethod
+    def build(cls, abspath: str, relpath: str) -> FileContext:
+        """Read, parse and suppression-scan ``abspath`` exactly once.
+
+        Raises :class:`SyntaxError` for unparseable files -- the engine
+        converts that into a DRA002 finding.
+        """
+        with open(abspath, encoding="utf-8") as fh:
+            source = fh.read()
+        tree = ast.parse(source, filename=relpath)
+        table, findings = scan_suppressions(relpath, source)
+        return cls(
+            path=relpath,
+            parts=PurePosixPath(relpath.replace(os.sep, "/")).parts,
+            tree=tree,
+            lines=tuple(source.splitlines()),
+            source=source,
+            suppressions=table,
+            suppression_findings=tuple(findings),
+        )
+
+    @cached_property
+    def nodes(self) -> tuple[ast.AST, ...]:
+        """One shared pre-order walk of the tree, computed on first use.
+
+        (``cached_property`` stores into the instance ``__dict__``
+        directly, so it works on a frozen dataclass.)
+        """
+        return tuple(ast.walk(self.tree))
+
+    @cached_property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """child node -> parent node, for the whole tree."""
+        out: dict[ast.AST, ast.AST] = {}
+        for node in self.nodes:
+            for child in ast.iter_child_nodes(node):
+                out[child] = node
+        return out
 
     @property
     def subpackage(self) -> str | None:

@@ -1,0 +1,327 @@
+"""Forward dataflow helpers: constant propagation and order summaries.
+
+Two small analyses shared by the DRA5xx rules:
+
+* **constant folding** (:func:`fold_const`) -- resolves an expression to
+  a Python constant through literals, arithmetic over literals,
+  single-assignment locals, module-level constants and cross-module
+  constant imports.  DRA501 uses it to see through ``SEED = 123`` /
+  ``default_rng(SEED)``; DRA504 uses the string side to follow trace
+  kinds and metric names through variables and thin wrappers.
+* **unordered-return summaries** (:func:`unordered_summaries`) -- a
+  fixpoint over the project computing, per function, *why* its return
+  value iterates in hash order (``.keys()``, a set literal, or the
+  summary of a callee), if it does.  DRA503 combines these summaries
+  with local taint to catch dict/set order escaping through function
+  boundaries into parallel dispatch.
+
+Both analyses are deliberately conservative in the sound direction for
+their consumers: a value is only "constant" when every step is a
+literal, and a return is only "unordered" when an explicit hash-ordered
+origin is visible, so findings always trace to real source constructs.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.flow.modules import FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = [
+    "MISSING",
+    "fold_const",
+    "local_const_env",
+    "single_assignments",
+    "unordered_expr",
+    "unordered_summaries",
+    "local_unordered_env",
+]
+
+#: Sentinel for "not a foldable constant" (``None`` is a real constant).
+MISSING = object()
+
+#: Wrappers that preserve iteration order without establishing one.
+ORDER_NEUTRAL = frozenset({"list", "tuple", "enumerate", "reversed", "iter"})
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+# ---------------------------------------------------------------------------
+# constant propagation
+# ---------------------------------------------------------------------------
+
+
+def single_assignments(func: ast.AST) -> dict[str, ast.expr]:
+    """Locals assigned exactly once (simple ``name = expr``), else dropped.
+
+    Re-assigned or augmented names are removed outright -- a
+    single-assignment binding is the only case where "the value at the
+    use site" equals "the value at the definition site" without real
+    flow analysis.
+    """
+    counts: dict[str, int] = {}
+    values: dict[str, ast.expr] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in _target_names(target):
+                    counts[name] = counts.get(name, 0) + 1
+                if isinstance(target, ast.Name):
+                    values[target.id] = node.value
+        elif isinstance(node, ast.AugAssign | ast.AnnAssign):
+            for name in _target_names(node.target):
+                counts[name] = counts.get(name, 0) + 2  # never single
+        elif isinstance(node, ast.For):
+            for name in _target_names(node.target):
+                counts[name] = counts.get(name, 0) + 2
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            for name in _target_names(node.optional_vars):
+                counts[name] = counts.get(name, 0) + 2
+    return {
+        name: expr
+        for name, expr in values.items()
+        if counts.get(name, 0) == 1
+    }
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Tuple | ast.List):
+        out: list[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def local_const_env(func: ast.AST) -> dict[str, object]:
+    """Single-assignment locals whose value is a plain literal."""
+    env: dict[str, object] = {}
+    for name, expr in single_assignments(func).items():
+        if isinstance(expr, ast.Constant):
+            env[name] = expr.value
+    return env
+
+
+def fold_const(
+    expr: ast.expr,
+    *,
+    index: ProjectIndex | None = None,
+    mod: ModuleInfo | None = None,
+    local_env: dict[str, object] | None = None,
+):
+    """Fold ``expr`` to a constant, or :data:`MISSING`.
+
+    Handles literals, unary +/-, binary arithmetic over folded values,
+    f-strings of folded strings, single-assignment locals, module-level
+    constants and constants imported from other indexed modules.
+    """
+    if isinstance(expr, ast.Constant):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        if local_env is not None and expr.id in local_env:
+            return local_env[expr.id]
+        if index is not None and mod is not None:
+            target = index.resolve(mod, (expr.id,))
+            if isinstance(target, tuple) and target[0] == "const":
+                return target[1]
+        return MISSING
+    if isinstance(expr, ast.UnaryOp):
+        operand = fold_const(
+            expr.operand, index=index, mod=mod, local_env=local_env
+        )
+        if operand is MISSING or not isinstance(operand, int | float):
+            return MISSING
+        if isinstance(expr.op, ast.USub):
+            return -operand
+        if isinstance(expr.op, ast.UAdd):
+            return +operand
+        return MISSING
+    if isinstance(expr, ast.BinOp):
+        left = fold_const(expr.left, index=index, mod=mod, local_env=local_env)
+        right = fold_const(expr.right, index=index, mod=mod, local_env=local_env)
+        if left is MISSING or right is MISSING:
+            return MISSING
+        return _fold_binop(expr.op, left, right)
+    if isinstance(expr, ast.JoinedStr):
+        parts: list[str] = []
+        for value in expr.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            elif isinstance(value, ast.FormattedValue):
+                inner = fold_const(
+                    value.value, index=index, mod=mod, local_env=local_env
+                )
+                if inner is MISSING or value.format_spec is not None:
+                    return MISSING
+                parts.append(str(inner))
+            else:
+                return MISSING
+        return "".join(parts)
+    return MISSING
+
+
+def _fold_binop(op: ast.operator, left, right):
+    if isinstance(left, str) and isinstance(right, str):
+        return left + right if isinstance(op, ast.Add) else MISSING
+    if not isinstance(left, int | float) or not isinstance(right, int | float):
+        return MISSING
+    try:
+        if isinstance(op, ast.Add):
+            return left + right
+        if isinstance(op, ast.Sub):
+            return left - right
+        if isinstance(op, ast.Mult):
+            return left * right
+        if isinstance(op, ast.FloorDiv):
+            return left // right
+        if isinstance(op, ast.Mod):
+            return left % right
+        if isinstance(op, ast.Pow) and abs(right) <= 64:
+            return left**right
+        if isinstance(op, ast.Div):
+            return left / right
+    except (ZeroDivisionError, OverflowError, ValueError):
+        return MISSING
+    return MISSING
+
+
+# ---------------------------------------------------------------------------
+# unordered-iteration summaries
+# ---------------------------------------------------------------------------
+
+
+def strip_order_neutral(node: ast.expr) -> ast.expr:
+    """Peel ``list(...)``/``tuple(...)``/... wrappers off ``node``."""
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ORDER_NEUTRAL
+        and node.args
+    ):
+        node = node.args[0]
+    return node
+
+
+def unordered_expr(
+    expr: ast.expr,
+    *,
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    local_env: dict[str, str] | None = None,
+    summaries: dict[str, str] | None = None,
+) -> str | None:
+    """Why ``expr`` iterates in hash order, or ``None``.
+
+    ``local_env`` maps tainted local names to their reason;
+    ``summaries`` maps project-function qnames to their return-order
+    reason.  ``sorted(...)`` (and ``min``/``max``) clear the taint.
+    """
+    expr = strip_order_neutral(expr)
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        if expr.func.id in ("sorted", "min", "max"):
+            return None
+        if expr.func.id in ("set", "frozenset"):
+            return f"{expr.func.id}()"
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in ("items", "keys", "values")
+        and not expr.args
+        and not expr.keywords
+    ):
+        return f".{expr.func.attr}()"
+    if isinstance(expr, ast.Set | ast.SetComp):
+        return "a set literal"
+    if isinstance(expr, ast.Name) and local_env is not None:
+        return local_env.get(expr.id)
+    if isinstance(expr, ast.Call) and summaries is not None:
+        from repro.lint.flow.callgraph import resolve_call
+
+        callee = resolve_call(index, mod, {}, expr.func)
+        if callee is not None and callee.qname in summaries:
+            return (
+                f"the return value of {callee.qname}() "
+                f"({summaries[callee.qname]})"
+            )
+    return None
+
+
+def local_unordered_env(
+    fi: FunctionInfo,
+    *,
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    summaries: dict[str, str],
+) -> dict[str, str]:
+    """Single-assignment locals bound to an unordered value -> reason."""
+    env: dict[str, str] = {}
+    assigns = single_assignments(fi.node)
+    # iterate to a local fixpoint so chains of locals resolve (bounded
+    # by the number of assignments, in practice 1-2 passes)
+    for _ in range(len(assigns) + 1):
+        changed = False
+        for name, expr in assigns.items():
+            if name in env:
+                continue
+            why = unordered_expr(
+                expr, index=index, mod=mod, local_env=env, summaries=summaries
+            )
+            if why is not None:
+                env[name] = why
+                changed = True
+        if not changed:
+            break
+    return env
+
+
+def unordered_summaries(index: ProjectIndex) -> dict[str, str]:
+    """Function qname -> why its return value is hash-ordered.
+
+    Fixpoint over the project: a function is unordered when any of its
+    ``return`` expressions is (directly, through a single-assignment
+    local, or through a call to an already-summarized function).
+    """
+    summaries: dict[str, str] = {}
+    for _ in range(len(index.functions) + 1):
+        changed = False
+        for qname, fi in index.functions.items():
+            if qname in summaries:
+                continue
+            mod = index.module_of(fi)
+            env = local_unordered_env(
+                fi, index=index, mod=mod, summaries=summaries
+            )
+            for node in ast.walk(fi.node):
+                if not (isinstance(node, ast.Return) and node.value is not None):
+                    continue
+                if _in_nested_function(fi.node, node):
+                    continue
+                why = unordered_expr(
+                    node.value,
+                    index=index,
+                    mod=mod,
+                    local_env=env,
+                    summaries=summaries,
+                )
+                if why is not None:
+                    summaries[qname] = f"returns {why}"
+                    changed = True
+                    break
+        if not changed:
+            break
+    return summaries
+
+
+def _in_nested_function(root: ast.AST, target: ast.AST) -> bool:
+    """True when ``target`` sits inside a def nested under ``root``."""
+    for node in ast.walk(root):
+        if node is root or not isinstance(node, _FUNC_NODES):
+            continue
+        for sub in ast.walk(node):
+            if sub is target:
+                return True
+    return False

@@ -58,8 +58,10 @@ def rule(code: str, name: str, summary: str):
 
 
 def all_codes() -> list[str]:
-    """Every registered rule code, sorted."""
-    return sorted(RULES)
+    """Every registered rule code (per-file and interprocedural), sorted."""
+    from repro.lint.flow.rules5xx import FLOW_RULES  # avoid import cycle
+
+    return sorted([*RULES, *FLOW_RULES])
 
 
 # ---------------------------------------------------------------------------
@@ -132,7 +134,7 @@ _NP_LEGACY = frozenset(
 def check_rng(ctx: FileContext) -> Iterator[Finding]:
     if ctx.endswith("sim", "rng.py"):  # the sanctioned stream factory
         return
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 if alias.name == "random" or alias.name.startswith("random."):
@@ -208,7 +210,7 @@ def check_wallclock(ctx: FileContext) -> Iterator[Finding]:
     if ctx.endswith("runtime", "timing.py"):  # the sanctioned Stopwatch
         return
     in_core = ctx.in_sim_core
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes:
         if isinstance(node, ast.Attribute):
             dotted = _dotted(node)
             if dotted is None or len(dotted) < 2:
@@ -297,10 +299,10 @@ def _unordered_iter(node: ast.expr) -> str | None:
     "dict/set iteration feeding parallel dispatch or seed spawns is sorted",
 )
 def check_sorted_dispatch(ctx: FileContext) -> Iterator[Finding]:
-    parents = _parents(ctx.tree)
+    parents = ctx.parents
     dispatching_scopes = {
         _enclosing_function(node, parents)
-        for node in ast.walk(ctx.tree)
+        for node in ctx.nodes
         if _is_dispatch_call(node)
     }
     if not dispatching_scopes:
@@ -322,7 +324,7 @@ def check_sorted_dispatch(ctx: FileContext) -> Iterator[Finding]:
             "are identical for any --jobs",
         )
 
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes:
         scope = _enclosing_function(node, parents)
         if scope not in dispatching_scopes:
             continue
@@ -342,7 +344,7 @@ def check_sorted_dispatch(ctx: FileContext) -> Iterator[Finding]:
     "no bare except: clauses anywhere",
 )
 def check_bare_except(ctx: FileContext) -> Iterator[Finding]:
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes:
         if isinstance(node, ast.ExceptHandler) and node.type is None:
             yield _finding(
                 ctx, node, "DRA104",
@@ -365,7 +367,7 @@ def _is_noop_stmt(stmt: ast.stmt) -> bool:
 def check_swallowed(ctx: FileContext) -> Iterator[Finding]:
     if ctx.is_test_code:  # tests may legitimately assert non-raising paths
         return
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes:
         if (
             isinstance(node, ast.ExceptHandler)
             and node.type is not None
@@ -402,7 +404,7 @@ def _obs_scope(ctx: FileContext) -> bool:
 def check_trace_kinds(ctx: FileContext) -> Iterator[Finding]:
     if not _obs_scope(ctx):
         return
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes:
         if not (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
@@ -443,7 +445,7 @@ _METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
 def check_metric_names(ctx: FileContext) -> Iterator[Finding]:
     if not _obs_scope(ctx):
         return
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes:
         if not (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
@@ -522,7 +524,7 @@ def _float_literal_led(node: ast.expr) -> bool:
 def check_test_tolerances(ctx: FileContext) -> Iterator[Finding]:
     if not ctx.is_test_code:
         return
-    for assert_node in ast.walk(ctx.tree):
+    for assert_node in ctx.nodes:
         if not isinstance(assert_node, ast.Assert):
             continue
         for node in ast.walk(assert_node.test):
@@ -573,7 +575,7 @@ def check_cli_help(ctx: FileContext) -> Iterator[Finding]:
     """
     if ctx.is_test_code:
         return
-    for node in ast.walk(ctx.tree):
+    for node in ctx.nodes:
         if not (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)

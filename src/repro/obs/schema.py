@@ -132,6 +132,7 @@ METRIC_NAMES: Mapping[str, str] = {
     "lint.files": "counter: files scanned",
     "lint.findings": "counter: unsuppressed findings",
     "lint.suppressions": "counter: findings silenced by dra: noqa",
+    "lint.wall_ms": "gauge: wall time of one lint run (CI budget guard)",
     # causal incident analysis (repro.obs.spans, the `incidents` subcommand)
     "incident.spans": "counter: incident spans folded out of a trace",
     "incident.open_spans": "counter: spans never repaired within the trace",

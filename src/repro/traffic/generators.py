@@ -172,7 +172,11 @@ class TraceSource:
     ) -> None:
         self.router = router
         self.trace = sorted(trace)
-        self.rng = rng or np.random.default_rng(0)
+        # address-draw stream derives from the router's seeded registry
+        # (the run's SeedSequence.spawn chain), never a fixed seed --
+        # two routers with different config seeds must replay a trace
+        # with different (but each reproducible) address draws.
+        self.rng = rng if rng is not None else router.rng.stream("traffic-trace")
         self.emitted = 0
         for time, src, dst, size in self.trace:
             if time < 0.0 or size <= 0:

@@ -6,7 +6,7 @@ import json
 import textwrap
 
 from repro.cli import main
-from repro.lint import lint_paths
+from repro.lint import lint_paths, round_robin_chunks
 from repro.obs.metrics import MetricsRegistry, collecting
 
 MIXED = """
@@ -59,6 +59,35 @@ class TestDeterminism:
         report = lint_paths([str(tmp_path)])
         keys = [(f.path, f.line, f.col, f.code) for f in report.findings]
         assert keys == sorted(keys)
+
+    def test_more_jobs_than_files_is_identical(self, tmp_path):
+        # 3 files, 8 workers: round-robin chunking must leave the report
+        # byte-identical to the serial run, never jobs-dependent
+        _write_tree(tmp_path, VIOLATIONS)
+        serial = lint_paths([str(tmp_path)], jobs=1)
+        pooled = lint_paths([str(tmp_path)], jobs=8)
+        assert serial == pooled
+        assert json.dumps(serial.to_payload()) == json.dumps(pooled.to_payload())
+
+
+class TestRoundRobinChunks:
+    def test_assignment_is_sorted_round_robin(self):
+        files = ["a.py", "b.py", "c.py", "d.py", "e.py"]
+        assert round_robin_chunks(files, 2) == [
+            ["a.py", "c.py", "e.py"],
+            ["b.py", "d.py"],
+        ]
+
+    def test_empty_chunks_dropped_when_jobs_exceed_files(self):
+        files = ["a.py", "b.py", "c.py"]
+        chunks = round_robin_chunks(files, 8)
+        assert chunks == [["a.py"], ["b.py"], ["c.py"]]
+
+    def test_every_file_assigned_exactly_once(self):
+        files = [f"{i}.py" for i in range(17)]
+        chunks = round_robin_chunks(files, 4)
+        flat = sorted(f for chunk in chunks for f in chunk)
+        assert flat == sorted(files)
 
 
 class TestMetrics:

@@ -11,7 +11,8 @@ class TestRegistry:
         assert all_codes() == [
             "DRA101", "DRA102", "DRA103", "DRA104",
             "DRA105", "DRA201", "DRA202", "DRA301",
-            "DRA401",
+            "DRA401", "DRA501", "DRA502", "DRA503",
+            "DRA504", "DRA505",
         ]
 
     def test_rules_carry_names_and_summaries(self):
@@ -44,10 +45,15 @@ class TestDRA101Rng:
         assert lint_codes("src/repro/sim/x.py", src).count("DRA101") == 2
 
     def test_seeded_generator_ok(self, lint_codes):
+        # seed arrives as a parameter (provenance intact): clean under
+        # DRA101 *and* the interprocedural DRA501 pass -- a module-level
+        # or hard-seeded generator would now be DRA501's finding
         src = """
             import numpy as np
-            rng = np.random.default_rng(1234)
-            x = rng.uniform(0.0, 1.0)
+
+            def make_stream(seed):
+                rng = np.random.default_rng(seed)
+                return rng.uniform(0.0, 1.0)
         """
         assert lint_codes("src/repro/sim/x.py", src) == []
 

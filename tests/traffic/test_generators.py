@@ -124,3 +124,26 @@ class TestTraceSource:
             TraceSource(r, [(0.0, 0, 1, 0)])
         with pytest.raises(ValueError):
             TraceSource(r, [(0.0, 0, 99, 100)])
+
+    def test_default_rng_derives_from_router_seed(self):
+        # Regression for the DRA501 fix: the address stream must come
+        # from the router's SeedSequence.spawn chain, not a fixed seed,
+        # so two routers with different config seeds draw differently
+        # while the same seed stays exactly reproducible.
+        from repro.traffic import TraceSource
+
+        def drawn(seed):
+            r = make_router(seed=seed)
+            src = TraceSource(r, [(0.001, 0, 1, 500)])
+            return [int(src.rng.integers(0, 2**31)) for _ in range(4)]
+
+        assert drawn(0) == drawn(0)
+        assert drawn(0) != drawn(1)
+
+    def test_explicit_rng_still_honoured(self):
+        from repro.traffic import TraceSource
+
+        r = make_router()
+        rng = np.random.default_rng(7)
+        src = TraceSource(r, [(0.001, 0, 1, 500)], rng=rng)
+        assert src.rng is rng
